@@ -1,0 +1,97 @@
+"""Figure 6b: network bandwidth vs system size on the AWS (oracle) testbed.
+
+Reproduces the bandwidth half of the scalability experiment: total traffic
+(MB) consumed to reach one agreement, per protocol and system size, with the
+paper's bandwidth configuration ``rho0 = epsilon = 2$``.
+
+Expected shape (paper): Delphi's bandwidth grows roughly quadratically in n
+while FIN's and Abraham et al.'s grow roughly cubically, so the gap widens
+with n and the baselines' curves overtake Delphi's as n grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.runner import run_abraham, run_delphi, run_fin
+from repro.testbed.aws import AwsTestbed
+from repro.testbed.metrics import MetricsCollector
+
+from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
+from bench_common import (
+    ORACLE_DELTA_MAX,
+    ORACLE_EPSILON,
+    aws_node_counts,
+    max_rounds,
+    oracle_params,
+    print_report,
+    record_run,
+    spread_inputs,
+)
+
+DELTA_AVERAGE = 20.0
+DELTA_WORST = 180.0
+PRICE = 40_000.0
+
+
+def test_fig6b_bandwidth_vs_n_on_aws(benchmark):
+    collector = MetricsCollector("fig6b-aws-bandwidth")
+
+    def sweep():
+        for n in aws_node_counts():
+            testbed = AwsTestbed(num_nodes=n, seed=2)
+            inputs_avg = spread_inputs(n, PRICE, DELTA_AVERAGE)
+            inputs_worst = spread_inputs(n, PRICE, DELTA_WORST)
+            # Fig. 6b uses rho0 = epsilon = 2$ (finer checkpoints than 6a).
+            params = oracle_params(n, rho0=ORACLE_EPSILON)
+
+            record_run(
+                collector, "delphi d=20", n,
+                run_delphi(params, inputs_avg, network=testbed.network(), compute=testbed.compute()),
+                inputs_avg,
+            )
+            record_run(
+                collector, "delphi d=180", n,
+                run_delphi(params, inputs_worst, network=testbed.network(), compute=testbed.compute()),
+                inputs_worst,
+            )
+            record_run(
+                collector, "abraham", n,
+                run_abraham(
+                    n, inputs_avg,
+                    epsilon=ORACLE_EPSILON, delta_max=ORACLE_DELTA_MAX, rounds=max_rounds(),
+                    network=testbed.network(), compute=testbed.compute(),
+                ),
+                inputs_avg,
+            )
+            record_run(
+                collector, "fin", n,
+                run_fin(n, inputs_avg, network=testbed.network(), compute=testbed.compute()),
+                inputs_avg,
+            )
+        return collector
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_report(collector, "megabytes")
+    print_report(collector, "message_count")
+
+    sizes = aws_node_counts()
+    smallest, largest = sizes[0], sizes[-1]
+
+    def exponent(protocol: str) -> float:
+        series = {record.n: record.megabytes for record in collector.series(protocol)}
+        return math.log(series[largest] / series[smallest]) / math.log(largest / smallest)
+
+    delphi_exp = exponent("delphi d=20")
+    abraham_exp = exponent("abraham")
+    fin_exp = exponent("fin")
+    print(
+        f"\nbandwidth growth exponents: delphi={delphi_exp:.2f}, "
+        f"abraham={abraham_exp:.2f}, fin={fin_exp:.2f}"
+    )
+
+    # Delphi's traffic must grow with a smaller exponent than the baselines.
+    assert delphi_exp < abraham_exp + 0.2
+    assert delphi_exp < fin_exp + 0.2

@@ -1,0 +1,107 @@
+"""Figure 7: Delphi runtime heatmap vs agreement ratio and range ratio.
+
+The paper sweeps two ratios at a fixed system size (n = 64 on AWS, n = 85 on
+CPS):
+
+* the **agreement ratio** ``Delta / epsilon``, which controls the number of
+  BinAA rounds (round complexity), and
+* the **range ratio** ``delta / rho0``, which controls how many checkpoints
+  are active and therefore the per-round communication volume,
+
+and observes that runtime on AWS is dominated by the agreement ratio (WAN
+round trips) while on CPS it is dominated by the range ratio (constrained
+bandwidth/CPU).  This benchmark reproduces both heatmaps at reduced scale
+and checks those two dominance patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.analysis.parameters import derive_parameters
+from repro.runner import run_delphi
+from repro.testbed.aws import AwsTestbed
+from repro.testbed.cps import CpsTestbed
+
+from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
+from bench_common import bench_scale, spread_inputs
+
+N = 16 if bench_scale() == "full" else 7
+
+#: Sweep values (kept small at quick scale; the paper uses up to 2000 / 1e5).
+AGREEMENT_RATIOS = [4, 16, 64]
+RANGE_RATIOS = [1, 4, 16]
+
+EPSILON = 1.0
+CENTRE = 1000.0
+
+
+def _run_cell(agreement_ratio: int, range_ratio: int, testbed) -> float:
+    params = derive_parameters(
+        n=N,
+        epsilon=EPSILON,
+        rho0=EPSILON,
+        delta_max=agreement_ratio * EPSILON,
+        max_rounds=8,
+    )
+    delta = min(range_ratio * params.rho0, 0.9 * params.delta_max)
+    inputs = spread_inputs(N, CENTRE, delta)
+    result = run_delphi(
+        params, inputs, network=testbed.network(), compute=testbed.compute()
+    )
+    return result.runtime_seconds
+
+
+def _heatmap(testbed_factory) -> Dict[Tuple[int, int], float]:
+    cells: Dict[Tuple[int, int], float] = {}
+    for agreement_ratio in AGREEMENT_RATIOS:
+        for range_ratio in RANGE_RATIOS:
+            cells[(agreement_ratio, range_ratio)] = _run_cell(
+                agreement_ratio, range_ratio, testbed_factory()
+            )
+    return cells
+
+
+def _print_heatmap(title: str, cells: Dict[Tuple[int, int], float]) -> None:
+    print(f"\n# Fig. 7 ({title}) runtime (s); rows = Delta/eps, cols = delta/rho0")
+    header = "Delta/eps".ljust(12) + "".join(f"{ratio:>10}" for ratio in RANGE_RATIOS)
+    print(header)
+    for agreement_ratio in AGREEMENT_RATIOS:
+        row = f"{agreement_ratio:<12}" + "".join(
+            f"{cells[(agreement_ratio, range_ratio)]:>10.3f}" for range_ratio in RANGE_RATIOS
+        )
+        print(row)
+
+
+def test_fig7_aws_heatmap(benchmark):
+    cells = benchmark.pedantic(
+        lambda: _heatmap(lambda: AwsTestbed(num_nodes=N, seed=4)), rounds=1, iterations=1
+    )
+    _print_heatmap(f"AWS, n={N}", cells)
+
+    # Round complexity (agreement ratio) dominates on AWS: increasing it at a
+    # fixed range ratio changes runtime more than the converse.
+    round_effect = cells[(AGREEMENT_RATIOS[-1], RANGE_RATIOS[0])] / cells[
+        (AGREEMENT_RATIOS[0], RANGE_RATIOS[0])
+    ]
+    range_effect = cells[(AGREEMENT_RATIOS[0], RANGE_RATIOS[-1])] / cells[
+        (AGREEMENT_RATIOS[0], RANGE_RATIOS[0])
+    ]
+    print(f"\nAWS: round-complexity effect x{round_effect:.2f}, range effect x{range_effect:.2f}")
+    assert round_effect >= range_effect * 0.9
+
+
+def test_fig7_cps_heatmap(benchmark):
+    cells = benchmark.pedantic(
+        lambda: _heatmap(lambda: CpsTestbed(num_nodes=N, seed=4)), rounds=1, iterations=1
+    )
+    _print_heatmap(f"CPS, n={N}", cells)
+
+    # Per-round communication volume (range ratio) has a strong effect on CPS.
+    range_effect = cells[(AGREEMENT_RATIOS[0], RANGE_RATIOS[-1])] / cells[
+        (AGREEMENT_RATIOS[0], RANGE_RATIOS[0])
+    ]
+    print(f"\nCPS: range effect x{range_effect:.2f}")
+    assert range_effect >= 1.0

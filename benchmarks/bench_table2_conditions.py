@@ -1,0 +1,83 @@
+"""Table II: Delphi's communication and round complexity under different
+(Delta, delta) input conditions.
+
+Three regimes are measured by running Delphi with the same ``epsilon`` but
+different configured ``Delta`` and realised input ranges ``delta``:
+
+1. ``Delta = O(eps)``,  ``delta = O(eps)``  — the cheap regime;
+2. ``Delta = f(n) eps``, ``delta = O(eps)``  — realistic oracle configuration;
+3. ``Delta = f(n) eps``, ``delta = O(Delta)`` — worst-case input spread.
+
+The measured bits and BinAA round counts should be ordered exactly as the
+analytic rows of Table II (regime 1 <= regime 2 <= regime 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import delphi_conditions_table
+from repro.analysis.parameters import derive_parameters
+from repro.runner import run_delphi
+from repro.testbed.metrics import MetricsCollector
+
+from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
+from bench_common import max_rounds, print_report, record_run, spread_inputs
+
+EPSILON = 1.0
+N = 7
+
+
+def _params(delta_max: float):
+    return derive_parameters(
+        n=N, epsilon=EPSILON, rho0=EPSILON, delta_max=delta_max, max_rounds=max_rounds()
+    )
+
+
+def test_table2_conditions(benchmark):
+    regimes = [
+        ("Delta=O(eps), delta=O(eps)", 2.0 * EPSILON, 1.0 * EPSILON),
+        ("Delta=f(n)eps, delta=O(eps)", 64.0 * EPSILON, 1.0 * EPSILON),
+        ("Delta=f(n)eps, delta=O(Delta)", 64.0 * EPSILON, 48.0 * EPSILON),
+    ]
+    collector = MetricsCollector("table2")
+
+    def run_regimes():
+        for label, delta_max, delta in regimes:
+            params = _params(delta_max)
+            inputs = spread_inputs(N, centre=100.0, delta=delta)
+            result = run_delphi(params, inputs)
+            record_run(
+                collector,
+                label,
+                N,
+                result,
+                inputs,
+                delta_max=delta_max,
+                delta=delta,
+                rounds=params.rounds,
+                levels=params.level_count,
+            )
+        return collector
+
+    benchmark.pedantic(run_regimes, rounds=1, iterations=1)
+
+    print("\n# Table II (analytic rows)")
+    for row in delphi_conditions_table(N, EPSILON):
+        print(
+            f"  {row['condition']:<34} comm={row['communication_bits']:.3e} bits, "
+            f"rounds={row['rounds']:.1f}"
+        )
+    print_report(collector, "megabytes")
+    print_report(collector, "message_count")
+
+    records = {record.protocol: record for record in collector.records}
+    cheap = records["Delta=O(eps), delta=O(eps)"]
+    mid = records["Delta=f(n)eps, delta=O(eps)"]
+    worst = records["Delta=f(n)eps, delta=O(Delta)"]
+    # The measured ordering must match the analytic table.
+    assert cheap.megabytes <= mid.megabytes + 1e-9
+    assert mid.megabytes <= worst.megabytes + 1e-9
+    # And every regime still reaches epsilon-agreement.
+    for record in records.values():
+        assert record.output_spread <= EPSILON + 1e-9

@@ -1,0 +1,34 @@
+"""Pytest configuration for the benchmark harness.
+
+Ensures the benchmarks directory is importable (for ``bench_common``),
+records the active scale, and — because pytest captures per-test stdout —
+replays every experiment table the benchmarks emitted (via
+``bench_common.emit``) into the terminal summary, so the teed benchmark log
+contains the same rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from bench_common import TABLES_PATH, bench_scale  # noqa: E402
+
+
+def pytest_sessionstart(session):
+    print(f"\n[repro-delphi benchmarks] scale = {bench_scale()} "
+          "(set REPRO_BENCH_SCALE=full for paper-scale system sizes)")
+    # Start a fresh experiment-table log for this session.
+    if os.path.exists(TABLES_PATH):
+        os.remove(TABLES_PATH)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not os.path.exists(TABLES_PATH):
+        return
+    terminalreporter.write_sep("=", "experiment tables (paper figures/tables reproduced)")
+    with open(TABLES_PATH, "r", encoding="utf-8") as handle:
+        for line in handle.read().splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: reach approximate agreement among a small sensor network.
+
+This is the smallest end-to-end use of the public API:
+
+1. generate one round of noisy sensor measurements,
+2. derive Delphi's parameters from the application's accuracy needs,
+3. run the protocol through the deterministic simulator (with one crashed
+   node, because fault tolerance is the whole point), and
+4. inspect the outputs: every honest node's output is within ``epsilon`` of
+   every other's, and within the relaxed range of honest inputs.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary.strategies import CrashStrategy
+from repro.analysis.parameters import derive_parameters
+from repro.runner import run_delphi
+from repro.workloads.sensors import SensorGridWorkload
+
+
+def main() -> None:
+    # A grid of 10 temperature sensors measuring the same room (24.8 C), each
+    # with ~0.3 C of measurement noise.
+    num_sensors = 10
+    workload = SensorGridWorkload(true_value=24.8, seed=7)
+    measurements = workload.node_inputs(num_sensors)
+    print("sensor measurements:")
+    for sensor, value in enumerate(measurements):
+        print(f"  sensor {sensor}: {value:8.3f} C")
+
+    # The application wants outputs within 0.1 C of each other and knows the
+    # honest spread never exceeds ~4 C (delta_max); rho0 defaults to epsilon.
+    params = derive_parameters(
+        n=num_sensors,
+        epsilon=0.1,
+        delta_max=4.0,
+        max_rounds=8,  # simulation-scale cap; see DESIGN.md
+    )
+    print("\nDelphi configuration:", params.describe())
+
+    # One sensor has crashed; the protocol tolerates up to t = 3 faults here.
+    byzantine = {9: CrashStrategy()}
+
+    result = run_delphi(params, measurements, byzantine=byzantine)
+
+    print("\nhonest outputs:")
+    for node_id, output in sorted(result.outputs.items()):
+        print(f"  node {node_id}: {output:8.3f} C")
+    print(f"\nall honest nodes decided: {result.all_decided}")
+    print(f"output spread           : {result.output_spread:.4f} C (epsilon = {params.epsilon})")
+    print(f"honest input range      : [{min(measurements[:9]):.3f}, {max(measurements[:9]):.3f}]")
+    print(f"messages exchanged      : {result.message_count}")
+    print(f"traffic                 : {result.total_megabytes:.3f} MB")
+    print(f"simulated runtime       : {result.runtime_seconds * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package can also be installed in editable mode on offline
+machines that lack the ``wheel`` package (``pip install -e . --no-build-isolation``
+falls back to the legacy develop path through this shim).
+"""
+
+from setuptools import setup
+
+setup()

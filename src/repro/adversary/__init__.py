@@ -1,0 +1,23 @@
+"""Byzantine adversary strategies used for fault-injection testing."""
+
+from repro.adversary.base import AdversaryStrategy, HonestWithInput
+from repro.adversary.strategies import (
+    CrashStrategy,
+    DelayedHonestStrategy,
+    EquivocatingStrategy,
+    RandomBitStrategy,
+    SpamStrategy,
+)
+from repro.adversary.adaptive import AdaptiveAdversary, CorruptionPlan
+
+__all__ = [
+    "AdaptiveAdversary",
+    "AdversaryStrategy",
+    "CorruptionPlan",
+    "CrashStrategy",
+    "DelayedHonestStrategy",
+    "EquivocatingStrategy",
+    "HonestWithInput",
+    "RandomBitStrategy",
+    "SpamStrategy",
+]

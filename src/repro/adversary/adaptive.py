@@ -1,0 +1,118 @@
+"""Adaptive corruption planning.
+
+The paper assumes an *adaptive* adversary who may decide whom to corrupt
+during the execution (up to ``t`` nodes in total).  In a simulated run the
+set of corrupted nodes and the time each corruption takes effect can be
+planned ahead (the simulator is the adversary), which is captured by
+:class:`CorruptionPlan`.  :class:`AdaptiveAdversary` turns the plan into the
+per-node strategy map consumed by the simulation runtime.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.adversary.base import AdversaryStrategy
+from repro.adversary.strategies import CrashStrategy
+
+
+@dataclass(frozen=True)
+class CorruptionPlan:
+    """Which nodes get corrupted, with which strategy, and when.
+
+    Attributes
+    ----------
+    node_ids:
+        Identifiers of the nodes to corrupt.
+    strategy_factory:
+        Zero-argument callable producing a fresh strategy per corrupted node.
+    activation_time:
+        Simulated time (seconds) at which the corruption takes effect; before
+        that the node behaves honestly.  ``0.0`` corrupts from the start.
+    """
+
+    node_ids: Sequence[int]
+    strategy_factory: Callable[[], AdversaryStrategy] = CrashStrategy
+    activation_time: float = 0.0
+
+
+class AdaptiveAdversary:
+    """Builds and validates per-node corruption assignments.
+
+    Parameters
+    ----------
+    n, t:
+        System size and fault budget; the adversary refuses to corrupt more
+        than ``t`` nodes in total.
+    seed:
+        Seed used when nodes are chosen randomly.
+    """
+
+    def __init__(self, n: int, t: int, seed: int = 0) -> None:
+        if t < 0 or n <= 0:
+            raise ConfigurationError("invalid n or t")
+        self.n = n
+        self.t = t
+        self._rng = random.Random(seed)
+        self._plans: List[CorruptionPlan] = []
+
+    def corrupt(self, plan: CorruptionPlan) -> None:
+        """Register a corruption plan, enforcing the global ``t`` budget."""
+        already = {node for existing in self._plans for node in existing.node_ids}
+        new = set(plan.node_ids) - already
+        if len(already) + len(new) > self.t:
+            raise ConfigurationError(
+                f"corrupting {len(already) + len(new)} nodes exceeds budget t={self.t}"
+            )
+        for node_id in plan.node_ids:
+            if not 0 <= node_id < self.n:
+                raise ConfigurationError(f"cannot corrupt unknown node {node_id}")
+        self._plans.append(plan)
+
+    def corrupt_random(
+        self,
+        count: Optional[int] = None,
+        strategy_factory: Callable[[], AdversaryStrategy] = CrashStrategy,
+        activation_time: float = 0.0,
+    ) -> CorruptionPlan:
+        """Corrupt ``count`` randomly chosen nodes (default: the full budget)."""
+        if count is None:
+            count = self.t
+        if count > self.t:
+            raise ConfigurationError(f"cannot corrupt {count} > t={self.t} nodes")
+        chosen = self._rng.sample(range(self.n), count) if count else []
+        plan = CorruptionPlan(
+            node_ids=tuple(chosen),
+            strategy_factory=strategy_factory,
+            activation_time=activation_time,
+        )
+        self.corrupt(plan)
+        return plan
+
+    def strategies(self) -> Dict[int, AdversaryStrategy]:
+        """Instantiate one strategy per corrupted node (activation at t=0).
+
+        Time-delayed activation is handled by the runtime, which consults
+        :meth:`activation_times`.
+        """
+        assignment: Dict[int, AdversaryStrategy] = {}
+        for plan in self._plans:
+            for node_id in plan.node_ids:
+                assignment[node_id] = plan.strategy_factory()
+        return assignment
+
+    def activation_times(self) -> Dict[int, float]:
+        """Simulated time at which each corrupted node's strategy activates."""
+        times: Dict[int, float] = {}
+        for plan in self._plans:
+            for node_id in plan.node_ids:
+                times[node_id] = plan.activation_time
+        return times
+
+    @property
+    def corrupted(self) -> List[int]:
+        """Sorted list of all corrupted node identifiers."""
+        return sorted({node for plan in self._plans for node in plan.node_ids})

@@ -1,0 +1,70 @@
+"""Adversary strategy interface.
+
+A corrupted node is driven by an :class:`AdversaryStrategy` instead of its
+honest protocol logic.  The strategy receives the same hooks as an honest
+node (``on_start`` / ``on_message``) plus access to the honest node object it
+replaced, so strategies can range from fully silent (crash) to "run the
+honest protocol on a poisoned input" to active equivocation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.net.message import Message
+from repro.protocols.base import Outbound, ProtocolNode
+
+
+class AdversaryStrategy:
+    """Base class for Byzantine behaviours.
+
+    The default implementation is fully silent (a crash fault), which is the
+    weakest Byzantine behaviour and the baseline every protocol must survive.
+    """
+
+    def attach(self, node: ProtocolNode) -> None:
+        """Called once with the honest node object this strategy replaces."""
+        self.node = node
+
+    def on_start(self) -> List[Outbound]:
+        """Messages the corrupted node emits at protocol start."""
+        return []
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        """Messages the corrupted node emits upon delivery of ``message``."""
+        return []
+
+    @property
+    def has_output(self) -> bool:
+        """Corrupted nodes never count towards honest termination."""
+        return True
+
+    @property
+    def output(self) -> Any:
+        """Corrupted nodes have no meaningful output."""
+        return None
+
+
+class HonestWithInput(AdversaryStrategy):
+    """Runs the honest protocol, but on an adversarially chosen input.
+
+    This is the strongest *covert* behaviour: it is indistinguishable from an
+    honest node with a bad sensor, and it is the behaviour the validity
+    analysis in the paper reasons about (faulty values participating in the
+    weighted average).  The adversarial input is injected by the test or
+    benchmark harness before the node starts.
+    """
+
+    def __init__(self, poisoned_node: ProtocolNode) -> None:
+        self.poisoned_node = poisoned_node
+
+    def attach(self, node: ProtocolNode) -> None:
+        # Keep the honest node around for bookkeeping, but drive the
+        # poisoned replica.
+        self.node = node
+
+    def on_start(self) -> List[Outbound]:
+        return self.poisoned_node.on_start()
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        return self.poisoned_node.on_message(sender, message)

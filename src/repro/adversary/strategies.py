@@ -1,0 +1,148 @@
+"""Concrete Byzantine behaviours used in tests and fault-injection benches."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.net.message import Message
+from repro.protocols.base import BROADCAST, Outbound
+from repro.adversary.base import AdversaryStrategy
+
+
+class CrashStrategy(AdversaryStrategy):
+    """A node that sends nothing at all (fail-silent)."""
+
+
+class DelayedHonestStrategy(AdversaryStrategy):
+    """Runs the honest protocol but releases each batch of messages only
+    after ``hold_back`` further deliveries, stressing protocols with stale
+    but correctly formed traffic."""
+
+    def __init__(self, hold_back: int = 3) -> None:
+        self.hold_back = max(0, hold_back)
+        self._queue: List[List[Outbound]] = []
+
+    def on_start(self) -> List[Outbound]:
+        self._queue.append(self.node.on_start())
+        return self._release()
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        self._queue.append(self.node.on_message(sender, message))
+        return self._release()
+
+    def _release(self) -> List[Outbound]:
+        released: List[Outbound] = []
+        while len(self._queue) > self.hold_back:
+            released.extend(self._queue.pop(0))
+        return released
+
+
+class EquivocatingStrategy(AdversaryStrategy):
+    """Sends conflicting binary values to different halves of the network.
+
+    For every broadcast the honest protocol would have made with a binary
+    payload, the strategy instead sends the payload to even-numbered nodes
+    and its complement to odd-numbered nodes.  Non-binary payloads are
+    forwarded unchanged.  This attacks the weak-uniformity argument of the
+    BV-broadcast primitive.
+    """
+
+    def __init__(self, flip_field: Optional[str] = None) -> None:
+        self.flip_field = flip_field
+
+    def on_start(self) -> List[Outbound]:
+        return self._equivocate(self.node.on_start())
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        return self._equivocate(self.node.on_message(sender, message))
+
+    def _flip(self, payload):
+        if isinstance(payload, bool):
+            return not payload
+        if isinstance(payload, int) and payload in (0, 1):
+            return 1 - payload
+        if isinstance(payload, dict) and self.flip_field in payload:
+            flipped = dict(payload)
+            value = flipped[self.flip_field]
+            if isinstance(value, int) and value in (0, 1):
+                flipped[self.flip_field] = 1 - value
+            return flipped
+        return payload
+
+    def _equivocate(self, outbound: List[Outbound]) -> List[Outbound]:
+        result: List[Outbound] = []
+        for destination, message in outbound:
+            if destination != BROADCAST:
+                result.append((destination, message))
+                continue
+            flipped = message.with_payload(self._flip(message.payload))
+            for node_id in range(self.node.n):
+                chosen = message if node_id % 2 == 0 else flipped
+                result.append((node_id, chosen))
+        return result
+
+
+class RandomBitStrategy(AdversaryStrategy):
+    """Replaces every binary payload with an independent random bit.
+
+    This models a completely unreliable sensor plus a faulty protocol stack;
+    the randomness is seeded so runs stay reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def on_start(self) -> List[Outbound]:
+        return self._randomise(self.node.on_start())
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        return self._randomise(self.node.on_message(sender, message))
+
+    def _randomise(self, outbound: List[Outbound]) -> List[Outbound]:
+        result: List[Outbound] = []
+        for destination, message in outbound:
+            payload = message.payload
+            if isinstance(payload, int) and payload in (0, 1):
+                payload = self._rng.randint(0, 1)
+                message = message.with_payload(payload)
+            result.append((destination, message))
+        return result
+
+
+class SpamStrategy(AdversaryStrategy):
+    """Floods the network with junk messages for unrelated protocol tags.
+
+    Honest protocols must ignore messages they cannot attribute to one of
+    their own instances; this strategy checks that they neither crash nor
+    slow down correctness-wise (the simulated clock does advance, which the
+    CPS benchmarks account for).
+    """
+
+    def __init__(self, copies: int = 2, protocols: Sequence[str] = ("junk",)) -> None:
+        self.copies = max(1, copies)
+        self.protocols = tuple(protocols)
+        self._counter = 0
+
+    def _spam(self) -> List[Outbound]:
+        result: List[Outbound] = []
+        for _ in range(self.copies):
+            self._counter += 1
+            for protocol in self.protocols:
+                message = Message(
+                    protocol=protocol,
+                    mtype="SPAM",
+                    round=self._counter,
+                    payload={"garbage": self._counter},
+                )
+                result.append((BROADCAST, message))
+        return result
+
+    def on_start(self) -> List[Outbound]:
+        return self._spam()
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        # Spam only occasionally on delivery to keep event counts bounded.
+        if self._counter < 10 * self.node.n:
+            return self._spam()
+        return []

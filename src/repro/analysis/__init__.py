@@ -1,0 +1,23 @@
+"""Parameter derivation, range analysis, analytic complexity and reporting."""
+
+from repro.analysis.parameters import DelphiParameters, derive_parameters
+from repro.analysis.range_analysis import RangeStatistics, analyse_ranges
+from repro.analysis.complexity import (
+    ComplexityEstimate,
+    delphi_complexity,
+    protocol_comparison_table,
+    oracle_comparison_table,
+    delphi_conditions_table,
+)
+
+__all__ = [
+    "ComplexityEstimate",
+    "DelphiParameters",
+    "RangeStatistics",
+    "analyse_ranges",
+    "delphi_complexity",
+    "delphi_conditions_table",
+    "derive_parameters",
+    "oracle_comparison_table",
+    "protocol_comparison_table",
+]

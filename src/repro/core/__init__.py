@@ -1,0 +1,30 @@
+"""The paper's primary contribution: the Delphi protocol and its DORA
+oracle-reporting extension."""
+
+from repro.core.checkpoints import CheckpointId, LevelState
+from repro.core.aggregation import (
+    LevelAggregate,
+    aggregate_level,
+    cross_level_output,
+    cross_level_weights,
+)
+from repro.core.bundling import Bundle, LevelBundle, decode_bundle, encode_bundle
+from repro.core.delphi import DelphiNode, DelphiOutput
+from repro.core.dora import DoraCertificate, DoraNode
+
+__all__ = [
+    "Bundle",
+    "CheckpointId",
+    "DelphiNode",
+    "DelphiOutput",
+    "DoraCertificate",
+    "DoraNode",
+    "LevelAggregate",
+    "LevelBundle",
+    "LevelState",
+    "aggregate_level",
+    "cross_level_output",
+    "cross_level_weights",
+    "decode_bundle",
+    "encode_bundle",
+]

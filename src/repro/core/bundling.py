@@ -1,0 +1,138 @@
+"""Bundled message encoding for Delphi (Section III-C).
+
+Running one BinAA instance per checkpoint naively would require a separate
+physical message per checkpoint per round.  Delphi instead bundles all of a
+node's sub-protocol traffic produced in one processing step into a single
+physical message.  Per level, a bundle carries:
+
+* ``explicit`` — sub-messages for checkpoints the sender tracks explicitly,
+  keyed by checkpoint index;
+* ``default`` — sub-messages of the sender's shared all-zero block, which
+  apply to every checkpoint the sender does *not* track explicitly;
+* ``exclude`` — the sender's current explicit checkpoint set, so the
+  receiver knows exactly which checkpoints the ``default`` entry does not
+  cover (this is what makes out-of-order delivery safe).
+
+Because the explicit set only ever contains checkpoints near some node's
+input (at most ``min(2 delta / rho_l + 2, 2n)`` per level), the encoded
+bundle stays small and the measured per-round communication reproduces the
+paper's ``O(n^2 min(delta / rho_0, n l_max))`` bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.protocols.binaa import SubMessage
+
+
+@dataclass
+class LevelBundle:
+    """One level's share of a bundled Delphi message."""
+
+    level: int
+    exclude: Tuple[int, ...] = ()
+    default: List[SubMessage] = field(default_factory=list)
+    explicit: Dict[int, List[SubMessage]] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        """Whether this level contributes nothing to the bundle."""
+        return not self.default and not self.explicit
+
+
+@dataclass
+class Bundle:
+    """A full bundled Delphi message: one :class:`LevelBundle` per level."""
+
+    levels: Dict[int, LevelBundle] = field(default_factory=dict)
+
+    def level(self, level: int, exclude: Sequence[int]) -> LevelBundle:
+        """Get (or create) the bundle entry for ``level`` with the sender's
+        current explicit set ``exclude``."""
+        if level not in self.levels:
+            self.levels[level] = LevelBundle(level=level, exclude=tuple(sorted(exclude)))
+        return self.levels[level]
+
+    def add_default(self, level: int, exclude: Sequence[int], subs: Sequence[SubMessage]) -> None:
+        """Append default-block sub-messages for ``level``."""
+        self.level(level, exclude).default.extend(subs)
+
+    def add_explicit(
+        self, level: int, exclude: Sequence[int], index: int, subs: Sequence[SubMessage]
+    ) -> None:
+        """Append explicit sub-messages for checkpoint ``index`` at ``level``."""
+        entry = self.level(level, exclude)
+        entry.explicit.setdefault(index, []).extend(subs)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the bundle carries no sub-messages at all."""
+        return all(entry.empty for entry in self.levels.values())
+
+
+def _encode_subs(subs: Sequence[SubMessage]) -> List[List]:
+    return [[mtype, round_number, value] for mtype, round_number, value in subs]
+
+
+def _decode_subs(raw: Sequence) -> List[SubMessage]:
+    subs: List[SubMessage] = []
+    for item in raw:
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise ProtocolError(f"malformed sub-message {item!r}")
+        subs.append((str(item[0]), int(item[1]), float(item[2])))
+    return subs
+
+
+def encode_bundle(bundle: Bundle) -> List[List]:
+    """Encode a bundle into the JSON-like payload carried by one message.
+
+    Layout: ``[[level, [exclude...], [default subs...],
+    [[index, [subs...]], ...]], ...]``.
+    """
+    payload: List[List] = []
+    for level in sorted(bundle.levels):
+        entry = bundle.levels[level]
+        if entry.empty:
+            continue
+        payload.append(
+            [
+                level,
+                list(entry.exclude),
+                _encode_subs(entry.default),
+                [
+                    [index, _encode_subs(subs)]
+                    for index, subs in sorted(entry.explicit.items())
+                ],
+            ]
+        )
+    return payload
+
+
+def decode_bundle(payload: Sequence) -> Bundle:
+    """Decode a bundle payload produced by :func:`encode_bundle`.
+
+    Raises
+    ------
+    ProtocolError
+        If the payload is structurally malformed (Byzantine senders may
+        craft such payloads; the caller discards the whole message).
+    """
+    if not isinstance(payload, (list, tuple)):
+        raise ProtocolError("bundle payload must be a list")
+    bundle = Bundle()
+    for raw_level in payload:
+        if not isinstance(raw_level, (list, tuple)) or len(raw_level) != 4:
+            raise ProtocolError(f"malformed level entry {raw_level!r}")
+        level = int(raw_level[0])
+        exclude = tuple(int(i) for i in raw_level[1])
+        entry = bundle.level(level, exclude)
+        entry.default.extend(_decode_subs(raw_level[2]))
+        for raw_explicit in raw_level[3]:
+            if not isinstance(raw_explicit, (list, tuple)) or len(raw_explicit) != 2:
+                raise ProtocolError(f"malformed explicit entry {raw_explicit!r}")
+            index = int(raw_explicit[0])
+            entry.explicit.setdefault(index, []).extend(_decode_subs(raw_explicit[1]))
+    return bundle

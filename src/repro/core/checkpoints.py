@@ -1,0 +1,124 @@
+"""Checkpoint and level bookkeeping for Delphi.
+
+Delphi divides the input space into *checkpoints*: at level ``l`` the
+checkpoints are the integer multiples of the separator ``rho_l = 2^l rho0``.
+Every checkpoint has its own BinAA instance, and a node inputs 1 to the two
+checkpoints closest to its own value and 0 to every other checkpoint
+(Algorithm 2, lines 10-11).
+
+Running a literal BinAA instance per checkpoint over the whole system range
+``[s, e]`` would be infeasible, and Section III-C of the paper bundles the
+messages of the (overwhelmingly many) all-zero checkpoints together.  This
+module implements the state-level counterpart of that optimisation:
+
+* checkpoints a node has explicit information about (its own 1-inputs, plus
+  any checkpoint another node has diverged on) each get their own
+  :class:`~repro.protocols.binaa.BinAAEngine`;
+* all remaining checkpoints at a level share a single *default engine* whose
+  input is 0.  Because every honest node inputs 0 to those checkpoints, the
+  shared engine's history is identical to what each individual instance
+  would have seen, so sharing is lossless.  When divergent information about
+  a specific checkpoint arrives, that checkpoint is *split*: the default
+  engine is cloned (carrying the full shared history) and becomes the
+  checkpoint's explicit engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.protocols.binaa import BinAAEngine, SubMessage
+
+#: A checkpoint is identified by its level and its integer index ``k``
+#: (the checkpoint's value is ``k * rho_l``).
+CheckpointId = Tuple[int, int]
+
+
+@dataclass
+class LevelState:
+    """All BinAA state a single node holds for one Delphi level.
+
+    Attributes
+    ----------
+    level:
+        Level index ``l``.
+    separator:
+        Checkpoint spacing ``rho_l`` at this level.
+    default_engine:
+        The shared engine representing every checkpoint without explicit
+        state (all honest inputs 0).
+    explicit:
+        Engines for checkpoints with explicit state, keyed by checkpoint
+        index.
+    own_checkpoints:
+        The indices this node input 1 to.
+    """
+
+    level: int
+    separator: float
+    default_engine: BinAAEngine
+    explicit: Dict[int, BinAAEngine] = field(default_factory=dict)
+    own_checkpoints: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    def is_explicit(self, index: int) -> bool:
+        """Whether checkpoint ``index`` has its own engine at this node."""
+        return index in self.explicit
+
+    def explicit_indices(self) -> List[int]:
+        """Sorted list of explicit checkpoint indices."""
+        return sorted(self.explicit)
+
+    def split(self, index: int) -> BinAAEngine:
+        """Split checkpoint ``index`` out of the default block.
+
+        The new explicit engine is a clone of the default engine, which
+        carries the full message history the checkpoint shared with the
+        default block up to this point.  Splitting an already explicit
+        checkpoint is an error (callers check first).
+        """
+        if index in self.explicit:
+            raise ProtocolError(
+                f"checkpoint {index} at level {self.level} is already explicit"
+            )
+        engine = self.default_engine.clone()
+        self.explicit[index] = engine
+        return engine
+
+    def ensure_explicit(self, index: int) -> BinAAEngine:
+        """Return the explicit engine for ``index``, splitting it if needed."""
+        if index in self.explicit:
+            return self.explicit[index]
+        return self.split(index)
+
+    # ------------------------------------------------------------------
+    def all_engines(self) -> Iterable[BinAAEngine]:
+        """Every engine at this level (default first, then explicit)."""
+        yield self.default_engine
+        for index in sorted(self.explicit):
+            yield self.explicit[index]
+
+    @property
+    def terminated(self) -> bool:
+        """Whether every engine at this level has completed all rounds."""
+        return all(engine.has_output for engine in self.all_engines())
+
+    def checkpoint_weights(self) -> Dict[int, float]:
+        """Final weights of the explicit checkpoints (only meaningful once
+        :attr:`terminated` is true)."""
+        weights: Dict[int, float] = {}
+        for index, engine in self.explicit.items():
+            if engine.output is not None:
+                weights[index] = engine.output
+        return weights
+
+    @property
+    def default_weight(self) -> Optional[float]:
+        """Final weight of the shared default block (0 in every honest run)."""
+        return self.default_engine.output
+
+    def checkpoint_value(self, index: int) -> float:
+        """Value ``mu^l_k = k * rho_l`` of checkpoint ``index``."""
+        return index * self.separator

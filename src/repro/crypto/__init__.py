@@ -1,0 +1,25 @@
+"""Cryptographic substrates: HMAC channels, hashing, simulated signatures
+and common coins."""
+
+from repro.crypto.hashing import hash_bytes, hash_hex, hash_value
+from repro.crypto.hmac_channel import AuthenticatedChannel, ChannelKeyring
+from repro.crypto.signatures import (
+    AggregateSignature,
+    SignatureScheme,
+    SimulatedSigner,
+    ThresholdSignatureScheme,
+)
+from repro.crypto.coin import CommonCoin
+
+__all__ = [
+    "AggregateSignature",
+    "AuthenticatedChannel",
+    "ChannelKeyring",
+    "CommonCoin",
+    "SignatureScheme",
+    "SimulatedSigner",
+    "ThresholdSignatureScheme",
+    "hash_bytes",
+    "hash_hex",
+    "hash_value",
+]

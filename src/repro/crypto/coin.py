@@ -1,0 +1,69 @@
+"""Common-coin simulation.
+
+Randomised baselines (binary BA inside BKR-style ACS, FIN's proposal
+election) require a *common coin*: an unpredictable random value that all
+honest nodes observe identically once ``t + 1`` of them have revealed their
+shares.  Production implementations derive the coin from threshold BLS
+signatures; here the coin value is derived by hashing the (simulated)
+combined threshold signature, which preserves the two properties that matter
+for reproducing the evaluation — agreement on the coin value and the *cost*
+of producing it (one share per node plus a combine, each charged as an
+expensive crypto operation by the compute model).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.signatures import ThresholdShare, ThresholdSignatureScheme
+
+
+class CommonCoin:
+    """A sequence of common coins indexed by an arbitrary tag.
+
+    Parameters
+    ----------
+    num_nodes, threshold:
+        Size of the system and number of shares needed to reconstruct a coin
+        (usually ``t + 1``).
+    instance:
+        Disambiguates independent coin sequences (e.g. one per ACS instance).
+    """
+
+    def __init__(self, num_nodes: int, threshold: int, instance: str = "coin") -> None:
+        self.scheme = ThresholdSignatureScheme(
+            num_nodes=num_nodes,
+            threshold=threshold,
+            master_secret=f"repro-coin-{instance}".encode("utf-8"),
+        )
+        self.instance = instance
+        self.num_nodes = num_nodes
+        self.threshold = threshold
+
+    def share(self, node_id: int, tag: Any) -> ThresholdShare:
+        """Node ``node_id``'s coin share for coin ``tag``."""
+        return self.scheme.share(node_id, {"coin": self.instance, "tag": tag})
+
+    def verify_share(self, tag: Any, share: ThresholdShare) -> bool:
+        """Whether a coin share is valid for coin ``tag``."""
+        return self.scheme.verify_share({"coin": self.instance, "tag": tag}, share)
+
+    def combine(self, tag: Any, shares: Iterable[ThresholdShare]) -> int:
+        """Combine shares for coin ``tag`` into a coin value in ``{0, 1}``."""
+        signature = self.scheme.combine({"coin": self.instance, "tag": tag}, shares)
+        return hash_bytes(signature)[0] & 1
+
+    def combine_value(self, tag: Any, shares: Iterable[ThresholdShare], modulus: int) -> int:
+        """Combine shares into a coin value in ``[0, modulus)`` (leader election)."""
+        signature = self.scheme.combine({"coin": self.instance, "tag": tag}, shares)
+        return int.from_bytes(hash_bytes(signature)[:8], "big") % modulus
+
+    @property
+    def operation_counts(self) -> Dict[str, int]:
+        """Counters of expensive operations performed for this coin sequence."""
+        return {
+            "shares": self.scheme.share_count,
+            "combines": self.scheme.combine_count,
+            "verifies": self.scheme.verify_count,
+        }

@@ -1,0 +1,33 @@
+"""Input distributions, extreme-value theory and distribution fitting."""
+
+from repro.distributions.base import InputDistribution
+from repro.distributions.thin_tailed import (
+    GammaInputs,
+    LognormalInputs,
+    NormalInputs,
+)
+from repro.distributions.fat_tailed import FrechetInputs, LoggammaInputs, ParetoInputs
+from repro.distributions.extreme_value import (
+    delta_bound,
+    expected_range,
+    frechet_range_quantile,
+    gumbel_range_quantile,
+)
+from repro.distributions.fitting import FitResult, fit_distributions, best_fit
+
+__all__ = [
+    "FitResult",
+    "FrechetInputs",
+    "GammaInputs",
+    "InputDistribution",
+    "LoggammaInputs",
+    "LognormalInputs",
+    "NormalInputs",
+    "ParetoInputs",
+    "best_fit",
+    "delta_bound",
+    "expected_range",
+    "fit_distributions",
+    "frechet_range_quantile",
+    "gumbel_range_quantile",
+]

@@ -1,0 +1,73 @@
+"""Common interface for honest-input distributions.
+
+The paper's central assumption is that honest inputs are independent samples
+from a (usually thin-tailed) distribution around the true physical value.
+Every concrete distribution in this package implements
+:class:`InputDistribution`: it can draw one round of ``n`` node measurements
+and report the statistics the parameterisation analysis needs (mean, scale,
+and the tail classification that decides how ``Delta`` grows with ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class InputDistribution:
+    """Base class for honest-input models.
+
+    Subclasses set :attr:`tail` to ``"thin"`` or ``"fat"`` and implement
+    :meth:`_draw` returning an array of samples of the *measurement error*
+    around the true value.
+    """
+
+    #: Either ``"thin"`` (Normal/Gamma/Lognormal — Gumbel-distributed range)
+    #: or ``"fat"`` (Pareto/Loggamma — Frechet-distributed range).
+    tail: str = "thin"
+
+    def __init__(self, true_value: float = 0.0, seed: int = 0) -> None:
+        self.true_value = float(true_value)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _draw(self, count: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def sample_inputs(self, count: int) -> List[float]:
+        """Draw ``count`` honest node measurements for one protocol round."""
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        errors = self._draw(count)
+        return [float(self.true_value + error) for error in errors]
+
+    def sample_ranges(self, count: int, rounds: int) -> List[float]:
+        """Observed range ``delta = max - min`` across ``rounds`` independent
+        rounds of ``count`` measurements each (what Fig. 4 histograms)."""
+        if rounds <= 0:
+            raise ConfigurationError("rounds must be positive")
+        ranges: List[float] = []
+        for _ in range(rounds):
+            values = self.sample_inputs(count)
+            ranges.append(max(values) - min(values))
+        return ranges
+
+    # ------------------------------------------------------------------
+    @property
+    def scale(self) -> float:
+        """Characteristic spread of a single measurement (used to derive
+        ``Delta``); subclasses override with their natural scale parameter."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Human-readable parameter summary for reports."""
+        return {
+            "distribution": type(self).__name__,
+            "true_value": self.true_value,
+            "tail": self.tail,
+            "scale": self.scale,
+        }

@@ -1,0 +1,99 @@
+"""Fat-tailed input distributions: Pareto, Loggamma, Frechet.
+
+Asset prices (the Bitcoin oracle workload) are better modelled with fatter
+tails; the paper fits a Frechet distribution with shape ``alpha = 4.41`` and
+scale ``29.3`` to the observed per-minute inter-exchange price range, and
+notes that for Pareto/Loggamma inputs the range follows a Frechet law whose
+mean grows as ``O(n^(1/alpha))``, making ``Delta = O(lambda n^(1/alpha))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import InputDistribution
+from repro.errors import ConfigurationError
+
+
+class ParetoInputs(InputDistribution):
+    """Measurement error ``~ Pareto(alpha)`` scaled, minus its median."""
+
+    tail = "fat"
+
+    def __init__(
+        self, alpha: float, scale: float, true_value: float = 0.0, seed: int = 0
+    ) -> None:
+        super().__init__(true_value=true_value, seed=seed)
+        if alpha <= 0 or scale <= 0:
+            raise ConfigurationError("alpha and scale must be positive")
+        self.alpha = float(alpha)
+        self.pareto_scale = float(scale)
+
+    def _draw(self, count: int) -> np.ndarray:
+        samples = (self._rng.pareto(self.alpha, size=count) + 1.0) * self.pareto_scale
+        median = self.pareto_scale * (2.0 ** (1.0 / self.alpha))
+        return samples - median
+
+    @property
+    def scale(self) -> float:
+        return self.pareto_scale
+
+
+class LoggammaInputs(InputDistribution):
+    """Measurement error whose exponential is Gamma distributed.
+
+    The paper identifies the Bitcoin price inputs as Loggamma-distributed
+    (their range fits a Frechet law).  The implementation draws
+    ``exp(G) - exp(E[G])`` with ``G ~ Gamma(shape, scale)``, which has the
+    required fat right tail.
+    """
+
+    tail = "fat"
+
+    def __init__(
+        self, shape: float, scale: float, true_value: float = 0.0, seed: int = 0
+    ) -> None:
+        super().__init__(true_value=true_value, seed=seed)
+        if shape <= 0 or scale <= 0:
+            raise ConfigurationError("shape and scale must be positive")
+        self.shape = float(shape)
+        self.gamma_scale = float(scale)
+
+    def _draw(self, count: int) -> np.ndarray:
+        gamma = self._rng.gamma(self.shape, self.gamma_scale, size=count)
+        return np.exp(gamma) - np.exp(self.shape * self.gamma_scale)
+
+    @property
+    def scale(self) -> float:
+        return float(np.exp(self.shape * self.gamma_scale))
+
+
+class FrechetInputs(InputDistribution):
+    """Samples whose *range* behaviour matches a Frechet(alpha, scale) law.
+
+    Fig. 4's synthetic reproduction needs per-round ranges distributed as the
+    Frechet fit the paper reports (``alpha = 4.41``, ``scale = 29.3``).  A
+    convenient generator with that extreme-value behaviour is the Frechet
+    distribution itself, centred on its median.
+    """
+
+    tail = "fat"
+
+    def __init__(
+        self, alpha: float, frechet_scale: float, true_value: float = 0.0, seed: int = 0
+    ) -> None:
+        super().__init__(true_value=true_value, seed=seed)
+        if alpha <= 0 or frechet_scale <= 0:
+            raise ConfigurationError("alpha and scale must be positive")
+        self.alpha = float(alpha)
+        self.frechet_scale = float(frechet_scale)
+
+    def _draw(self, count: int) -> np.ndarray:
+        uniform = self._rng.uniform(1e-12, 1.0, size=count)
+        samples = self.frechet_scale * (-np.log(uniform)) ** (-1.0 / self.alpha)
+        median = self.frechet_scale * (np.log(2.0)) ** (-1.0 / self.alpha)
+        return samples - median
+
+    @property
+    def scale(self) -> float:
+        return self.frechet_scale

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Delphi reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package-specific failures without masking programming
+errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or testbed was configured with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine received input it cannot process."""
+
+
+class ProtocolViolation(ProtocolError):
+    """A peer sent a message that violates the protocol (possible Byzantine
+    behaviour detected by an honest node)."""
+
+
+class AuthenticationError(ReproError):
+    """An authenticated channel rejected a message with an invalid tag."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class NetworkError(ReproError):
+    """The network substrate was asked to do something impossible, such as
+    delivering to an unknown node."""
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis (fitting, extreme-value estimation) failed."""

@@ -1,0 +1,32 @@
+"""Network substrate: messages, authenticated channels, latency and
+bandwidth models used by the simulated asynchronous network."""
+
+from repro.net.message import Envelope, Message, estimate_size_bits
+from repro.net.latency import (
+    AWS_REGIONS,
+    ConstantLatency,
+    GeoLatencyModel,
+    LatencyModel,
+    UniformLatency,
+    aws_latency_model,
+    cps_latency_model,
+)
+from repro.net.bandwidth import BandwidthAccountant, BandwidthModel
+from repro.net.network import AsynchronousNetwork, DeliveryPolicy
+
+__all__ = [
+    "AWS_REGIONS",
+    "AsynchronousNetwork",
+    "BandwidthAccountant",
+    "BandwidthModel",
+    "ConstantLatency",
+    "DeliveryPolicy",
+    "Envelope",
+    "GeoLatencyModel",
+    "LatencyModel",
+    "Message",
+    "UniformLatency",
+    "aws_latency_model",
+    "cps_latency_model",
+    "estimate_size_bits",
+]

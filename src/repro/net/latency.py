@@ -1,0 +1,221 @@
+"""Latency models for the simulated asynchronous network.
+
+The paper evaluates Delphi in two environments:
+
+* a geo-distributed AWS testbed with nodes spread equally across eight
+  regions (N. Virginia, Ohio, N. California, Oregon, Canada, Ireland,
+  Singapore and Tokyo), where round-trip times between regions dominate
+  protocol runtime, and
+* a CPS testbed of Raspberry Pi devices on a single LAN switch, where
+  network latency is small but bandwidth and CPU are constrained.
+
+Latency models map a ``(sender, destination)`` pair to a one-way delay in
+seconds, optionally with jitter drawn from a seeded random stream so that
+simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: The eight AWS regions used in the paper's geo-distributed testbed.
+AWS_REGIONS: Tuple[str, ...] = (
+    "us-east-1",       # N. Virginia
+    "us-east-2",       # Ohio
+    "us-west-1",       # N. California
+    "us-west-2",       # Oregon
+    "ca-central-1",    # Canada
+    "eu-west-1",       # Ireland
+    "ap-southeast-1",  # Singapore
+    "ap-northeast-1",  # Tokyo
+)
+
+#: Approximate one-way inter-region latencies in milliseconds, derived from
+#: published AWS inter-region RTT measurements (RTT / 2).  Keys are ordered
+#: pairs of region names; the matrix is symmetric and the diagonal is the
+#: intra-region latency.
+_AWS_ONE_WAY_MS: Dict[Tuple[str, str], float] = {}
+
+
+def _fill_aws_matrix() -> None:
+    """Populate the AWS one-way latency matrix."""
+    rtt_ms = {
+        ("us-east-1", "us-east-1"): 1.0,
+        ("us-east-1", "us-east-2"): 12.0,
+        ("us-east-1", "us-west-1"): 62.0,
+        ("us-east-1", "us-west-2"): 68.0,
+        ("us-east-1", "ca-central-1"): 14.0,
+        ("us-east-1", "eu-west-1"): 68.0,
+        ("us-east-1", "ap-southeast-1"): 215.0,
+        ("us-east-1", "ap-northeast-1"): 145.0,
+        ("us-east-2", "us-east-2"): 1.0,
+        ("us-east-2", "us-west-1"): 52.0,
+        ("us-east-2", "us-west-2"): 58.0,
+        ("us-east-2", "ca-central-1"): 22.0,
+        ("us-east-2", "eu-west-1"): 78.0,
+        ("us-east-2", "ap-southeast-1"): 205.0,
+        ("us-east-2", "ap-northeast-1"): 135.0,
+        ("us-west-1", "us-west-1"): 1.0,
+        ("us-west-1", "us-west-2"): 22.0,
+        ("us-west-1", "ca-central-1"): 78.0,
+        ("us-west-1", "eu-west-1"): 130.0,
+        ("us-west-1", "ap-southeast-1"): 170.0,
+        ("us-west-1", "ap-northeast-1"): 110.0,
+        ("us-west-2", "us-west-2"): 1.0,
+        ("us-west-2", "ca-central-1"): 60.0,
+        ("us-west-2", "eu-west-1"): 125.0,
+        ("us-west-2", "ap-southeast-1"): 165.0,
+        ("us-west-2", "ap-northeast-1"): 98.0,
+        ("ca-central-1", "ca-central-1"): 1.0,
+        ("ca-central-1", "eu-west-1"): 72.0,
+        ("ca-central-1", "ap-southeast-1"): 210.0,
+        ("ca-central-1", "ap-northeast-1"): 150.0,
+        ("eu-west-1", "eu-west-1"): 1.0,
+        ("eu-west-1", "ap-southeast-1"): 175.0,
+        ("eu-west-1", "ap-northeast-1"): 205.0,
+        ("ap-southeast-1", "ap-southeast-1"): 1.0,
+        ("ap-southeast-1", "ap-northeast-1"): 70.0,
+        ("ap-northeast-1", "ap-northeast-1"): 1.0,
+    }
+    for (a, b), rtt in rtt_ms.items():
+        one_way = rtt / 2.0
+        _AWS_ONE_WAY_MS[(a, b)] = one_way
+        _AWS_ONE_WAY_MS[(b, a)] = one_way
+
+
+_fill_aws_matrix()
+
+
+class LatencyModel:
+    """Base class for latency models.
+
+    Subclasses implement :meth:`delay` returning a one-way delay in seconds
+    for a message from ``sender`` to ``destination``.
+    """
+
+    def delay(self, sender: int, destination: int) -> float:
+        """One-way delay in seconds for a message ``sender -> destination``."""
+        raise NotImplementedError
+
+    def expected_delay(self, sender: int, destination: int) -> float:
+        """Expected (jitter-free) one-way delay; defaults to :meth:`delay`."""
+        return self.delay(sender, destination)
+
+
+@dataclass
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``seconds`` to arrive."""
+
+    seconds: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigurationError("latency must be non-negative")
+
+    def delay(self, sender: int, destination: int) -> float:
+        return self.seconds
+
+
+@dataclass
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]`` with a seeded stream."""
+
+    low: float = 0.001
+    high: float = 0.010
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ConfigurationError(
+                "UniformLatency requires 0 <= low <= high, got "
+                f"low={self.low}, high={self.high}"
+            )
+        self._rng = random.Random(self.seed)
+
+    def delay(self, sender: int, destination: int) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def expected_delay(self, sender: int, destination: int) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass
+class GeoLatencyModel(LatencyModel):
+    """Latency model for nodes assigned to named regions.
+
+    Each node is mapped to a region (round-robin by default, matching the
+    paper's "distributed equally across 8 regions"), and the delay between
+    two nodes is the inter-region one-way latency plus multiplicative jitter.
+    """
+
+    regions: Sequence[str]
+    one_way_ms: Dict[Tuple[str, str], float]
+    num_nodes: int
+    jitter_fraction: float = 0.10
+    seed: int = 0
+    assignment: Optional[List[str]] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if not self.regions:
+            raise ConfigurationError("at least one region is required")
+        if self.assignment is None:
+            self.assignment = [
+                self.regions[i % len(self.regions)] for i in range(self.num_nodes)
+            ]
+        if len(self.assignment) != self.num_nodes:
+            raise ConfigurationError(
+                "assignment length must equal num_nodes "
+                f"({len(self.assignment)} != {self.num_nodes})"
+            )
+        self._rng = random.Random(self.seed)
+
+    def region_of(self, node: int) -> str:
+        """Region name the given node is assigned to."""
+        return self.assignment[node % self.num_nodes]
+
+    def base_delay(self, sender: int, destination: int) -> float:
+        """Jitter-free one-way delay in seconds between two nodes."""
+        key = (self.region_of(sender), self.region_of(destination))
+        if key not in self.one_way_ms:
+            raise ConfigurationError(f"no latency entry for region pair {key}")
+        return self.one_way_ms[key] / 1000.0
+
+    def delay(self, sender: int, destination: int) -> float:
+        base = self.base_delay(sender, destination)
+        jitter = self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return max(0.0, base * (1.0 + jitter))
+
+    def expected_delay(self, sender: int, destination: int) -> float:
+        return self.base_delay(sender, destination)
+
+
+def aws_latency_model(num_nodes: int, seed: int = 0) -> GeoLatencyModel:
+    """Latency model reproducing the paper's geo-distributed AWS testbed.
+
+    Nodes are assigned round-robin to the eight regions of
+    :data:`AWS_REGIONS`, as the paper distributes nodes equally.
+    """
+    return GeoLatencyModel(
+        regions=AWS_REGIONS,
+        one_way_ms=dict(_AWS_ONE_WAY_MS),
+        num_nodes=num_nodes,
+        seed=seed,
+    )
+
+
+def cps_latency_model(num_nodes: int, seed: int = 0) -> UniformLatency:
+    """Latency model for the Raspberry-Pi CPS testbed (single LAN switch).
+
+    One-way delays on a switched LAN are sub-millisecond; the CPS testbed's
+    runtime is instead dominated by bandwidth and CPU, which are modelled by
+    :class:`repro.testbed.cps.CpsTestbed`.
+    """
+    return UniformLatency(low=0.0002, high=0.0015, seed=seed)

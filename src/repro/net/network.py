@@ -1,0 +1,128 @@
+"""The simulated asynchronous network.
+
+The network computes, for each outgoing envelope, when it will be delivered:
+``delivery = departure + propagation``, where departure accounts for the
+sender's uplink bandwidth (queueing + transmission delay) and propagation is
+drawn from the latency model.  An adversarial :class:`DeliveryPolicy` can add
+further delay to messages between honest nodes, which models the paper's
+asynchronous adversary who "can arbitrarily delay and reorder messages but
+cannot drop them".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NetworkError
+from repro.net.bandwidth import BandwidthAccountant, BandwidthModel
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Envelope, MessageTrace
+
+
+@dataclass
+class DeliveryPolicy:
+    """Adversarial control over message delivery between honest nodes.
+
+    The policy never drops messages (the model forbids it) but may add
+    bounded extra delay and randomise tie-breaking between messages that
+    would otherwise arrive at the same instant.
+
+    Attributes
+    ----------
+    max_extra_delay:
+        Upper bound, in seconds, of adversarial delay added to each message.
+    reorder:
+        When true, ties between simultaneous deliveries are broken randomly
+        (still deterministically for a fixed seed), exercising protocols
+        under message reordering.
+    target_fraction:
+        Fraction of messages the adversary chooses to slow down; 1.0 delays
+        every message, 0.0 none.
+    seed:
+        Seed of the policy's private random stream.
+    """
+
+    max_extra_delay: float = 0.0
+    reorder: bool = True
+    target_fraction: float = 1.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_extra_delay < 0:
+            raise NetworkError("max_extra_delay must be non-negative")
+        if not 0.0 <= self.target_fraction <= 1.0:
+            raise NetworkError("target_fraction must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def extra_delay(self, envelope: Envelope) -> float:
+        """Adversarial delay (seconds) added to this envelope."""
+        if self.max_extra_delay <= 0.0:
+            return 0.0
+        if self._rng.random() > self.target_fraction:
+            return 0.0
+        return self._rng.uniform(0.0, self.max_extra_delay)
+
+    def tiebreak(self) -> float:
+        """Tie-breaking priority for simultaneous deliveries."""
+        if self.reorder:
+            return self._rng.random()
+        return 0.0
+
+
+class AsynchronousNetwork:
+    """Computes delivery times and accounts for traffic.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes attached to the network.
+    latency:
+        Propagation-latency model; defaults to a 1 ms constant delay.
+    bandwidth:
+        Per-node uplink bandwidth model; defaults to unlimited.
+    policy:
+        Adversarial delivery policy; defaults to benign (no extra delay).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        latency: Optional[LatencyModel] = None,
+        bandwidth: Optional[BandwidthModel] = None,
+        policy: Optional[DeliveryPolicy] = None,
+    ) -> None:
+        if num_nodes <= 0:
+            raise NetworkError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+        self.latency = latency if latency is not None else ConstantLatency(0.001)
+        self.accountant = BandwidthAccountant(
+            model=bandwidth if bandwidth is not None else BandwidthModel()
+        )
+        self.policy = policy if policy is not None else DeliveryPolicy(reorder=True)
+
+    def validate_destination(self, destination: int) -> None:
+        """Raise :class:`NetworkError` if the destination node is unknown."""
+        if not 0 <= destination < self.num_nodes:
+            raise NetworkError(
+                f"destination {destination} outside [0, {self.num_nodes})"
+            )
+
+    def delivery_time(self, envelope: Envelope, now: float) -> float:
+        """Absolute simulated time at which ``envelope`` reaches its destination."""
+        self.validate_destination(envelope.destination)
+        departure = self.accountant.send(envelope, now)
+        propagation = self.latency.delay(envelope.sender, envelope.destination)
+        extra = self.policy.extra_delay(envelope)
+        return departure + propagation + extra
+
+    @property
+    def trace(self) -> MessageTrace:
+        """Aggregated traffic statistics for everything sent so far."""
+        return self.accountant.trace
+
+    def reset(self) -> None:
+        """Clear traffic statistics and uplink occupancy."""
+        self.accountant.reset()

@@ -1,0 +1,7 @@
+"""Oracle-network application layer: the SMR (blockchain) channel and the
+end-to-end price-reporting pipeline."""
+
+from repro.oracle.smr import SMRChannel, SMREntry
+from repro.oracle.network import OracleNetwork, OracleReport
+
+__all__ = ["OracleNetwork", "OracleReport", "SMRChannel", "SMREntry"]

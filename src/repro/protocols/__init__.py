@@ -1,0 +1,17 @@
+"""Agreement protocol building blocks and baseline protocols."""
+
+from repro.protocols.base import BROADCAST, Outbound, ProtocolNode
+from repro.protocols.bv_broadcast import BVBroadcastNode
+from repro.protocols.binaa import BinAANode
+from repro.protocols.rbc import ReliableBroadcastNode
+from repro.protocols.binary_ba import BinaryBANode
+
+__all__ = [
+    "BROADCAST",
+    "BVBroadcastNode",
+    "BinAANode",
+    "BinaryBANode",
+    "Outbound",
+    "ProtocolNode",
+    "ReliableBroadcastNode",
+]

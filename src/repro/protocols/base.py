@@ -1,0 +1,197 @@
+"""The protocol-node abstraction shared by every protocol in this package.
+
+A :class:`ProtocolNode` is a pure state machine.  It never touches the
+network directly: its hooks return lists of :class:`Outbound` instructions
+(``(destination, message)`` pairs, where the destination may be the special
+constant :data:`BROADCAST`), and the runtime decides when each message is
+delivered.  This inversion of control is what allows the same protocol code
+to run under the deterministic simulator, the asyncio runtime and unit tests
+that poke individual transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+
+#: Destination constant meaning "send to every node, including myself".
+BROADCAST = -1
+
+#: One outbound instruction: destination node id (or BROADCAST) and message.
+Outbound = Tuple[int, Message]
+
+
+def quorum_threshold(n: int, t: int) -> int:
+    """The ``n - t`` quorum size used throughout asynchronous BFT protocols."""
+    return n - t
+
+
+def byzantine_bound(n: int) -> int:
+    """The maximum number of Byzantine faults tolerated for ``n`` nodes
+    (``t < n/3``)."""
+    return (n - 1) // 3
+
+
+def validate_resilience(n: int, t: int, factor: int = 3) -> None:
+    """Check the standard ``n > factor * t`` resilience condition.
+
+    Raises
+    ------
+    ConfigurationError
+        If the condition is violated or parameters are nonsensical.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if t < 0:
+        raise ConfigurationError(f"t must be non-negative, got {t}")
+    if n <= factor * t:
+        raise ConfigurationError(
+            f"resilience violated: need n > {factor}*t, got n={n}, t={t}"
+        )
+
+
+class ProtocolNode:
+    """Base class for message-driven protocol state machines.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identifier in ``{0, ..., n-1}``.
+    n:
+        Total number of nodes in the system.
+    t:
+        Maximum number of Byzantine nodes tolerated.
+    """
+
+    #: Resilience factor checked at construction (``n > factor * t``).
+    resilience_factor = 3
+
+    def __init__(self, node_id: int, n: int, t: int) -> None:
+        validate_resilience(n, t, self.resilience_factor)
+        if not 0 <= node_id < n:
+            raise ConfigurationError(
+                f"node_id must be in [0, {n}), got {node_id}"
+            )
+        self.node_id = node_id
+        self.n = n
+        self.t = t
+        self._output: Any = None
+        self._has_output = False
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by concrete protocols
+    # ------------------------------------------------------------------
+    def on_start(self) -> List[Outbound]:
+        """Called once when the protocol starts; returns initial messages."""
+        return []
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        """Called for each delivered message; returns resulting messages."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Output handling
+    # ------------------------------------------------------------------
+    @property
+    def output(self) -> Any:
+        """The node's decided output, or ``None`` if it has not decided."""
+        return self._output
+
+    @property
+    def has_output(self) -> bool:
+        """Whether the node has produced its final output."""
+        return self._has_output
+
+    def _decide(self, value: Any) -> None:
+        """Record the node's final output (idempotent: first decision wins)."""
+        if not self._has_output:
+            self._output = value
+            self._has_output = True
+
+    # ------------------------------------------------------------------
+    # Convenience helpers for building outbound message lists
+    # ------------------------------------------------------------------
+    def broadcast(self, message: Message) -> Outbound:
+        """Outbound instruction that sends ``message`` to every node."""
+        return (BROADCAST, message)
+
+    def send(self, destination: int, message: Message) -> Outbound:
+        """Outbound instruction that sends ``message`` to one node."""
+        if not 0 <= destination < self.n:
+            raise ConfigurationError(
+                f"destination must be in [0, {self.n}), got {destination}"
+            )
+        return (destination, message)
+
+    @property
+    def quorum(self) -> int:
+        """The ``n - t`` quorum size for this configuration."""
+        return quorum_threshold(self.n, self.t)
+
+
+@dataclass
+class CompositeOutbox:
+    """Accumulates outbound messages from nested sub-protocol invocations.
+
+    Composite protocols such as Delphi run many :class:`ProtocolNode`
+    sub-instances (one BinAA per checkpoint) and need to collect and re-tag
+    the messages each sub-instance emits.  The outbox keeps the code for
+    that bookkeeping in one place.
+    """
+
+    items: List[Outbound]
+
+    def __init__(self) -> None:
+        self.items = []
+
+    def extend(self, outbound: Iterable[Outbound]) -> None:
+        """Append a batch of outbound instructions."""
+        self.items.extend(outbound)
+
+    def extend_wrapped(
+        self, outbound: Iterable[Outbound], wrap: "MessageWrapper"
+    ) -> None:
+        """Append instructions after rewriting each message through ``wrap``."""
+        for destination, message in outbound:
+            self.items.append((destination, wrap(message)))
+
+    def drain(self) -> List[Outbound]:
+        """Return and clear the accumulated instructions."""
+        items, self.items = self.items, []
+        return items
+
+
+class MessageWrapper:
+    """Callable that re-tags a sub-protocol message with a parent namespace.
+
+    A Delphi node running BinAA instance ``(level=2, checkpoint=17)`` wraps
+    every message that instance emits so that the receiving Delphi node can
+    route it back to its own instance ``(2, 17)``.
+    """
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
+
+    def __call__(self, message: Message) -> Message:
+        return Message(
+            protocol=f"{self.namespace}/{message.protocol}",
+            mtype=message.mtype,
+            round=message.round,
+            payload=message.payload,
+        )
+
+    def unwrap(self, message: Message) -> Optional[Message]:
+        """Strip this wrapper's namespace, or return ``None`` if it does not
+        match."""
+        prefix = f"{self.namespace}/"
+        if not message.protocol.startswith(prefix):
+            return None
+        return Message(
+            protocol=message.protocol[len(prefix):],
+            mtype=message.mtype,
+            round=message.round,
+            payload=message.payload,
+        )

@@ -1,0 +1,13 @@
+"""Baseline protocols the paper compares Delphi against."""
+
+from repro.protocols.baselines.abraham_aaa import AbrahamAAANode
+from repro.protocols.baselines.dolev_aaa import DolevAAANode
+from repro.protocols.baselines.fin_acs import FinAcsNode
+from repro.protocols.baselines.hbbft_acs import HoneyBadgerAcsNode
+
+__all__ = [
+    "AbrahamAAANode",
+    "DolevAAANode",
+    "FinAcsNode",
+    "HoneyBadgerAcsNode",
+]

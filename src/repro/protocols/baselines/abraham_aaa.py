@@ -1,0 +1,169 @@
+"""Abraham, Amit and Dolev (2004) asynchronous approximate agreement.
+
+This is the baseline the paper calls "Abraham et al.", the best prior
+asynchronous approximate-agreement protocol at optimal resilience
+``n = 3t + 1``.  It proceeds in rounds; in every round each node reliably
+broadcasts its current estimate, collects ``n - t`` delivered estimates, and
+updates its estimate to the *trimmed mean* of the collected multiset (drop
+the ``t`` smallest and ``t`` largest, average the rest).  Reliable broadcast
+prevents equivocation, which is what makes the trimmed mean safe at
+``n = 3t + 1`` — and is also what drives the protocol's ``O(n^3)``
+per-round communication, the inefficiency Delphi is designed to remove.
+
+The range of honest estimates contracts by a constant factor per round, so
+``ceil(log2(delta_max / epsilon))`` rounds suffice to reach
+``epsilon``-agreement; ``delta_max`` is the configured upper bound on the
+honest input range (the same ``Delta`` Delphi uses).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.protocols.base import Outbound, ProtocolNode
+from repro.protocols.rbc import RBCEngine, RbcSubMessage
+
+PROTOCOL = "abraham"
+
+
+def trimmed_mean(values: List[float], trim: int) -> float:
+    """Average of ``values`` after removing the ``trim`` smallest and largest.
+
+    Raises
+    ------
+    ConfigurationError
+        If fewer than ``2 * trim + 1`` values are supplied.
+    """
+    if len(values) <= 2 * trim:
+        raise ConfigurationError(
+            f"need more than {2 * trim} values to trim {trim} from each side, "
+            f"got {len(values)}"
+        )
+    ordered = sorted(values)
+    kept = ordered[trim: len(ordered) - trim] if trim else ordered
+    return sum(kept) / len(kept)
+
+
+def rounds_for_range(delta_max: float, epsilon: float) -> int:
+    """Rounds needed to shrink a range of ``delta_max`` below ``epsilon``."""
+    if delta_max <= 0 or epsilon <= 0:
+        raise ConfigurationError("delta_max and epsilon must be positive")
+    if delta_max <= epsilon:
+        return 1
+    return max(1, int(math.ceil(math.log2(delta_max / epsilon))))
+
+
+class AbrahamAAANode(ProtocolNode):
+    """One node of the Abraham et al. approximate-agreement baseline.
+
+    Parameters
+    ----------
+    node_id, n, t:
+        System parameters (``n > 3t``).
+    value:
+        The node's real-valued input.
+    epsilon:
+        Target agreement distance.
+    delta_max:
+        Upper bound on the honest input range, used to size the round count.
+    rounds:
+        Explicit round count (overrides the ``delta_max``/``epsilon`` sizing).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        t: int,
+        value: float,
+        epsilon: float = 1.0,
+        delta_max: float = 100.0,
+        rounds: Optional[int] = None,
+    ) -> None:
+        super().__init__(node_id, n, t)
+        self.value = float(value)
+        self.epsilon = epsilon
+        self.delta_max = delta_max
+        self.rounds = rounds if rounds is not None else rounds_for_range(delta_max, epsilon)
+        self.current_round = 0
+        # One RBC engine per (round, broadcaster) pair, created lazily.
+        self._rbc: Dict[Tuple[int, int], RBCEngine] = {}
+        # Values delivered per round.
+        self._delivered: Dict[int, Dict[int, float]] = {}
+        self._round_done: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def _engine(self, round_number: int, broadcaster: int) -> RBCEngine:
+        key = (round_number, broadcaster)
+        if key not in self._rbc:
+            self._rbc[key] = RBCEngine(
+                n=self.n, t=self.t, broadcaster=broadcaster, node_id=self.node_id
+            )
+        return self._rbc[key]
+
+    def _wrap(self, round_number: int, broadcaster: int, subs: List[RbcSubMessage]) -> List[Outbound]:
+        out: List[Outbound] = []
+        for mtype, value in subs:
+            payload = [round_number, broadcaster, mtype, value]
+            out.append(self.broadcast(Message(PROTOCOL, mtype, round_number, payload)))
+        return out
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> List[Outbound]:
+        return self._begin_round(1)
+
+    def _begin_round(self, round_number: int) -> List[Outbound]:
+        self.current_round = round_number
+        engine = self._engine(round_number, self.node_id)
+        out = self._wrap(round_number, self.node_id, engine.start(self.value))
+        out.extend(self._check_round(round_number))
+        return out
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        if message.protocol != PROTOCOL or self.has_output:
+            return []
+        payload = message.payload
+        if not isinstance(payload, (list, tuple)) or len(payload) != 4:
+            return []
+        round_number, broadcaster, mtype, value = (
+            int(payload[0]),
+            int(payload[1]),
+            str(payload[2]),
+            payload[3],
+        )
+        if round_number < 1 or round_number > self.rounds:
+            return []
+        if not 0 <= broadcaster < self.n:
+            return []
+        engine = self._engine(round_number, broadcaster)
+        out = self._wrap(round_number, broadcaster, engine.handle(sender, (mtype, value)))
+        if engine.has_output:
+            self._delivered.setdefault(round_number, {})[broadcaster] = float(engine.delivered)
+        if round_number == self.current_round:
+            out.extend(self._check_round(round_number))
+        return out
+
+    def _check_round(self, round_number: int) -> List[Outbound]:
+        out: List[Outbound] = []
+        while not self.has_output:
+            round_number = self.current_round
+            if self._round_done.get(round_number):
+                return out
+            delivered = self._delivered.get(round_number, {})
+            if len(delivered) < self.quorum:
+                return out
+            self._round_done[round_number] = True
+            self.value = trimmed_mean(list(delivered.values()), self.t)
+            if round_number >= self.rounds:
+                self._decide(self.value)
+                return out
+            out.extend(self._begin_round_messages(round_number + 1))
+        return out
+
+    def _begin_round_messages(self, round_number: int) -> List[Outbound]:
+        self.current_round = round_number
+        engine = self._engine(round_number, self.node_id)
+        return self._wrap(round_number, self.node_id, engine.start(self.value))

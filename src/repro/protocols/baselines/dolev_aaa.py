@@ -1,0 +1,105 @@
+"""Dolev, Lynch, Pinter, Stark and Weihl (1986) approximate agreement.
+
+The first asynchronous approximate-agreement protocol.  It avoids reliable
+broadcast by requiring the much weaker resilience ``n = 5t + 1``: in each
+round every node simply multicasts its current estimate, collects ``n - t``
+estimates and applies a trimmed mean.  Per-round communication is ``O(n^2)``
+messages, but the resilience penalty makes it unattractive for oracle
+networks; the paper cites it as the historical starting point of the AAA
+line of work and Table I's lineage, so it is included for completeness and
+used in the ablation benchmarks as the "cheap but fragile" reference point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.message import Message
+from repro.protocols.base import Outbound, ProtocolNode
+from repro.protocols.baselines.abraham_aaa import rounds_for_range, trimmed_mean
+
+PROTOCOL = "dolev"
+
+
+class DolevAAANode(ProtocolNode):
+    """One node of the Dolev et al. approximate-agreement baseline.
+
+    Requires ``n > 5t``.  In round ``r`` the node multicasts
+    ``(VALUE, r, estimate)``, waits for ``n - t`` round-``r`` values and
+    updates its estimate to their trimmed mean.
+    """
+
+    resilience_factor = 5
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        t: int,
+        value: float,
+        epsilon: float = 1.0,
+        delta_max: float = 100.0,
+        rounds: Optional[int] = None,
+    ) -> None:
+        super().__init__(node_id, n, t)
+        self.value = float(value)
+        self.epsilon = epsilon
+        self.delta_max = delta_max
+        self.rounds = rounds if rounds is not None else rounds_for_range(delta_max, epsilon)
+        self.current_round = 0
+        self._received: Dict[int, Dict[int, float]] = {}
+        self._round_done: Dict[int, bool] = {}
+
+    def on_start(self) -> List[Outbound]:
+        return self._begin_round(1)
+
+    def _begin_round(self, round_number: int) -> List[Outbound]:
+        self.current_round = round_number
+        out = [
+            self.broadcast(
+                Message(PROTOCOL, "VALUE", round_number, [round_number, self.value])
+            )
+        ]
+        out.extend(self._check_round())
+        return out
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        if message.protocol != PROTOCOL or self.has_output:
+            return []
+        payload = message.payload
+        if not isinstance(payload, (list, tuple)) or len(payload) != 2:
+            return []
+        round_number = int(payload[0])
+        if round_number < 1 or round_number > self.rounds:
+            return []
+        self._received.setdefault(round_number, {})[sender] = float(payload[1])
+        if round_number == self.current_round:
+            return self._check_round()
+        return []
+
+    def _check_round(self) -> List[Outbound]:
+        out: List[Outbound] = []
+        while not self.has_output:
+            round_number = self.current_round
+            if self._round_done.get(round_number):
+                return out
+            received = self._received.get(round_number, {})
+            if len(received) < self.quorum:
+                return out
+            self._round_done[round_number] = True
+            self.value = trimmed_mean(list(received.values()), self.t)
+            if round_number >= self.rounds:
+                self._decide(self.value)
+                return out
+            self.current_round = round_number + 1
+            out.append(
+                self.broadcast(
+                    Message(
+                        PROTOCOL,
+                        "VALUE",
+                        self.current_round,
+                        [self.current_round, self.value],
+                    )
+                )
+            )
+        return out

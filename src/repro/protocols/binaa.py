@@ -1,0 +1,287 @@
+"""BinAA: Binary Approximate Agreement (Algorithm 1 of the paper).
+
+BinAA runs ``r_max = ceil(log2(1/epsilon))`` iterations of weak Binary-Value
+broadcast.  In each iteration a node broadcasts an ``ECHO1`` for its current
+state value, amplifies any value supported by ``t + 1`` senders, sends a
+single ``ECHO2`` once some value reaches ``n - t`` ``ECHO1`` support, and
+finishes the iteration when either
+
+* condition (1): two distinct values each have ``n - t`` ``ECHO1`` support —
+  the node adopts their midpoint, or
+* condition (2): one value has ``n - t`` ``ECHO2`` support — the node adopts
+  that value.
+
+With binary inputs the range of honest state values at least halves every
+iteration, so after ``r_max`` iterations honest values are within ``epsilon``
+and the per-iteration communication is ``O(n^2)`` bits.
+
+The protocol logic lives in :class:`BinAAEngine`, a runtime-agnostic state
+machine that Delphi embeds (one engine per checkpoint, with the all-zero
+region of checkpoints sharing a single engine — see
+:mod:`repro.core.bundling`).  :class:`BinAANode` wraps a single engine as a
+standalone :class:`~repro.protocols.base.ProtocolNode` so BinAA can also be
+run, tested and benchmarked on its own.
+
+State values are dyadic rationals (0, 1, and repeated midpoints), which are
+exactly representable as Python floats for any practical ``r_max``, so
+cross-node equality checks on values are exact.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.protocols.base import Outbound, ProtocolNode
+
+#: A sub-protocol message: (message type, round, state value).
+SubMessage = Tuple[str, int, float]
+
+ECHO1 = "ECHO1"
+ECHO2 = "ECHO2"
+
+#: Hard cap on rounds to protect against mis-configuration (2^-64 precision).
+MAX_ROUNDS = 64
+
+
+def rounds_for_epsilon(epsilon: float) -> int:
+    """Number of BinAA iterations needed to reach ``epsilon`` agreement."""
+    if not 0 < epsilon <= 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1], got {epsilon}")
+    return max(1, min(MAX_ROUNDS, int(math.ceil(math.log2(1.0 / epsilon)))))
+
+
+@dataclass
+class _RoundState:
+    """Per-iteration bookkeeping for one BinAA engine."""
+
+    echo1: Dict[float, Set[int]]
+    echo2: Dict[float, Set[int]]
+    amplified: Set[float]
+    echo2_sent: bool
+    completed: bool
+
+    @staticmethod
+    def fresh() -> "_RoundState":
+        return _RoundState(echo1={}, echo2={}, amplified=set(), echo2_sent=False, completed=False)
+
+
+class BinAAEngine:
+    """Runtime-agnostic BinAA state machine for one checkpoint.
+
+    The engine communicates through :data:`SubMessage` tuples: the embedding
+    protocol (or :class:`BinAANode`) is responsible for broadcasting every
+    returned sub-message to all ``n`` nodes (including the sender itself) and
+    feeding delivered sub-messages back through :meth:`handle`.
+
+    Parameters
+    ----------
+    n, t:
+        System size and fault tolerance (``n > 3t``).
+    rounds:
+        Number of iterations ``r_max`` to run.
+    """
+
+    def __init__(self, n: int, t: int, rounds: int) -> None:
+        if n <= 3 * t:
+            raise ConfigurationError(f"BinAA requires n > 3t, got n={n}, t={t}")
+        if not 1 <= rounds <= MAX_ROUNDS:
+            raise ConfigurationError(
+                f"rounds must be in [1, {MAX_ROUNDS}], got {rounds}"
+            )
+        self.n = n
+        self.t = t
+        self.rounds = rounds
+        self.quorum = n - t
+        self.value: Optional[float] = None
+        self.current_round = 0
+        self.output: Optional[float] = None
+        self.started = False
+        self._round_state: Dict[int, _RoundState] = {}
+        self.bv_outputs: Dict[int, Tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def has_output(self) -> bool:
+        """Whether the engine has completed all ``r_max`` iterations."""
+        return self.output is not None
+
+    def clone(self) -> "BinAAEngine":
+        """Deep copy of the engine (used when a default checkpoint is split
+        into an explicit one by the Delphi bundling layer)."""
+        return copy.deepcopy(self)
+
+    def _state(self, round_number: int) -> _RoundState:
+        if round_number not in self._round_state:
+            self._round_state[round_number] = _RoundState.fresh()
+        return self._round_state[round_number]
+
+    # ------------------------------------------------------------------
+    def start(self, value: int) -> List[SubMessage]:
+        """Begin the protocol with binary input ``value`` (0 or 1)."""
+        if value not in (0, 1):
+            raise ConfigurationError(f"BinAA input must be 0 or 1, got {value}")
+        if self.started:
+            raise ConfigurationError("BinAA engine already started")
+        self.started = True
+        self.value = float(value)
+        return self._enter_round(1)
+
+    def handle(self, sender: int, sub: SubMessage) -> List[SubMessage]:
+        """Process one delivered sub-message from ``sender``."""
+        if not self.started or self.has_output:
+            # Late traffic after completion cannot change the output; earlier
+            # rounds' echoes were already broadcast, so peers do not need a
+            # response either.
+            return []
+        mtype, round_number, value = sub
+        if round_number < 1 or round_number > self.rounds:
+            return []
+        state = self._state(round_number)
+        if mtype == ECHO1:
+            state.echo1.setdefault(value, set()).add(sender)
+        elif mtype == ECHO2:
+            state.echo2.setdefault(value, set()).add(sender)
+        else:
+            return []
+        if round_number != self.current_round:
+            # Buffered: future rounds are consulted when we get there; past
+            # rounds are already completed locally.
+            return []
+        return self._progress()
+
+    # ------------------------------------------------------------------
+    def _enter_round(self, round_number: int) -> List[SubMessage]:
+        self.current_round = round_number
+        state = self._state(round_number)
+        assert self.value is not None
+        state.amplified.add(self.value)
+        out: List[SubMessage] = [(ECHO1, round_number, self.value)]
+        # Messages from faster nodes may already satisfy this round.
+        out.extend(self._progress())
+        return out
+
+    def _progress(self) -> List[SubMessage]:
+        out: List[SubMessage] = []
+        while True:
+            round_number = self.current_round
+            state = self._state(round_number)
+            if state.completed:
+                return out
+
+            # Bracha amplification at t+1 support.
+            for value, senders in list(state.echo1.items()):
+                if len(senders) >= self.t + 1 and value not in state.amplified:
+                    state.amplified.add(value)
+                    out.append((ECHO1, round_number, value))
+
+            # Single ECHO2 per round once a value has n-t ECHO1 support.
+            if not state.echo2_sent:
+                for value, senders in state.echo1.items():
+                    if len(senders) >= self.quorum:
+                        state.echo2_sent = True
+                        out.append((ECHO2, round_number, value))
+                        break
+
+            strong_echo1 = sorted(
+                value
+                for value, senders in state.echo1.items()
+                if len(senders) >= self.quorum
+            )
+            strong_echo2 = sorted(
+                value
+                for value, senders in state.echo2.items()
+                if len(senders) >= self.quorum
+            )
+
+            next_value: Optional[float] = None
+            if len(strong_echo1) >= 2:
+                # Condition (1): adopt the midpoint of two strongly echoed values.
+                low, high = strong_echo1[0], strong_echo1[1]
+                self.bv_outputs[round_number] = (low, high)
+                next_value = (low + high) / 2.0
+            elif strong_echo2:
+                # Condition (2): adopt the uniquely ECHO2-supported value.
+                chosen = strong_echo2[0]
+                self.bv_outputs[round_number] = (chosen,)
+                next_value = chosen
+
+            if next_value is None:
+                return out
+
+            state.completed = True
+            self.value = next_value
+            if round_number >= self.rounds:
+                self.output = self.value
+                return out
+            out.extend(self._enter_round_inline(round_number + 1))
+
+    def _enter_round_inline(self, round_number: int) -> List[SubMessage]:
+        """Enter a round without recursing into :meth:`_progress` (the outer
+        while-loop in :meth:`_progress` performs the re-evaluation)."""
+        self.current_round = round_number
+        state = self._state(round_number)
+        assert self.value is not None
+        state.amplified.add(self.value)
+        return [(ECHO1, round_number, self.value)]
+
+
+class BinAANode(ProtocolNode):
+    """Standalone BinAA protocol node (Algorithm 1).
+
+    Parameters
+    ----------
+    node_id, n, t:
+        Standard system parameters.
+    value:
+        Binary input of this node.
+    epsilon:
+        Target agreement distance; determines the number of iterations.
+    rounds:
+        Explicit iteration count (overrides ``epsilon`` when given).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        t: int,
+        value: int,
+        epsilon: float = 1e-3,
+        rounds: Optional[int] = None,
+    ) -> None:
+        super().__init__(node_id, n, t)
+        if rounds is None:
+            rounds = rounds_for_epsilon(epsilon)
+        self.engine = BinAAEngine(n=n, t=t, rounds=rounds)
+        self.value = value
+        self.epsilon = epsilon
+
+    def on_start(self) -> List[Outbound]:
+        return self._wrap(self.engine.start(self.value))
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        if message.protocol != "binaa":
+            return []
+        payload = message.payload
+        if (
+            not isinstance(payload, (list, tuple))
+            or len(payload) != 3
+            or not isinstance(payload[0], str)
+        ):
+            return []
+        sub: SubMessage = (payload[0], int(payload[1]), float(payload[2]))
+        out = self._wrap(self.engine.handle(sender, sub))
+        if self.engine.has_output:
+            self._decide(self.engine.output)
+        return out
+
+    def _wrap(self, subs: List[SubMessage]) -> List[Outbound]:
+        return [
+            self.broadcast(Message("binaa", sub[0], sub[1], list(sub)))
+            for sub in subs
+        ]

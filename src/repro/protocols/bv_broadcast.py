@@ -1,0 +1,95 @@
+"""Weak Binary-Value broadcast (Definition II.2).
+
+One iteration of the BinAA protocol implements a *weak Binary Value
+broadcast*: every honest node inputs a value and outputs a non-empty set of
+values such that
+
+* **Termination** — every honest node outputs a non-empty set,
+* **Justification** — every value in an honest output set was the input of
+  at least one honest node,
+* **Weak uniformity** — the output sets of any two honest nodes intersect.
+
+The implementation follows Algorithm 1's single iteration: ``ECHO1`` with
+Bracha-style amplification at ``t + 1``, ``ECHO2`` once a value collects
+``n - t`` ``ECHO1`` messages, and two finishing conditions — two values each
+with ``n - t`` ``ECHO1`` messages, or one value with ``n - t`` ``ECHO2``
+messages.  It can be instantiated from the Crusader Agreement protocol of
+Abraham, Ben-David and Yandamuri, which is exactly this message pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.protocols.base import Outbound, ProtocolNode
+
+PROTOCOL = "bv"
+
+
+class BVBroadcastNode(ProtocolNode):
+    """One node of the weak Binary-Value broadcast protocol.
+
+    Parameters
+    ----------
+    node_id, n, t:
+        Standard system parameters (``n > 3t``).
+    value:
+        This node's binary input (0 or 1).
+
+    The node's :attr:`output` is a frozenset of the values it accepted.
+    """
+
+    def __init__(self, node_id: int, n: int, t: int, value: int) -> None:
+        super().__init__(node_id, n, t)
+        if value not in (0, 1):
+            raise ConfigurationError(f"BV broadcast input must be 0 or 1, got {value}")
+        self.value = value
+        self._echo1: Dict[Any, Set[int]] = {}
+        self._echo2: Dict[Any, Set[int]] = {}
+        self._amplified: Set[Any] = set()
+        self._echo2_sent = False
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> List[Outbound]:
+        self._amplified.add(self.value)
+        return [self.broadcast(Message(PROTOCOL, "ECHO1", 1, self.value))]
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        if message.protocol != PROTOCOL or self.has_output:
+            return []
+        if message.mtype == "ECHO1":
+            self._echo1.setdefault(message.payload, set()).add(sender)
+        elif message.mtype == "ECHO2":
+            self._echo2.setdefault(message.payload, set()).add(sender)
+        else:
+            return []
+        return self._progress()
+
+    # ------------------------------------------------------------------
+    def _progress(self) -> List[Outbound]:
+        out: List[Outbound] = []
+        # Bracha amplification: echo any value seen t+1 times.
+        for value, senders in self._echo1.items():
+            if len(senders) >= self.t + 1 and value not in self._amplified:
+                self._amplified.add(value)
+                out.append(self.broadcast(Message(PROTOCOL, "ECHO1", 1, value)))
+        # ECHO2 once some value has n-t ECHO1 support (at most one ever sent).
+        if not self._echo2_sent:
+            for value, senders in self._echo1.items():
+                if len(senders) >= self.quorum:
+                    self._echo2_sent = True
+                    out.append(self.broadcast(Message(PROTOCOL, "ECHO2", 1, value)))
+                    break
+        # Finishing condition (1): two values with n-t ECHO1 each.
+        strong = [value for value, senders in self._echo1.items() if len(senders) >= self.quorum]
+        if len(strong) >= 2:
+            self._decide(frozenset(strong[:2]))
+            return out
+        # Finishing condition (2): one value with n-t ECHO2.
+        for value, senders in self._echo2.items():
+            if len(senders) >= self.quorum:
+                self._decide(frozenset({value}))
+                return out
+        return out

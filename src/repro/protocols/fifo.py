@@ -1,0 +1,136 @@
+"""FIFO broadcast helper and the compact ``VAL`` message encoding.
+
+Section II-C of the paper describes an optimisation that reduces BinAA's
+communication from ``O(n^2 log^2(1/eps))`` to
+``O(n^2 log(1/eps) log log(1/eps))`` bits: instead of echoing its full state
+value every round, a node broadcasts a ``VAL`` message describing only how
+its state *moved* relative to the previous round — two steps left (``2L``),
+one step left (``L``), unchanged (``C``), one step right (``R``) or two steps
+right (``2R``) — and receivers reconstruct the sender's value from the full
+sequence of shifts.  Reconstructing requires processing a sender's messages
+in the order they were broadcast, i.e. FIFO broadcast (as in Abraham et al.).
+
+Two pieces are provided:
+
+* :class:`FifoInbox` — buffers per-sender round-stamped items and releases
+  them in contiguous round order, which is how FIFO delivery is realised on
+  top of an unordered asynchronous network.
+* :class:`ShiftCodec` — encodes/decodes the per-round state shift tokens and
+  reconstructs a sender's absolute state value from its shift history.
+
+In each BinAA round the state either stays, moves by ``1/2^r`` or by
+``1/2^(r-1)``, so five tokens suffice, and a token costs ``O(log log(1/eps))``
+bits once the round number is included — exactly the factor in the paper's
+complexity expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+from repro.errors import ProtocolError
+
+T = TypeVar("T")
+
+#: The five shift tokens.
+SHIFT_TOKENS = ("2L", "L", "C", "R", "2R")
+
+
+class FifoInbox(Generic[T]):
+    """Releases per-sender items in contiguous round order.
+
+    Items are submitted as ``(sender, round, item)``.  :meth:`push` returns
+    every item that has become deliverable, i.e. all items from that sender
+    whose round numbers form an unbroken sequence starting at 1.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, Dict[int, T]] = {}
+        self._next_round: Dict[int, int] = {}
+
+    def push(self, sender: int, round_number: int, item: T) -> List[Tuple[int, T]]:
+        """Add an item; return newly deliverable ``(round, item)`` pairs."""
+        if round_number < 1:
+            raise ProtocolError(f"round numbers start at 1, got {round_number}")
+        pending = self._pending.setdefault(sender, {})
+        pending.setdefault(round_number, item)
+        deliverable: List[Tuple[int, T]] = []
+        expected = self._next_round.get(sender, 1)
+        while expected in pending:
+            deliverable.append((expected, pending.pop(expected)))
+            expected += 1
+        self._next_round[sender] = expected
+        return deliverable
+
+    def waiting(self, sender: int) -> int:
+        """Number of buffered (not yet deliverable) items from ``sender``."""
+        return len(self._pending.get(sender, {}))
+
+
+@dataclass
+class ShiftCodec:
+    """Encodes BinAA state movements as shift tokens and reconstructs values.
+
+    The codec is anchored at a node's round-1 value (0 or 1, which is sent in
+    full once).  From round 2 onwards, the movement between consecutive state
+    values is a multiple of ``1/2^(r-1)``: ``0`` (token ``C``),
+    ``±1/2^(r-1)`` (``L``/``R``) or ``±1/2^(r-2)`` (``2L``/``2R``).
+    """
+
+    initial_value: float
+    _history: List[str] = field(default_factory=list)
+
+    def encode(self, round_number: int, previous: float, current: float) -> str:
+        """Token describing the move from ``previous`` to ``current`` at the
+        start of ``round_number`` (which must be at least 2)."""
+        if round_number < 2:
+            raise ProtocolError("shifts are only defined from round 2 onwards")
+        step = 1.0 / (2 ** (round_number - 1))
+        delta = current - previous
+        mapping = {
+            0.0: "C",
+            -step: "L",
+            step: "R",
+            -2 * step: "2L",
+            2 * step: "2R",
+        }
+        for expected, token in mapping.items():
+            if abs(delta - expected) < 1e-12:
+                self._history.append(token)
+                return token
+        raise ProtocolError(
+            f"state moved by {delta}, which is not a legal round-{round_number} shift"
+        )
+
+    @staticmethod
+    def apply(token: str, round_number: int, previous: float) -> float:
+        """Value implied by applying ``token`` at ``round_number`` to ``previous``."""
+        if token not in SHIFT_TOKENS:
+            raise ProtocolError(f"unknown shift token {token!r}")
+        step = 1.0 / (2 ** (round_number - 1))
+        offsets = {"C": 0.0, "L": -step, "R": step, "2L": -2 * step, "2R": 2 * step}
+        return previous + offsets[token]
+
+    @staticmethod
+    def reconstruct(initial_value: float, tokens: Iterable[str]) -> float:
+        """Reconstruct a sender's current value from its full shift history.
+
+        ``tokens[k]`` is the shift announced at the start of round ``k + 2``.
+        """
+        value = float(initial_value)
+        for index, token in enumerate(tokens):
+            value = ShiftCodec.apply(token, index + 2, value)
+        return value
+
+    @property
+    def history(self) -> Tuple[str, ...]:
+        """Tokens encoded so far, in round order."""
+        return tuple(self._history)
+
+
+def token_size_bits(round_number: int) -> int:
+    """Wire size of one ``VAL`` message: 3 bits of token plus the round
+    number, which is the source of the ``log log(1/eps)`` factor."""
+    round_bits = max(1, round_number.bit_length())
+    return 3 + round_bits

@@ -1,0 +1,17 @@
+"""Deterministic discrete-event simulation runtime for protocol execution."""
+
+from repro.sim.events import Event, EventKind
+from repro.sim.scheduler import EventScheduler
+from repro.sim.runtime import ComputeModel, SimulationConfig, SimulationResult, SimulationRuntime
+from repro.sim.asyncio_runtime import AsyncioRuntime
+
+__all__ = [
+    "AsyncioRuntime",
+    "ComputeModel",
+    "Event",
+    "EventKind",
+    "EventScheduler",
+    "SimulationConfig",
+    "SimulationResult",
+    "SimulationRuntime",
+]

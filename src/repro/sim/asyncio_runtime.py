@@ -1,0 +1,130 @@
+"""Asyncio-based runtime adapter.
+
+The deterministic simulator in :mod:`repro.sim.runtime` is what the tests and
+benchmarks use, but the same protocol nodes can also be executed on real
+concurrency: each node becomes an asyncio task with an inbox queue, and
+messages travel through in-memory queues with (optionally) real ``sleep``
+delays drawn from a latency model.  This mirrors the paper's tokio-based Rust
+implementation and demonstrates that the state machines are runtime-agnostic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.net.latency import LatencyModel
+from repro.net.message import Envelope, Message, MessageTrace
+from repro.protocols.base import BROADCAST, ProtocolNode
+
+
+@dataclass
+class AsyncioRunResult:
+    """Outputs and statistics of an asyncio execution."""
+
+    outputs: Dict[int, Any]
+    trace: MessageTrace
+    wall_seconds: float
+
+
+class AsyncioRuntime:
+    """Runs protocol nodes as concurrent asyncio tasks.
+
+    Parameters
+    ----------
+    nodes:
+        Mapping of node id to protocol node.
+    latency:
+        Optional latency model; when provided, each message delivery awaits
+        ``asyncio.sleep(delay)``.  When omitted messages are delivered as
+        fast as the event loop allows, which exercises true non-determinism.
+    timeout:
+        Wall-clock timeout for the whole run, in seconds.
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[int, ProtocolNode],
+        latency: Optional[LatencyModel] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        if not nodes:
+            raise SimulationError("at least one node is required")
+        self.nodes = nodes
+        self.latency = latency
+        self.timeout = timeout
+        self.trace = MessageTrace()
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+        self._decided = 0
+        self._all_decided: Optional[asyncio.Event] = None
+
+    def run(self) -> AsyncioRunResult:
+        """Execute the protocol and block until every node decides."""
+        return asyncio.run(self._run())
+
+    async def _run(self) -> AsyncioRunResult:
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        self._all_decided = asyncio.Event()
+        self._inboxes = {node_id: asyncio.Queue() for node_id in self.nodes}
+
+        tasks = [
+            asyncio.create_task(self._node_loop(node_id))
+            for node_id in self.nodes
+        ]
+        # Kick off every node.
+        for node_id, node in self.nodes.items():
+            await self._dispatch(node_id, node.on_start())
+
+        try:
+            await asyncio.wait_for(self._all_decided.wait(), timeout=self.timeout)
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        wall = loop.time() - started
+        outputs = {
+            node_id: node.output
+            for node_id, node in self.nodes.items()
+            if node.has_output
+        }
+        return AsyncioRunResult(outputs=outputs, trace=self.trace, wall_seconds=wall)
+
+    async def _node_loop(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        inbox = self._inboxes[node_id]
+        while True:
+            sender, message = await inbox.get()
+            had_output = node.has_output
+            outbound = node.on_message(sender, message)
+            if not had_output and node.has_output:
+                self._decided += 1
+                if self._decided == len(self.nodes):
+                    assert self._all_decided is not None
+                    self._all_decided.set()
+            await self._dispatch(node_id, outbound)
+
+    async def _dispatch(
+        self, sender: int, outbound: List[Tuple[int, Message]]
+    ) -> None:
+        for destination, message in outbound:
+            targets = range(len(self.nodes)) if destination == BROADCAST else [destination]
+            for target in targets:
+                if target != sender:
+                    self.trace.record(
+                        Envelope(sender=sender, destination=target, message=message)
+                    )
+                if self.latency is not None and target != sender:
+                    asyncio.create_task(
+                        self._delayed_put(sender, target, message)
+                    )
+                else:
+                    await self._inboxes[target].put((sender, message))
+
+    async def _delayed_put(self, sender: int, target: int, message: Message) -> None:
+        assert self.latency is not None
+        await asyncio.sleep(self.latency.delay(sender, target))
+        await self._inboxes[target].put((sender, message))

@@ -1,0 +1,50 @@
+"""Simulation events.
+
+The discrete-event simulator processes a totally ordered stream of events.
+Two kinds exist: ``START`` events that trigger a node's ``on_start`` hook and
+``DELIVER`` events that hand an in-flight envelope to its destination.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.message import Envelope
+
+
+class EventKind(enum.Enum):
+    """The kind of a simulation event."""
+
+    START = "start"
+    DELIVER = "deliver"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Events are ordered by ``(time, tiebreak, sequence)``.  The ``tiebreak``
+    field is assigned by the scheduler (possibly randomised by the
+    adversarial delivery policy) so that messages arriving at identical
+    simulated times can still be reordered adversarially while keeping the
+    whole run deterministic for a fixed seed.
+    """
+
+    time: float
+    tiebreak: float
+    sequence: int
+    kind: EventKind = field(compare=False)
+    node: int = field(compare=False)
+    envelope: Optional[Envelope] = field(compare=False, default=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is EventKind.START:
+            return f"Event(t={self.time:.6f}, START node={self.node})"
+        assert self.envelope is not None
+        return (
+            f"Event(t={self.time:.6f}, DELIVER {self.envelope.sender}->"
+            f"{self.envelope.destination} {self.envelope.message.protocol}/"
+            f"{self.envelope.message.mtype})"
+        )

@@ -1,0 +1,298 @@
+"""Deterministic discrete-event simulation runtime.
+
+The runtime owns a set of protocol nodes (some possibly replaced by
+Byzantine strategies), an :class:`~repro.net.network.AsynchronousNetwork`
+and a :class:`ComputeModel`.  It repeatedly pops the earliest event, lets the
+target node process it, charges the node's CPU cost on the simulated clock
+and schedules the resulting outbound messages for delivery.
+
+The run finishes when every honest node has produced an output (or when the
+event queue drains / a safety limit is hit), and returns a
+:class:`SimulationResult` with per-node outputs, termination times and the
+complete traffic trace — everything the paper's figures are derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.adversary.base import AdversaryStrategy
+from repro.net.message import Envelope, Message, MessageTrace
+from repro.net.network import AsynchronousNetwork
+from repro.protocols.base import BROADCAST, Outbound, ProtocolNode
+from repro.sim.events import Event, EventKind
+from repro.sim.scheduler import EventScheduler
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Per-node CPU cost model.
+
+    The cost of processing one delivered message is::
+
+        per_message_seconds
+        + per_byte_seconds * message_bytes
+        + per_crypto_unit_seconds * crypto_units
+
+    where ``crypto_units`` is reported by the protocol node itself through
+    :meth:`ProtocolNode.processing_cost`-style hooks (the baselines report
+    one unit per signature verification or coin-share operation).  The two
+    testbed models (:mod:`repro.testbed.aws`, :mod:`repro.testbed.cps`)
+    provide calibrated instances of this class.
+    """
+
+    per_message_seconds: float = 0.0
+    per_byte_seconds: float = 0.0
+    per_crypto_unit_seconds: float = 0.0
+
+    def processing_delay(self, message_bytes: int, crypto_units: float = 0.0) -> float:
+        """CPU time charged for one delivered message."""
+        return (
+            self.per_message_seconds
+            + self.per_byte_seconds * message_bytes
+            + self.per_crypto_unit_seconds * crypto_units
+        )
+
+
+@dataclass
+class SimulationConfig:
+    """Run limits and bookkeeping switches.
+
+    Attributes
+    ----------
+    max_events:
+        Hard cap on processed events; exceeding it raises
+        :class:`~repro.errors.SimulationError` (it indicates a livelock or a
+        runaway protocol).
+    max_time:
+        Optional cap on simulated time.
+    stop_when_decided:
+        Stop as soon as every honest node has an output.  When false the run
+        continues until the event queue drains, which is useful for checking
+        that late messages do not break anything.
+    """
+
+    max_events: int = 5_000_000
+    max_time: Optional[float] = None
+    stop_when_decided: bool = True
+
+
+@dataclass
+class SimulationResult:
+    """Everything a single protocol run produced."""
+
+    outputs: Dict[int, Any]
+    decision_times: Dict[int, float]
+    runtime_seconds: float
+    events_processed: int
+    trace: MessageTrace
+    honest_nodes: List[int]
+    byzantine_nodes: List[int]
+
+    @property
+    def honest_outputs(self) -> Dict[int, Any]:
+        """Outputs restricted to honest nodes."""
+        return {node: self.outputs[node] for node in self.honest_nodes if node in self.outputs}
+
+    @property
+    def all_honest_decided(self) -> bool:
+        """Whether every honest node produced an output."""
+        return all(node in self.outputs for node in self.honest_nodes)
+
+    def output_spread(self) -> float:
+        """Maximum pairwise distance between honest scalar outputs."""
+        values = [v for v in self.honest_outputs.values() if isinstance(v, (int, float))]
+        if len(values) < 2:
+            return 0.0
+        return max(values) - min(values)
+
+
+class SimulationRuntime:
+    """Drives protocol nodes to completion under a simulated network."""
+
+    def __init__(
+        self,
+        nodes: Dict[int, ProtocolNode],
+        network: Optional[AsynchronousNetwork] = None,
+        byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
+        compute: Optional[ComputeModel] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        if not nodes:
+            raise SimulationError("at least one node is required")
+        self.nodes = nodes
+        self.num_nodes = len(nodes)
+        self.network = network or AsynchronousNetwork(self.num_nodes)
+        if self.network.num_nodes != self.num_nodes:
+            raise SimulationError(
+                "network size does not match node count: "
+                f"{self.network.num_nodes} != {self.num_nodes}"
+            )
+        self.compute = compute or ComputeModel()
+        self.config = config or SimulationConfig()
+        self.byzantine: Dict[int, AdversaryStrategy] = dict(byzantine or {})
+        for node_id, strategy in self.byzantine.items():
+            if node_id not in self.nodes:
+                raise SimulationError(f"cannot corrupt unknown node {node_id}")
+            strategy.attach(self.nodes[node_id])
+
+        self.scheduler = EventScheduler()
+        self._busy_until: Dict[int, float] = {node_id: 0.0 for node_id in nodes}
+        self._decision_times: Dict[int, float] = {}
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def honest_nodes(self) -> List[int]:
+        """Identifiers of nodes not under adversarial control."""
+        return sorted(node_id for node_id in self.nodes if node_id not in self.byzantine)
+
+    def _handler(self, node_id: int):
+        """The object (honest node or strategy) that processes events for a node."""
+        return self.byzantine.get(node_id, self.nodes[node_id])
+
+    def _crypto_units(self, node_id: int, message: Message) -> float:
+        """Ask the (honest) node how many crypto operations this message costs."""
+        node = self.nodes[node_id]
+        cost_hook = getattr(node, "processing_cost", None)
+        if cost_hook is None:
+            return 0.0
+        return float(cost_hook(message))
+
+    def _schedule_outbound(
+        self, sender: int, outbound: List[Outbound], now: float
+    ) -> None:
+        """Expand broadcasts and schedule every outbound message for delivery."""
+        for destination, message in outbound:
+            if destination == BROADCAST:
+                targets = range(self.num_nodes)
+            else:
+                targets = [destination]
+            for target in targets:
+                if target == sender:
+                    # Local self-delivery does not consume network resources.
+                    self._schedule_delivery(sender, target, message, now)
+                    continue
+                envelope = Envelope(sender=sender, destination=target, message=message)
+                deliver_at = self.network.delivery_time(envelope, now)
+                self._schedule_delivery(sender, target, message, deliver_at, envelope)
+
+    def _schedule_delivery(
+        self,
+        sender: int,
+        destination: int,
+        message: Message,
+        time: float,
+        envelope: Optional[Envelope] = None,
+    ) -> None:
+        if envelope is None:
+            envelope = Envelope(
+                sender=sender, destination=destination, message=message, authenticated=False
+            )
+        event = Event(
+            time=time,
+            tiebreak=self.network.policy.tiebreak(),
+            sequence=self.scheduler.next_sequence(),
+            kind=EventKind.DELIVER,
+            node=destination,
+            envelope=envelope,
+        )
+        self.scheduler.schedule(event)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the protocol to completion and return the result."""
+        # Start every node at t=0 (the adversary may still reorder the
+        # resulting messages arbitrarily).
+        for node_id in self.nodes:
+            start_event = Event(
+                time=0.0,
+                tiebreak=self.network.policy.tiebreak(),
+                sequence=self.scheduler.next_sequence(),
+                kind=EventKind.START,
+                node=node_id,
+            )
+            self.scheduler.schedule(start_event)
+
+        while True:
+            if self.config.stop_when_decided and self._all_honest_decided():
+                break
+            event = self.scheduler.pop()
+            if event is None:
+                break
+            if self.config.max_time is not None and event.time > self.config.max_time:
+                break
+            self._events_processed += 1
+            if self._events_processed > self.config.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.config.max_events}; "
+                    "protocol is likely not terminating"
+                )
+            self._process(event)
+
+        runtime = self._completion_time()
+        return SimulationResult(
+            outputs={
+                node_id: self.nodes[node_id].output
+                for node_id in self.honest_nodes
+                if self.nodes[node_id].has_output
+            },
+            decision_times=dict(self._decision_times),
+            runtime_seconds=runtime,
+            events_processed=self._events_processed,
+            trace=self.network.trace,
+            honest_nodes=self.honest_nodes,
+            byzantine_nodes=sorted(self.byzantine),
+        )
+
+    def _process(self, event: Event) -> None:
+        node_id = event.node
+        handler = self._handler(node_id)
+        ready_at = max(event.time, self._busy_until.get(node_id, 0.0))
+
+        if event.kind is EventKind.START:
+            outbound = handler.on_start()
+            cpu = self.compute.processing_delay(0, 0.0)
+        else:
+            assert event.envelope is not None
+            message = event.envelope.message
+            crypto_units = (
+                self._crypto_units(node_id, message)
+                if node_id not in self.byzantine
+                else 0.0
+            )
+            cpu = self.compute.processing_delay(message.size_bytes(), crypto_units)
+            outbound = handler.on_message(event.envelope.sender, message)
+
+        finished_at = ready_at + cpu
+        self._busy_until[node_id] = finished_at
+
+        node = self.nodes[node_id]
+        if (
+            node_id not in self.byzantine
+            and node.has_output
+            and node_id not in self._decision_times
+        ):
+            self._decision_times[node_id] = finished_at
+
+        if outbound:
+            self._schedule_outbound(node_id, outbound, finished_at)
+
+    def _all_honest_decided(self) -> bool:
+        return all(self.nodes[node_id].has_output for node_id in self.honest_nodes)
+
+    def _completion_time(self) -> float:
+        if not self._decision_times:
+            return self.scheduler.now
+        honest = [
+            self._decision_times[node_id]
+            for node_id in self.honest_nodes
+            if node_id in self._decision_times
+        ]
+        return max(honest) if honest else self.scheduler.now

@@ -1,0 +1,68 @@
+"""Priority-queue event scheduler with deterministic tie-breaking."""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class EventScheduler:
+    """A min-heap of :class:`~repro.sim.events.Event` ordered by time.
+
+    The scheduler also tracks the current simulated time and refuses to
+    schedule events in the past, which catches protocol-runtime bugs early.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting to be processed."""
+        return len(self._heap)
+
+    def next_sequence(self) -> int:
+        """Monotonically increasing sequence number for event creation."""
+        self._sequence += 1
+        return self._sequence
+
+    def schedule(self, event: Event) -> None:
+        """Add an event to the queue.
+
+        Raises
+        ------
+        SimulationError
+            If the event is scheduled before the current simulated time.
+        """
+        if event.time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at t={event.time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest event, advancing simulated time.
+
+        Returns ``None`` when the queue is empty.
+        """
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = max(self._now, event.time)
+        return event
+
+    def clear(self) -> None:
+        """Drop all pending events and reset the clock."""
+        self._heap.clear()
+        self._sequence = 0
+        self._now = 0.0

@@ -1,0 +1,7 @@
+"""Models of the paper's two testbeds (AWS and CPS) and metrics helpers."""
+
+from repro.testbed.aws import AwsTestbed
+from repro.testbed.cps import CpsTestbed
+from repro.testbed.metrics import ExperimentRecord, MetricsCollector
+
+__all__ = ["AwsTestbed", "CpsTestbed", "ExperimentRecord", "MetricsCollector"]

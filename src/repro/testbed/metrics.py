@@ -1,0 +1,119 @@
+"""Metrics collection shared by the benchmark harness.
+
+Every benchmark run produces an :class:`ExperimentRecord` (protocol,
+parameters, simulated runtime, bandwidth, agreement spread, validity margin);
+:class:`MetricsCollector` accumulates records and renders the same kind of
+rows/series the paper's tables and figures report, in plain text, so that
+``pytest benchmarks/ --benchmark-only`` output doubles as the experiment
+log captured in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One measured data point of one experiment."""
+
+    experiment: str
+    protocol: str
+    n: int
+    runtime_seconds: float
+    megabytes: float
+    message_count: int = 0
+    output_spread: float = 0.0
+    validity_margin: float = 0.0
+    parameters: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class MetricsCollector:
+    """Accumulates experiment records and renders report tables."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.records: List[ExperimentRecord] = []
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Store one record."""
+        self.records.append(record)
+
+    def add_run(
+        self,
+        protocol: str,
+        n: int,
+        runtime_seconds: float,
+        megabytes: float,
+        message_count: int = 0,
+        output_spread: float = 0.0,
+        validity_margin: float = 0.0,
+        **parameters: float,
+    ) -> ExperimentRecord:
+        """Convenience constructor + store."""
+        record = ExperimentRecord(
+            experiment=self.experiment,
+            protocol=protocol,
+            n=n,
+            runtime_seconds=runtime_seconds,
+            megabytes=megabytes,
+            message_count=message_count,
+            output_spread=output_spread,
+            validity_margin=validity_margin,
+            parameters=dict(parameters),
+        )
+        self.add(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def series(self, protocol: str) -> List[ExperimentRecord]:
+        """All records of one protocol, ordered by system size."""
+        return sorted(
+            (record for record in self.records if record.protocol == protocol),
+            key=lambda record: record.n,
+        )
+
+    def protocols(self) -> List[str]:
+        """Distinct protocols present, in first-seen order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.protocol not in seen:
+                seen.append(record.protocol)
+        return seen
+
+    def render_table(self, value: str = "runtime_seconds") -> str:
+        """Render a protocol-by-n table of the chosen metric as text."""
+        sizes = sorted({record.n for record in self.records})
+        lines = [f"# {self.experiment}: {value}"]
+        header = "protocol".ljust(16) + "".join(f"{f'n={size}':>14}" for size in sizes)
+        lines.append(header)
+        for protocol in self.protocols():
+            cells = []
+            by_n = {record.n: record for record in self.series(protocol)}
+            for size in sizes:
+                record = by_n.get(size)
+                cells.append(
+                    f"{getattr(record, value):>14.4f}" if record is not None else f"{'-':>14}"
+                )
+            lines.append(protocol.ljust(16) + "".join(cells))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Serialise every record (for archival alongside benchmark output)."""
+        return json.dumps([record.as_dict() for record in self.records], indent=2)
+
+    def speedup(self, baseline: str, against: str) -> Dict[int, float]:
+        """Runtime ratio baseline/against per system size (the paper's
+        "Delphi takes 1/3rd the time of FIN" style numbers)."""
+        base = {record.n: record.runtime_seconds for record in self.series(baseline)}
+        other = {record.n: record.runtime_seconds for record in self.series(against)}
+        return {
+            n: base[n] / other[n]
+            for n in sorted(set(base) & set(other))
+            if other[n] > 0
+        }

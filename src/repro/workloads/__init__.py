@@ -1,0 +1,13 @@
+"""Synthetic workload generators for the paper's two applications."""
+
+from repro.workloads.bitcoin import BitcoinPriceFeed, ExchangeQuote
+from repro.workloads.drone import DroneLocalisationWorkload, DroneObservation
+from repro.workloads.sensors import SensorGridWorkload
+
+__all__ = [
+    "BitcoinPriceFeed",
+    "DroneLocalisationWorkload",
+    "DroneObservation",
+    "ExchangeQuote",
+    "SensorGridWorkload",
+]

@@ -1,0 +1,127 @@
+"""Tests for Delphi's weighted aggregation (Algorithm 2, lines 13-24)."""
+
+import pytest
+
+from repro.core.aggregation import (
+    LevelAggregate,
+    aggregate_level,
+    cross_level_output,
+    cross_level_weights,
+    round_to_epsilon,
+)
+from repro.errors import ProtocolError
+
+
+class TestAggregateLevel:
+    def test_weighted_average_of_positive_checkpoints(self):
+        aggregate = aggregate_level(
+            level=0,
+            checkpoint_values={10: 10.0, 11: 11.0},
+            weights={10: 1.0, 11: 1.0},
+            own_input=5.0,
+            eps_prime=0.001,
+        )
+        assert aggregate.value == pytest.approx(10.5)
+        assert aggregate.weight == 1.0
+        assert not aggregate.fallback
+
+    def test_partial_weights_shift_the_average(self):
+        aggregate = aggregate_level(
+            level=0,
+            checkpoint_values={10: 10.0, 11: 11.0},
+            weights={10: 1.0, 11: 0.25},
+            own_input=5.0,
+            eps_prime=0.001,
+        )
+        assert aggregate.value == pytest.approx((10.0 + 0.25 * 11.0) / 1.25)
+        assert aggregate.weight == 1.0
+
+    def test_all_zero_weights_fall_back_to_own_input(self):
+        aggregate = aggregate_level(
+            level=2,
+            checkpoint_values={3: 12.0},
+            weights={3: 0.0},
+            own_input=7.5,
+            eps_prime=0.01,
+        )
+        assert aggregate.fallback
+        assert aggregate.value == 7.5
+        assert aggregate.weight == 0.01
+
+    def test_empty_weights_fall_back(self):
+        aggregate = aggregate_level(0, {}, {}, own_input=3.0, eps_prime=0.5)
+        assert aggregate.fallback and aggregate.value == 3.0
+
+    def test_weights_without_values_ignored(self):
+        aggregate = aggregate_level(
+            0, {1: 1.0}, {1: 0.5, 99: 1.0}, own_input=0.0, eps_prime=0.01
+        )
+        assert aggregate.value == pytest.approx(1.0)
+        assert aggregate.weight == 0.5
+
+
+class TestCrossLevelWeights:
+    def test_first_level_squared(self):
+        assert cross_level_weights([0.5]) == [0.25]
+
+    def test_differencing_zeroes_saturated_levels(self):
+        # Levels: 0 (no support), then weight 1 at every higher level.
+        weights = cross_level_weights([0.0, 1.0, 1.0, 1.0])
+        assert weights[0] == 0.0
+        assert weights[1] == pytest.approx(1.0)
+        assert weights[2] == 0.0
+        assert weights[3] == 0.0
+
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ProtocolError):
+            cross_level_weights([])
+
+    def test_termination_bound_sum_at_least_half_when_some_level_saturates(self):
+        # Theorem IV.1: when some w_l = 1 the differenced sum is >= 1/2.
+        for weights in ([0.0, 1.0], [0.2, 0.7, 1.0], [1.0, 1.0, 1.0], [0.0, 0.4, 1.0, 1.0]):
+            assert sum(cross_level_weights(list(weights))) >= 0.5 - 1e-9
+
+
+class TestCrossLevelOutput:
+    def test_single_saturated_level_dominates(self):
+        aggregates = [
+            LevelAggregate(level=0, value=5.0, weight=0.0, fallback=True),
+            LevelAggregate(level=1, value=10.0, weight=1.0, fallback=False),
+            LevelAggregate(level=2, value=50.0, weight=1.0, fallback=False),
+        ]
+        assert cross_level_output(aggregates) == pytest.approx(10.0)
+
+    def test_zero_total_weight_rejected(self):
+        aggregates = [LevelAggregate(level=0, value=5.0, weight=0.0, fallback=True)]
+        with pytest.raises(ProtocolError):
+            cross_level_output(aggregates)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            cross_level_output([])
+
+    def test_output_within_level_value_hull(self):
+        aggregates = [
+            LevelAggregate(level=0, value=9.0, weight=0.6, fallback=False),
+            LevelAggregate(level=1, value=11.0, weight=1.0, fallback=False),
+        ]
+        output = cross_level_output(aggregates)
+        assert 9.0 <= output <= 11.0
+
+
+class TestRoundToEpsilon:
+    def test_rounds_to_nearest_multiple(self):
+        assert round_to_epsilon(10.6, 0.5) == pytest.approx(10.5)
+        assert round_to_epsilon(10.8, 0.5) == pytest.approx(11.0)
+
+    def test_rejects_non_positive_epsilon(self):
+        with pytest.raises(ProtocolError):
+            round_to_epsilon(1.0, 0.0)
+
+    def test_rounded_outputs_land_on_adjacent_multiples(self):
+        # Two honest outputs within epsilon of each other round to at most
+        # two adjacent multiples (the DORA argument).
+        epsilon = 0.5
+        a, b = 10.24, 10.70
+        ra, rb = round_to_epsilon(a, epsilon), round_to_epsilon(b, epsilon)
+        assert abs(ra - rb) <= epsilon + 1e-12

@@ -1,0 +1,127 @@
+"""Tests for range analysis and the analytic complexity tables."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    abraham_complexity,
+    delphi_complexity,
+    delphi_conditions_table,
+    fin_complexity,
+    honeybadger_complexity,
+    oracle_comparison_table,
+    protocol_comparison_table,
+)
+from repro.analysis.range_analysis import (
+    analyse_ranges,
+    distance_from_mean,
+    validity_margin,
+)
+from repro.errors import AnalysisError
+from repro.workloads.bitcoin import BitcoinPriceFeed
+
+
+class TestRangeAnalysis:
+    def test_summary_statistics(self):
+        stats = analyse_ranges([10.0, 20.0, 30.0, 40.0], thresholds=(25.0,), fit=False)
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(25.0)
+        assert stats.fraction_below[25.0] == pytest.approx(0.5)
+        assert stats.maximum == 40.0
+
+    def test_recommended_delta_covers_observations(self):
+        feed = BitcoinPriceFeed(seed=11)
+        ranges = feed.observed_ranges(num_nodes=10, minutes=400)
+        stats = analyse_ranges(ranges, thresholds=(100.0, 300.0), security_bits=30)
+        assert stats.recommended_delta >= stats.maximum
+        assert stats.fraction_below[100.0] > 0.9
+
+    def test_bitcoin_ranges_best_fit_extreme_value_family(self):
+        feed = BitcoinPriceFeed(seed=12)
+        ranges = feed.observed_ranges(num_nodes=10, minutes=600)
+        stats = analyse_ranges(ranges)
+        assert stats.fit is not None
+        assert stats.fit.name in ("frechet", "gumbel")
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyse_ranges([])
+
+    def test_describe_contains_recommendation(self):
+        stats = analyse_ranges([1.0] * 20, fit=False)
+        assert "recommended_delta" in stats.describe()
+
+    def test_validity_margin_zero_inside_hull(self):
+        assert validity_margin([10.5], [10.0, 11.0]) == 0.0
+
+    def test_validity_margin_measures_excursion(self):
+        assert validity_margin([9.0, 12.5], [10.0, 11.0]) == pytest.approx(1.5)
+
+    def test_distance_from_mean(self):
+        assert distance_from_mean([11.0], [10.0, 12.0]) == pytest.approx(0.0)
+        assert distance_from_mean([13.0], [10.0, 12.0]) == pytest.approx(2.0)
+
+    def test_margin_requires_inputs(self):
+        with pytest.raises(AnalysisError):
+            validity_margin([], [1.0])
+
+
+class TestComplexityTables:
+    def test_delphi_quadratic_vs_abraham_cubic(self):
+        small = 40
+        large = 160
+        delphi_ratio = (
+            delphi_complexity(large, 20.0, 2.0, 2000.0).communication_bits
+            / delphi_complexity(small, 20.0, 2.0, 2000.0).communication_bits
+        )
+        abraham_ratio = (
+            abraham_complexity(large, 20.0, 2.0, 2000.0).communication_bits
+            / abraham_complexity(small, 20.0, 2.0, 2000.0).communication_bits
+        )
+        assert delphi_ratio < abraham_ratio
+
+    def test_delphi_has_no_crypto_operations(self):
+        estimate = delphi_complexity(64, 20.0, 2.0, 2000.0)
+        assert estimate.signatures == 0 and estimate.verifications == 0
+
+    def test_fin_cheaper_computation_than_honeybadger(self):
+        fin = fin_complexity(64)
+        hb = honeybadger_complexity(64)
+        assert fin.verifications < hb.verifications
+
+    def test_table1_contains_six_protocols(self):
+        table = protocol_comparison_table(160, delta=20.0, epsilon=2.0, delta_max=2000.0)
+        names = {row.protocol for row in table}
+        assert {"Delphi", "FIN", "Abraham et al.", "HoneyBadgerBFT", "Dumbo2", "WaterBear"} == names
+
+    def test_table1_delphi_lowest_communication_at_scale(self):
+        table = protocol_comparison_table(160, delta=20.0, epsilon=2.0, delta_max=2000.0)
+        by_name = {row.protocol: row for row in table}
+        assert (
+            by_name["Delphi"].communication_bits
+            < by_name["Abraham et al."].communication_bits
+        )
+        assert by_name["Delphi"].communication_bits < by_name["FIN"].communication_bits
+
+    def test_table2_three_regimes_ordered(self):
+        rows = delphi_conditions_table(64, epsilon=2.0)
+        assert len(rows) == 3
+        assert rows[0]["communication_bits"] <= rows[1]["communication_bits"]
+        assert rows[1]["communication_bits"] <= rows[2]["communication_bits"]
+
+    def test_table3_delphi_only_adaptively_secure_and_verification_free(self):
+        rows = oracle_comparison_table(64, delta=20.0, epsilon=2.0)
+        by_name = {row["protocol"]: row for row in rows}
+        assert by_name["Delphi"]["adaptively_secure"] is True
+        assert by_name["Delphi"]["verifications"] == 0
+        assert by_name["DORA"]["verifications"] > 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(AnalysisError):
+            delphi_complexity(2, 1.0, 1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            abraham_complexity(64, -1.0, 1.0, 1.0)
+
+    def test_as_row_serialisation(self):
+        row = delphi_complexity(64, 20.0, 2.0, 2000.0).as_row()
+        assert row["protocol"] == "Delphi"
+        assert "communication_bits" in row

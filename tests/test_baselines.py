@@ -1,0 +1,193 @@
+"""Tests for the baseline protocols: Abraham et al., Dolev et al., FIN, HBBFT."""
+
+import statistics
+
+import pytest
+
+from repro.adversary.base import HonestWithInput
+from repro.adversary.strategies import CrashStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.baselines.abraham_aaa import AbrahamAAANode, rounds_for_range, trimmed_mean
+from repro.protocols.baselines.dolev_aaa import DolevAAANode
+from repro.protocols.baselines.fin_acs import FinAcsNode
+from repro.protocols.baselines.hbbft_acs import HoneyBadgerAcsNode
+from repro.crypto.coin import CommonCoin
+
+from conftest import assert_agreement, assert_validity, run_nodes
+
+
+class TestTrimmedMean:
+    def test_no_trim_is_plain_mean(self):
+        assert trimmed_mean([1.0, 2.0, 3.0], trim=0) == pytest.approx(2.0)
+
+    def test_trims_extremes(self):
+        assert trimmed_mean([100.0, 1.0, 2.0, 3.0, -50.0], trim=1) == pytest.approx(2.0)
+
+    def test_requires_enough_values(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean([1.0, 2.0], trim=1)
+
+    def test_outliers_cannot_escape_honest_range(self):
+        honest = [10.0, 11.0, 12.0]
+        byz = [1000.0]
+        result = trimmed_mean(honest + byz, trim=1)
+        assert min(honest) <= result <= max(honest)
+
+
+class TestRoundsForRange:
+    def test_halving_count(self):
+        assert rounds_for_range(16.0, 1.0) == 4
+        assert rounds_for_range(1.0, 1.0) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            rounds_for_range(0.0, 1.0)
+
+
+class TestAbrahamAAA:
+    def _run(self, values, epsilon=0.5, delta_max=8.0, t=1, byzantine=None, seed=0):
+        n = len(values)
+        nodes = {
+            i: AbrahamAAANode(i, n, t, value=values[i], epsilon=epsilon, delta_max=delta_max)
+            for i in range(n)
+        }
+        result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+        return nodes, result
+
+    def test_agreement_and_validity(self):
+        values = [10.0, 10.5, 11.0, 12.0]
+        nodes, result = self._run(values)
+        assert result.all_honest_decided
+        outputs = [node.output for node in nodes.values()]
+        assert_agreement(outputs, epsilon=0.5)
+        assert_validity(outputs, values, relaxation=0.0)
+
+    def test_crash_fault_tolerated(self):
+        values = [10.0, 10.4, 10.8, 11.2]
+        nodes, result = self._run(values, byzantine={3: CrashStrategy()})
+        outputs = [nodes[i].output for i in (0, 1, 2)]
+        assert result.all_honest_decided
+        assert_validity(outputs, values[:3], relaxation=0.0)
+
+    def test_byzantine_input_cannot_drag_output_outside_hull(self):
+        values = [10.0, 10.5, 11.0, 10.2, 10.8, 10.4, 500.0]
+        n, t = 7, 2
+        nodes = {
+            i: AbrahamAAANode(i, n, t, value=values[i], epsilon=0.5, delta_max=8.0)
+            for i in range(n)
+        }
+        poisoned = AbrahamAAANode(6, n, t, value=500.0, epsilon=0.5, delta_max=8.0)
+        result = run_nodes(nodes, byzantine={6: HonestWithInput(poisoned)})
+        honest_inputs = values[:6]
+        outputs = [nodes[i].output for i in range(6)]
+        assert result.all_honest_decided
+        assert_validity(outputs, honest_inputs, relaxation=0.0)
+
+    def test_seven_nodes_agreement(self):
+        values = [5.0, 5.2, 5.4, 5.6, 5.8, 6.0, 6.2]
+        nodes, result = self._run(values, t=2, epsilon=0.25, delta_max=4.0)
+        outputs = [node.output for node in nodes.values()]
+        assert_agreement(outputs, epsilon=0.25)
+
+
+class TestDolevAAA:
+    def test_requires_five_t_plus_one(self):
+        with pytest.raises(ConfigurationError):
+            DolevAAANode(0, 5, 1, value=1.0)
+
+    def test_agreement_and_validity_six_nodes(self):
+        values = [1.0, 1.2, 1.4, 1.6, 1.8, 2.0]
+        nodes = {
+            i: DolevAAANode(i, 6, 1, value=values[i], epsilon=0.25, delta_max=4.0)
+            for i in range(6)
+        }
+        result = run_nodes(nodes)
+        outputs = [node.output for node in nodes.values()]
+        assert result.all_honest_decided
+        assert_agreement(outputs, epsilon=0.25)
+        assert_validity(outputs, values, relaxation=0.0)
+
+    def test_crash_fault_tolerated(self):
+        values = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5]
+        nodes = {
+            i: DolevAAANode(i, 6, 1, value=values[i], epsilon=0.5, delta_max=2.0)
+            for i in range(6)
+        }
+        result = run_nodes(nodes, byzantine={5: CrashStrategy()})
+        outputs = [nodes[i].output for i in range(5)]
+        assert result.all_honest_decided
+        assert_validity(outputs, values[:5], relaxation=0.0)
+
+
+class TestFinAcs:
+    def _run(self, values, t=1, byzantine=None, seed=0):
+        n = len(values)
+        nodes = {i: FinAcsNode(i, n, t, value=values[i]) for i in range(n)}
+        result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+        return nodes, result
+
+    def test_all_honest_same_output(self):
+        values = [3.0, 4.0, 5.0, 6.0]
+        nodes, result = self._run(values)
+        assert result.all_honest_decided
+        outputs = {node.output for node in nodes.values()}
+        assert len(outputs) == 1
+
+    def test_output_within_honest_range(self):
+        values = [3.0, 4.0, 5.0, 6.0]
+        nodes, _ = self._run(values)
+        output = next(iter(nodes.values())).output
+        assert min(values) <= output <= max(values)
+
+    def test_crash_fault_tolerated(self):
+        values = [3.0, 4.0, 5.0, 6.0]
+        nodes, result = self._run(values, byzantine={1: CrashStrategy()})
+        outputs = {nodes[i].output for i in (0, 2, 3)}
+        assert result.all_honest_decided
+        assert len(outputs) == 1
+
+    def test_seven_nodes(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+        nodes, result = self._run(values, t=2)
+        assert result.all_honest_decided
+        outputs = {node.output for node in nodes.values()}
+        assert len(outputs) == 1
+        assert 1.0 <= outputs.pop() <= 7.0
+
+
+class TestHoneyBadgerAcs:
+    def _run(self, values, t=1, byzantine=None, seed=0):
+        n = len(values)
+        nodes = {i: HoneyBadgerAcsNode(i, n, t, value=values[i]) for i in range(n)}
+        result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+        return nodes, result
+
+    def test_all_honest_same_output(self):
+        values = [3.0, 4.0, 5.0, 6.0]
+        nodes, result = self._run(values)
+        assert result.all_honest_decided
+        assert len({node.output for node in nodes.values()}) == 1
+
+    def test_output_is_median_of_agreed_subset(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        nodes, _ = self._run(values)
+        output = next(iter(nodes.values())).output
+        assert min(values) <= output <= max(values)
+
+    def test_crash_fault_tolerated(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        nodes, result = self._run(values, byzantine={0: CrashStrategy()})
+        assert result.all_honest_decided
+        assert len({nodes[i].output for i in (1, 2, 3)}) == 1
+
+    def test_computation_heavier_than_fin(self):
+        """The BKR-style ACS runs n binary BAs, so it performs strictly more
+        coin work than the FIN-style single-election ACS on the same inputs."""
+        values = [1.0, 2.0, 3.0, 4.0]
+        fin_nodes = {i: FinAcsNode(i, 4, 1, value=values[i]) for i in range(4)}
+        run_nodes(fin_nodes)
+        hb_nodes = {i: HoneyBadgerAcsNode(i, 4, 1, value=values[i]) for i in range(4)}
+        run_nodes(hb_nodes)
+        fin_ops = sum(node.coin.scheme.share_count for node in fin_nodes.values())
+        hb_ops = sum(node.coin.scheme.share_count for node in hb_nodes.values())
+        assert hb_ops > fin_ops

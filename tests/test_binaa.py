@@ -1,0 +1,151 @@
+"""Tests for BinAA (Algorithm 1): the engine and the standalone protocol."""
+
+import pytest
+
+from repro.adversary.strategies import CrashStrategy, EquivocatingStrategy, RandomBitStrategy
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.protocols.binaa import BinAAEngine, BinAANode, rounds_for_epsilon
+
+from conftest import run_nodes
+
+
+def _run(values, rounds=4, t=1, byzantine=None, seed=0):
+    n = len(values)
+    nodes = {i: BinAANode(i, n, t, value=values[i], rounds=rounds) for i in range(n)}
+    result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+    return nodes, result
+
+
+class TestRoundsForEpsilon:
+    def test_halving_schedule(self):
+        assert rounds_for_epsilon(0.5) == 1
+        assert rounds_for_epsilon(0.25) == 2
+        assert rounds_for_epsilon(1e-3) == 10
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            rounds_for_epsilon(0.0)
+        with pytest.raises(ConfigurationError):
+            rounds_for_epsilon(2.0)
+
+
+class TestBinAAEngineUnit:
+    def test_rejects_non_binary_input(self):
+        engine = BinAAEngine(4, 1, rounds=2)
+        with pytest.raises(ConfigurationError):
+            engine.start(2)
+
+    def test_rejects_double_start(self):
+        engine = BinAAEngine(4, 1, rounds=2)
+        engine.start(1)
+        with pytest.raises(ConfigurationError):
+            engine.start(1)
+
+    def test_rejects_bad_resilience(self):
+        with pytest.raises(ConfigurationError):
+            BinAAEngine(3, 1, rounds=2)
+
+    def test_start_emits_echo1_for_own_value(self):
+        engine = BinAAEngine(4, 1, rounds=2)
+        out = engine.start(1)
+        assert ("ECHO1", 1, 1.0) in out
+
+    def test_unanimous_round_progression(self):
+        # Drive one engine by hand with unanimous echoes from all peers.
+        engine = BinAAEngine(4, 1, rounds=1)
+        engine.start(1)
+        emitted = []
+        for sender in range(4):
+            emitted += engine.handle(sender, ("ECHO1", 1, 1.0))
+        # After n-t ECHO1s the engine sends an ECHO2.
+        assert any(sub[0] == "ECHO2" for sub in emitted)
+        for sender in range(4):
+            emitted += engine.handle(sender, ("ECHO2", 1, 1.0))
+        assert engine.has_output
+        assert engine.output == 1.0
+
+    def test_clone_is_independent(self):
+        engine = BinAAEngine(4, 1, rounds=2)
+        engine.start(0)
+        clone = engine.clone()
+        engine.handle(1, ("ECHO1", 1, 1.0))
+        assert clone._state(1).echo1 != engine._state(1).echo1 or True
+        # The clone must not share mutable state with the original.
+        clone.handle(2, ("ECHO1", 1, 0.0))
+        assert 2 not in engine._state(1).echo1.get(0.0, set())
+
+    def test_late_messages_after_output_are_ignored(self):
+        engine = BinAAEngine(4, 1, rounds=1)
+        engine.start(1)
+        for sender in range(4):
+            engine.handle(sender, ("ECHO2", 1, 1.0))
+        assert engine.has_output
+        assert engine.handle(0, ("ECHO1", 1, 0.0)) == []
+
+    def test_out_of_range_round_ignored(self):
+        engine = BinAAEngine(4, 1, rounds=2)
+        engine.start(1)
+        assert engine.handle(0, ("ECHO1", 99, 1.0)) == []
+        assert engine.handle(0, ("ECHO1", 0, 1.0)) == []
+
+
+class TestBinAAProtocol:
+    def test_validity_unanimous_one(self):
+        nodes, _ = _run([1, 1, 1, 1])
+        for node in nodes.values():
+            assert node.output == 1.0
+
+    def test_validity_unanimous_zero(self):
+        nodes, _ = _run([0, 0, 0, 0])
+        for node in nodes.values():
+            assert node.output == 0.0
+
+    def test_epsilon_agreement_mixed_inputs(self):
+        for seed in range(4):
+            nodes, result = _run([0, 1, 0, 1], rounds=5, seed=seed)
+            values = [node.output for node in nodes.values()]
+            assert result.all_honest_decided
+            assert max(values) - min(values) <= 2 ** -5 + 1e-12
+
+    def test_outputs_within_input_hull(self):
+        nodes, _ = _run([0, 1, 1, 0], rounds=4)
+        for node in nodes.values():
+            assert 0.0 <= node.output <= 1.0
+
+    def test_seven_nodes_two_faults_crash(self):
+        values = [1, 1, 0, 1, 0, 1, 1]
+        nodes = {i: BinAANode(i, 7, 2, value=values[i], rounds=4) for i in range(7)}
+        result = run_nodes(nodes, byzantine={5: CrashStrategy(), 6: CrashStrategy()})
+        honest = [nodes[i].output for i in range(5)]
+        assert result.all_honest_decided
+        assert max(honest) - min(honest) <= 2 ** -4 + 1e-12
+
+    def test_agreement_under_equivocation(self):
+        values = [1, 1, 1, 0]
+        nodes = {i: BinAANode(i, 4, 1, value=values[i], rounds=5) for i in range(4)}
+        result = run_nodes(nodes, byzantine={3: EquivocatingStrategy()})
+        honest = [nodes[i].output for i in range(3)]
+        assert max(honest) - min(honest) <= 2 ** -5 + 1e-12
+        assert all(0.0 <= value <= 1.0 for value in honest)
+
+    def test_agreement_under_random_bits(self):
+        values = [0, 0, 1, 1]
+        nodes = {i: BinAANode(i, 4, 1, value=values[i], rounds=5) for i in range(4)}
+        result = run_nodes(nodes, byzantine={1: RandomBitStrategy(seed=9)})
+        honest = [nodes[i].output for i in (0, 2, 3)]
+        assert max(honest) - min(honest) <= 2 ** -5 + 1e-12
+
+    def test_adversarial_network_delay_does_not_break_agreement(self):
+        values = [0, 1, 1, 0, 1, 0, 1]
+        nodes = {i: BinAANode(i, 7, 2, value=values[i], rounds=4) for i in range(7)}
+        result = run_nodes(nodes, adversarial_delay=0.05, seed=11)
+        outputs = [node.output for node in nodes.values()]
+        assert result.all_honest_decided
+        assert max(outputs) - min(outputs) <= 2 ** -4 + 1e-12
+
+    def test_ignores_malformed_payloads(self):
+        node = BinAANode(0, 4, 1, value=1, rounds=2)
+        node.on_start()
+        assert node.on_message(1, Message("binaa", "ECHO1", 1, "garbage")) == []
+        assert node.on_message(1, Message("binaa", "ECHO1", 1, [1, 2])) == []

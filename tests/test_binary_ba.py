@@ -1,0 +1,108 @@
+"""Tests for randomised binary Byzantine agreement."""
+
+import pytest
+
+from repro.adversary.strategies import CrashStrategy, RandomBitStrategy
+from repro.crypto.coin import CommonCoin
+from repro.errors import ConfigurationError
+from repro.protocols.binary_ba import BinaryBAEngine, BinaryBANode
+
+from conftest import run_nodes
+
+
+def _run(values, t=1, byzantine=None, seed=0):
+    n = len(values)
+    coin = CommonCoin(n, t + 1, instance="test-ba")
+    nodes = {
+        i: BinaryBANode(i, n, t, value=values[i], coin=coin, instance="test-ba")
+        for i in range(n)
+    }
+    result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+    return nodes, result
+
+
+class TestBinaryBAEngine:
+    def test_rejects_non_binary_input(self):
+        coin = CommonCoin(4, 2)
+        engine = BinaryBAEngine(4, 1, node_id=0, coin=coin)
+        with pytest.raises(ConfigurationError):
+            engine.start(5)
+
+    def test_rejects_bad_resilience(self):
+        coin = CommonCoin(4, 2)
+        with pytest.raises(ConfigurationError):
+            BinaryBAEngine(3, 1, node_id=0, coin=coin)
+
+    def test_start_broadcasts_bval(self):
+        coin = CommonCoin(4, 2)
+        engine = BinaryBAEngine(4, 1, node_id=0, coin=coin)
+        out = engine.start(1)
+        assert ("BVAL", 1, 1) in out
+
+    def test_decide_gossip_needs_t_plus_one(self):
+        coin = CommonCoin(4, 2)
+        engine = BinaryBAEngine(4, 1, node_id=0, coin=coin)
+        engine.start(0)
+        engine.handle(1, ("DECIDE", 1, 1))
+        assert not engine.has_output
+        engine.handle(2, ("DECIDE", 1, 1))
+        assert engine.has_output and engine.output == 1
+
+
+class TestBinaryBAProtocol:
+    def test_unanimous_one_decides_one(self):
+        nodes, result = _run([1, 1, 1, 1])
+        assert result.all_honest_decided
+        assert all(node.output == 1 for node in nodes.values())
+
+    def test_unanimous_zero_decides_zero(self):
+        nodes, result = _run([0, 0, 0, 0])
+        assert result.all_honest_decided
+        assert all(node.output == 0 for node in nodes.values())
+
+    def test_mixed_inputs_agree_on_single_bit(self):
+        for seed in range(4):
+            nodes, result = _run([0, 1, 1, 0], seed=seed)
+            assert result.all_honest_decided
+            outputs = {node.output for node in nodes.values()}
+            assert len(outputs) == 1
+            assert outputs.pop() in (0, 1)
+
+    def test_validity_output_was_someones_input(self):
+        nodes, _ = _run([1, 1, 1, 0])
+        decided = {node.output for node in nodes.values()}
+        assert decided.issubset({0, 1})
+
+    def test_crash_fault_tolerated(self):
+        nodes, result = _run([1, 1, 1, 1], byzantine={2: CrashStrategy()})
+        honest = [nodes[i].output for i in (0, 1, 3)]
+        assert result.all_honest_decided
+        assert set(honest) == {1}
+
+    def test_byzantine_random_bits_agreement_holds(self):
+        for seed in range(3):
+            nodes, result = _run(
+                [0, 0, 1, 1], byzantine={3: RandomBitStrategy(seed=seed)}, seed=seed
+            )
+            honest = [nodes[i].output for i in (0, 1, 2)]
+            assert result.all_honest_decided
+            assert len(set(honest)) == 1
+
+    def test_seven_node_system(self):
+        values = [1, 0, 1, 1, 0, 1, 0]
+        n = 7
+        coin = CommonCoin(n, 3, instance="seven")
+        nodes = {
+            i: BinaryBANode(i, n, 2, value=values[i], coin=coin, instance="seven")
+            for i in range(n)
+        }
+        result = run_nodes(nodes)
+        assert result.all_honest_decided
+        assert len({node.output for node in nodes.values()}) == 1
+
+    def test_crypto_cost_reported(self):
+        node = BinaryBANode(0, 4, 1, value=1)
+        from repro.net.message import Message
+
+        assert node.processing_cost(Message("bba", "COIN", 1, None)) == 1.0
+        assert node.processing_cost(Message("bba", "BVAL", 1, None)) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the weak Binary-Value broadcast primitive (Definition II.2)."""
+
+import pytest
+
+from repro.adversary.strategies import CrashStrategy, EquivocatingStrategy, RandomBitStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.bv_broadcast import BVBroadcastNode
+
+from conftest import run_nodes
+
+
+def _run(values, n=None, t=1, byzantine=None, seed=0):
+    n = n if n is not None else len(values)
+    nodes = {i: BVBroadcastNode(i, n, t, value=values[i]) for i in range(n)}
+    result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+    return nodes, result
+
+
+class TestBVBroadcastHappyPath:
+    def test_unanimous_input_is_only_output(self):
+        nodes, _ = _run([1, 1, 1, 1])
+        for node in nodes.values():
+            assert node.output == frozenset({1})
+
+    def test_unanimous_zero(self):
+        nodes, _ = _run([0, 0, 0, 0])
+        for node in nodes.values():
+            assert node.output == frozenset({0})
+
+    def test_termination_with_mixed_inputs(self):
+        nodes, result = _run([0, 1, 0, 1])
+        assert result.all_honest_decided
+        for node in nodes.values():
+            assert len(node.output) >= 1
+
+    def test_justification_with_mixed_inputs(self):
+        nodes, _ = _run([0, 1, 1, 1])
+        for node in nodes.values():
+            assert node.output.issubset({0, 1})
+
+    def test_weak_uniformity_pairwise_intersection(self):
+        for seed in range(5):
+            nodes, _ = _run([0, 1, 0, 1], seed=seed)
+            outputs = [node.output for node in nodes.values()]
+            for a in outputs:
+                for b in outputs:
+                    assert a & b, f"outputs {a} and {b} do not intersect"
+
+    def test_larger_system(self):
+        values = [i % 2 for i in range(10)]
+        nodes, result = _run(values, t=3)
+        assert result.all_honest_decided
+
+
+class TestBVBroadcastFaults:
+    def test_crash_fault_does_not_block(self):
+        nodes, result = _run([1, 1, 1, 1], byzantine={3: CrashStrategy()})
+        for node_id in (0, 1, 2):
+            assert nodes[node_id].output == frozenset({1})
+
+    def test_justification_under_equivocation(self):
+        # All honest nodes input 1; the equivocator tries to inject 0.
+        nodes, _ = _run([1, 1, 1, 1], byzantine={3: EquivocatingStrategy()})
+        for node_id in (0, 1, 2):
+            assert nodes[node_id].output == frozenset({1})
+
+    def test_weak_uniformity_under_random_bits(self):
+        for seed in range(3):
+            nodes, _ = _run(
+                [0, 1, 1, 0], byzantine={2: RandomBitStrategy(seed=seed)}, seed=seed
+            )
+            honest = [nodes[i].output for i in (0, 1, 3)]
+            for a in honest:
+                for b in honest:
+                    assert a & b
+
+
+class TestBVBroadcastValidation:
+    def test_rejects_non_binary_input(self):
+        with pytest.raises(ConfigurationError):
+            BVBroadcastNode(0, 4, 1, value=2)
+
+    def test_rejects_bad_resilience(self):
+        with pytest.raises(ConfigurationError):
+            BVBroadcastNode(0, 3, 1, value=0)
+
+    def test_ignores_foreign_protocol_messages(self):
+        node = BVBroadcastNode(0, 4, 1, value=1)
+        node.on_start()
+        from repro.net.message import Message
+
+        assert node.on_message(1, Message("other", "ECHO1", 1, 1)) == []

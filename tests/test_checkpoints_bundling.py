@@ -1,0 +1,126 @@
+"""Tests for Delphi's checkpoint/level state and the bundled message codec."""
+
+import pytest
+
+from repro.core.bundling import Bundle, decode_bundle, encode_bundle
+from repro.core.checkpoints import LevelState
+from repro.errors import ProtocolError
+from repro.protocols.binaa import BinAAEngine
+
+
+def _level_state(level=0, separator=1.0, rounds=3, n=4, t=1):
+    return LevelState(
+        level=level,
+        separator=separator,
+        default_engine=BinAAEngine(n, t, rounds=rounds),
+        own_checkpoints=(10, 11),
+    )
+
+
+class TestLevelState:
+    def test_split_clones_default_history(self):
+        state = _level_state()
+        state.default_engine.start(0)
+        state.default_engine.handle(1, ("ECHO1", 1, 0.0))
+        engine = state.split(42)
+        assert state.is_explicit(42)
+        # The clone carries the default's received echoes.
+        assert 1 in engine._state(1).echo1[0.0]
+
+    def test_split_is_independent_after_cloning(self):
+        state = _level_state()
+        state.default_engine.start(0)
+        engine = state.split(42)
+        engine.handle(2, ("ECHO1", 1, 1.0))
+        assert 1.0 not in state.default_engine._state(1).echo1
+
+    def test_double_split_rejected(self):
+        state = _level_state()
+        state.default_engine.start(0)
+        state.split(5)
+        with pytest.raises(ProtocolError):
+            state.split(5)
+
+    def test_ensure_explicit_idempotent(self):
+        state = _level_state()
+        state.default_engine.start(0)
+        first = state.ensure_explicit(7)
+        second = state.ensure_explicit(7)
+        assert first is second
+
+    def test_terminated_requires_all_engines(self):
+        state = _level_state(rounds=1)
+        state.default_engine.start(0)
+        assert not state.terminated
+
+    def test_checkpoint_value_uses_separator(self):
+        state = _level_state(separator=2.0)
+        assert state.checkpoint_value(5) == 10.0
+
+    def test_checkpoint_weights_only_for_finished_engines(self):
+        state = _level_state(rounds=1)
+        state.default_engine.start(0)
+        engine = state.ensure_explicit(3)
+        assert state.checkpoint_weights() == {}
+        # Drive the explicit engine to completion with unanimous zero echoes.
+        for sender in range(4):
+            engine.handle(sender, ("ECHO2", 1, 0.0))
+        assert state.checkpoint_weights() == {3: 0.0}
+
+    def test_explicit_indices_sorted(self):
+        state = _level_state()
+        state.default_engine.start(0)
+        state.ensure_explicit(9)
+        state.ensure_explicit(2)
+        assert state.explicit_indices() == [2, 9]
+
+
+class TestBundleCodec:
+    def test_roundtrip(self):
+        bundle = Bundle()
+        bundle.add_explicit(0, [10, 11], 10, [("ECHO1", 1, 1.0)])
+        bundle.add_explicit(0, [10, 11], 11, [("ECHO1", 1, 1.0)])
+        bundle.add_default(0, [10, 11], [("ECHO1", 1, 0.0)])
+        bundle.add_default(3, [1, 2], [("ECHO2", 2, 0.0)])
+        decoded = decode_bundle(encode_bundle(bundle))
+        assert set(decoded.levels) == {0, 3}
+        assert decoded.levels[0].exclude == (10, 11)
+        assert decoded.levels[0].explicit[10] == [("ECHO1", 1, 1.0)]
+        assert decoded.levels[0].default == [("ECHO1", 1, 0.0)]
+        assert decoded.levels[3].default == [("ECHO2", 2, 0.0)]
+
+    def test_empty_bundle_encodes_to_empty_payload(self):
+        assert encode_bundle(Bundle()) == []
+        assert Bundle().empty
+
+    def test_empty_levels_are_skipped(self):
+        bundle = Bundle()
+        bundle.level(2, [1])  # created but never filled
+        assert encode_bundle(bundle) == []
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_bundle("not-a-list")
+        with pytest.raises(ProtocolError):
+            decode_bundle([[0, [1]]])  # wrong arity
+        with pytest.raises(ProtocolError):
+            decode_bundle([[0, [], [["ECHO1", 1]], []]])  # bad sub-message
+
+    def test_exclude_fixed_at_first_touch(self):
+        bundle = Bundle()
+        bundle.add_default(0, [1, 2], [("ECHO1", 1, 0.0)])
+        bundle.add_default(0, [3], [("ECHO1", 1, 0.0)])
+        assert bundle.levels[0].exclude == (1, 2)
+
+    def test_payload_size_scales_with_explicit_set(self):
+        from repro.net.message import estimate_size_bits
+
+        small = Bundle()
+        small.add_default(0, [], [("ECHO1", 1, 0.0)])
+        big = Bundle()
+        big.add_default(0, list(range(50)), [("ECHO1", 1, 0.0)])
+        for index in range(50):
+            big.add_explicit(0, list(range(50)), index, [("ECHO1", 1, 1.0)])
+        assert estimate_size_bits(encode_bundle(big)) > estimate_size_bits(
+            encode_bundle(small)
+        )

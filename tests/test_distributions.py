@@ -1,0 +1,156 @@
+"""Tests for the input distributions, extreme-value theory and fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.distributions.base import InputDistribution
+from repro.distributions.extreme_value import (
+    delta_bound,
+    expected_range,
+    frechet_range_quantile,
+    gumbel_range_quantile,
+)
+from repro.distributions.fat_tailed import FrechetInputs, LoggammaInputs, ParetoInputs
+from repro.distributions.fitting import best_fit, fit_distributions, histogram
+from repro.distributions.thin_tailed import GammaInputs, LognormalInputs, NormalInputs
+
+
+class TestInputDistributions:
+    def test_normal_inputs_centred_on_true_value(self):
+        dist = NormalInputs(sigma=1.0, true_value=50.0, seed=1)
+        samples = dist.sample_inputs(2000)
+        assert abs(np.mean(samples) - 50.0) < 0.2
+
+    def test_gamma_inputs_centred_when_requested(self):
+        dist = GammaInputs(shape=30.77, scale=0.18, true_value=10.0, seed=1)
+        samples = dist.sample_inputs(2000)
+        assert abs(np.mean(samples) - 10.0) < 0.2
+
+    def test_lognormal_scale_property(self):
+        dist = LognormalInputs(mu=0.0, sigma=0.5)
+        assert dist.scale == pytest.approx(0.5)
+
+    def test_pareto_has_fat_tail_classification(self):
+        assert ParetoInputs(alpha=3.0, scale=1.0).tail == "fat"
+        assert NormalInputs(sigma=1.0).tail == "thin"
+
+    def test_sample_ranges_positive(self):
+        dist = NormalInputs(sigma=2.0, seed=3)
+        ranges = dist.sample_ranges(count=10, rounds=20)
+        assert len(ranges) == 20
+        assert all(value > 0 for value in ranges)
+
+    def test_loggamma_and_frechet_generate(self):
+        for dist in (
+            LoggammaInputs(shape=1.2, scale=0.4, seed=2),
+            FrechetInputs(alpha=4.41, frechet_scale=29.3, seed=2),
+        ):
+            samples = dist.sample_inputs(100)
+            assert len(samples) == 100
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NormalInputs(sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            GammaInputs(shape=-1.0, scale=1.0)
+        with pytest.raises(ConfigurationError):
+            ParetoInputs(alpha=0.0, scale=1.0)
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            NormalInputs(sigma=1.0).sample_inputs(0)
+
+    def test_describe_reports_tail_and_scale(self):
+        description = NormalInputs(sigma=2.5).describe()
+        assert description["tail"] == "thin"
+        assert description["scale"] == 2.5
+
+    def test_base_class_is_abstract_enough(self):
+        with pytest.raises(NotImplementedError):
+            InputDistribution().sample_inputs(3)
+
+
+class TestExtremeValue:
+    def test_gumbel_quantile_grows_with_n(self):
+        small = gumbel_range_quantile(10, scale=1.0, failure_probability=1e-9)
+        large = gumbel_range_quantile(1000, scale=1.0, failure_probability=1e-9)
+        assert large > small
+
+    def test_gumbel_quantile_grows_with_security(self):
+        loose = gumbel_range_quantile(100, 1.0, failure_probability=1e-3)
+        tight = gumbel_range_quantile(100, 1.0, failure_probability=1e-12)
+        assert tight > loose
+
+    def test_thin_tail_bound_is_logarithmic_in_n(self):
+        at_100 = delta_bound(100, security_bits=30, scale=1.0, tail="thin")
+        at_10000 = delta_bound(10_000, security_bits=30, scale=1.0, tail="thin")
+        # Doubling log(n) should far less than double the bound dominated by lambda.
+        assert at_10000 / at_100 < 2.0
+
+    def test_fat_tail_bound_is_polynomial_in_n(self):
+        at_100 = delta_bound(100, security_bits=30, scale=1.0, tail="fat", alpha=2.0)
+        at_10000 = delta_bound(10_000, security_bits=30, scale=1.0, tail="fat", alpha=2.0)
+        assert at_10000 / at_100 == pytest.approx(10.0, rel=0.05)
+
+    def test_bound_covers_observed_ranges(self):
+        dist = NormalInputs(sigma=5.0, seed=7)
+        bound = delta_bound(50, security_bits=20, distribution=dist)
+        ranges = dist.sample_ranges(count=50, rounds=200)
+        assert max(ranges) < bound
+
+    def test_expected_range_thin_matches_gumbel_mean(self):
+        value = expected_range(100, scale=2.0, tail="thin")
+        assert value == pytest.approx(2.0 * (math.log(100) + 0.5772156649), rel=1e-6)
+
+    def test_expected_range_fat_requires_alpha_above_one(self):
+        with pytest.raises(AnalysisError):
+            expected_range(100, scale=1.0, tail="fat", alpha=0.5)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(AnalysisError):
+            gumbel_range_quantile(1, 1.0, 0.01)
+        with pytest.raises(AnalysisError):
+            frechet_range_quantile(10, -1.0, 1.0, 0.01)
+        with pytest.raises(AnalysisError):
+            delta_bound(10, security_bits=30)
+
+
+class TestFitting:
+    def test_gumbel_data_best_fit_by_gumbel_or_frechet(self):
+        rng = np.random.default_rng(3)
+        samples = rng.gumbel(loc=20.0, scale=5.0, size=1500)
+        fit = best_fit(samples, candidates=("gumbel", "normal", "gamma"))
+        assert fit.name == "gumbel"
+
+    def test_frechet_data_recognised(self):
+        dist = FrechetInputs(alpha=4.41, frechet_scale=29.3, seed=5)
+        samples = [value + 100.0 for value in dist.sample_inputs(1500)]
+        fit = best_fit(samples, candidates=("frechet", "normal"))
+        assert fit.name == "frechet"
+
+    def test_results_sorted_by_ks_statistic(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0.0, 1.0, size=500)
+        results = fit_distributions(samples, candidates=("normal", "gamma", "gumbel"))
+        statistics = [result.ks_statistic for result in results]
+        assert statistics == sorted(statistics)
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(AnalysisError):
+            fit_distributions([1.0, 2.0, 3.0])
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_distributions(list(range(20)), candidates=("nope",))
+
+    def test_histogram_bins_and_counts(self):
+        centres, counts = histogram([1.0, 1.1, 1.2, 5.0, 5.1], bins=2)
+        assert len(centres) == 2 and len(counts) == 2
+        assert sum(counts) == 5
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            histogram([])

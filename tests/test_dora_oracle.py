@@ -1,0 +1,141 @@
+"""Tests for the DORA attestation step, the SMR channel and the oracle
+network application layer."""
+
+import pytest
+
+from repro.adversary.strategies import CrashStrategy
+from repro.analysis.parameters import derive_parameters
+from repro.core.dora import DoraCertificate, DoraNode
+from repro.crypto.signatures import SignatureScheme
+from repro.errors import ConfigurationError
+from repro.oracle.network import OracleNetwork
+from repro.oracle.smr import SMRChannel
+
+from conftest import run_nodes, small_delphi_params
+
+
+def _run_dora(values, params=None, byzantine=None, seed=0):
+    params = params or small_delphi_params(n=len(values))
+    scheme = SignatureScheme(num_nodes=params.n)
+    nodes = {
+        i: DoraNode(node_id=i, params=params, value=values[i], scheme=scheme)
+        for i in range(params.n)
+    }
+    result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+    return nodes, result, params, scheme
+
+
+class TestDoraNode:
+    def test_all_nodes_produce_certificates(self):
+        values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
+        nodes, result, params, scheme = _run_dora(values)
+        assert result.all_honest_decided
+        for node in nodes.values():
+            certificate = node.certificate
+            assert isinstance(certificate, DoraCertificate)
+            assert certificate.signer_count >= params.t + 1
+            assert scheme.verify_aggregate(
+                certificate.value, certificate.aggregate, threshold=params.t + 1
+            )
+
+    def test_certified_values_on_adjacent_epsilon_multiples(self):
+        values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
+        nodes, _, params, _ = _run_dora(values)
+        certified = {node.certificate.value for node in nodes.values()}
+        assert len(certified) <= 2
+        for value in certified:
+            assert value / params.epsilon == pytest.approx(round(value / params.epsilon))
+
+    def test_rounded_outputs_near_honest_inputs(self):
+        values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
+        nodes, _, params, _ = _run_dora(values)
+        delta = max(values) - min(values)
+        slack = max(params.rho0, delta) + params.epsilon
+        for node in nodes.values():
+            assert min(values) - slack <= node.certificate.value <= max(values) + slack
+
+    def test_crash_faults_tolerated(self):
+        values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
+        byz = {6: CrashStrategy()}
+        nodes, result, params, _ = _run_dora(values, byzantine=byz)
+        assert result.all_honest_decided
+        certified = {nodes[i].certificate.value for i in range(6)}
+        assert len(certified) <= 2
+
+    def test_scheme_size_mismatch_rejected(self):
+        params = small_delphi_params(n=4)
+        with pytest.raises(ConfigurationError):
+            DoraNode(0, params, value=1.0, scheme=SignatureScheme(num_nodes=5))
+
+    def test_report_verification_cost_is_symmetric(self):
+        params = small_delphi_params(n=4)
+        node = DoraNode(0, params, value=1.0, scheme=SignatureScheme(num_nodes=4))
+        from repro.net.message import Message
+
+        assert node.processing_cost(Message("dora", "REPORT", None, None)) == 1.0
+        assert node.processing_cost(Message("delphi", "BUNDLE", None, None)) == 0.0
+
+
+class TestSMRChannel:
+    def test_orders_submissions(self):
+        chain = SMRChannel()
+        chain.submit(0, "a")
+        chain.submit(1, "b")
+        assert [entry.payload for entry in chain.entries] == ["a", "b"]
+        assert chain.first_valid().payload == "a"
+
+    def test_validator_filters_invalid_entries(self):
+        chain = SMRChannel(validator=lambda payload: payload == "good")
+        chain.submit(0, "bad")
+        chain.submit(1, "good")
+        assert chain.first_valid().payload == "good"
+        assert chain.validations == 2
+
+    def test_consumed_value_requires_valid_entry(self):
+        chain = SMRChannel(validator=lambda payload: False)
+        chain.submit(0, "x")
+        with pytest.raises(ConfigurationError):
+            chain.consumed_value()
+
+    def test_distinct_valid_payload_count(self):
+        chain = SMRChannel()
+        chain.submit(0, 10.0)
+        chain.submit(1, 10.0)
+        chain.submit(2, 12.0)
+        assert chain.distinct_valid_payloads == 2
+
+
+class TestOracleNetwork:
+    def test_end_to_end_report_round(self):
+        params = small_delphi_params(n=4, epsilon=1.0, delta_max=16.0)
+        network = OracleNetwork(params)
+        report = network.report_round([10.2, 10.6, 10.9, 10.4])
+        assert report.certificate.signer_count >= params.t + 1
+        assert 10.2 - 2.0 <= report.value <= 10.9 + 2.0
+        assert report.runtime_seconds > 0
+        assert report.total_megabytes > 0
+        assert report.output_spread <= params.epsilon + 1e-9
+
+    def test_at_most_two_distinct_report_values_reach_the_chain(self):
+        params = small_delphi_params(n=4, epsilon=1.0, delta_max=16.0)
+        network = OracleNetwork(params)
+        network.report_round([10.2, 10.6, 10.9, 10.4])
+        values = {
+            entry.payload.value for entry in network.chain.entries if entry.valid
+        }
+        assert len(values) <= 2
+
+    def test_measurement_count_checked(self):
+        params = small_delphi_params(n=4)
+        network = OracleNetwork(params)
+        with pytest.raises(ConfigurationError):
+            network.report_round([1.0, 2.0])
+
+    def test_crash_fault_round(self):
+        params = small_delphi_params(n=7, epsilon=1.0, delta_max=16.0)
+        network = OracleNetwork(params)
+        report = network.report_round(
+            [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0],
+            byzantine={6: CrashStrategy()},
+        )
+        assert report.certificate.signer_count >= params.t + 1

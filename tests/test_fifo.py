@@ -1,0 +1,87 @@
+"""Tests for the FIFO inbox and the compact VAL/shift encoding."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols.fifo import FifoInbox, ShiftCodec, token_size_bits
+
+
+class TestFifoInbox:
+    def test_in_order_items_released_immediately(self):
+        inbox = FifoInbox()
+        assert inbox.push(0, 1, "a") == [(1, "a")]
+        assert inbox.push(0, 2, "b") == [(2, "b")]
+
+    def test_out_of_order_items_buffered_until_gap_fills(self):
+        inbox = FifoInbox()
+        assert inbox.push(0, 2, "b") == []
+        assert inbox.waiting(0) == 1
+        released = inbox.push(0, 1, "a")
+        assert released == [(1, "a"), (2, "b")]
+        assert inbox.waiting(0) == 0
+
+    def test_senders_are_independent(self):
+        inbox = FifoInbox()
+        inbox.push(0, 2, "late")
+        assert inbox.push(1, 1, "x") == [(1, "x")]
+
+    def test_duplicate_round_is_ignored(self):
+        inbox = FifoInbox()
+        inbox.push(0, 1, "a")
+        assert inbox.push(0, 1, "duplicate") == []
+
+    def test_rejects_round_zero(self):
+        with pytest.raises(ProtocolError):
+            FifoInbox().push(0, 0, "x")
+
+
+class TestShiftCodec:
+    def test_encode_center(self):
+        codec = ShiftCodec(initial_value=1.0)
+        assert codec.encode(2, 1.0, 1.0) == "C"
+
+    def test_encode_left_and_right(self):
+        codec = ShiftCodec(initial_value=1.0)
+        assert codec.encode(2, 1.0, 0.5) == "L"
+        assert codec.encode(3, 0.5, 0.75) == "R"
+
+    def test_encode_double_steps(self):
+        codec = ShiftCodec(initial_value=1.0)
+        assert codec.encode(3, 1.0, 0.5) == "2L"
+        assert codec.encode(3, 0.0, 0.5) == "2R"
+
+    def test_illegal_shift_rejected(self):
+        codec = ShiftCodec(initial_value=1.0)
+        with pytest.raises(ProtocolError):
+            codec.encode(2, 1.0, 0.8)
+
+    def test_round_one_has_no_shift(self):
+        with pytest.raises(ProtocolError):
+            ShiftCodec(1.0).encode(1, 1.0, 1.0)
+
+    def test_apply_inverse_of_encode(self):
+        codec = ShiftCodec(initial_value=0.0)
+        token = codec.encode(2, 0.0, 0.5)
+        assert ShiftCodec.apply(token, 2, 0.0) == pytest.approx(0.5)
+
+    def test_reconstruct_full_history(self):
+        # Value path: 1.0 -> 0.5 (round 2, L) -> 0.75 (round 3, R) -> 0.75 (C)
+        tokens = ["L", "R", "C"]
+        assert ShiftCodec.reconstruct(1.0, tokens) == pytest.approx(0.75)
+
+    def test_reconstruct_matches_encoded_history(self):
+        codec = ShiftCodec(initial_value=1.0)
+        path = [1.0, 0.5, 0.5, 0.625]
+        for round_number in range(2, 5):
+            codec.encode(round_number, path[round_number - 2], path[round_number - 1])
+        assert ShiftCodec.reconstruct(1.0, codec.history) == pytest.approx(path[-1])
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ProtocolError):
+            ShiftCodec.apply("XX", 2, 1.0)
+
+
+class TestTokenSize:
+    def test_grows_with_round_number_only_logarithmically(self):
+        assert token_size_bits(1) < token_size_bits(1000)
+        assert token_size_bits(1000) <= 3 + 10

@@ -1,0 +1,71 @@
+"""Tests for bandwidth models and uplink accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.bandwidth import BandwidthAccountant, BandwidthModel
+from repro.net.message import Envelope, Message
+
+
+def _envelope(sender=0, payload=None):
+    return Envelope(sender=sender, destination=1, message=Message("p", "T", None, payload))
+
+
+class TestBandwidthModel:
+    def test_unlimited_by_default(self):
+        model = BandwidthModel()
+        assert model.unlimited
+        assert model.transmission_delay(10 ** 9) == 0.0
+
+    def test_transmission_delay(self):
+        model = BandwidthModel(bits_per_second=1000.0)
+        assert model.transmission_delay(500) == pytest.approx(0.5)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthModel(bits_per_second=0)
+
+
+class TestBandwidthAccountant:
+    def test_unlimited_returns_now(self):
+        accountant = BandwidthAccountant()
+        assert accountant.send(_envelope(), now=1.5) == 1.5
+
+    def test_serialises_same_sender(self):
+        model = BandwidthModel(bits_per_second=1000.0)
+        accountant = BandwidthAccountant(model=model)
+        envelope = _envelope(payload=b"x" * 100)  # ~800+ bits
+        first = accountant.send(envelope, now=0.0)
+        second = accountant.send(envelope, now=0.0)
+        assert second > first
+
+    def test_different_senders_do_not_queue_behind_each_other(self):
+        model = BandwidthModel(bits_per_second=1000.0)
+        accountant = BandwidthAccountant(model=model)
+        a = accountant.send(_envelope(sender=0, payload=b"x" * 100), now=0.0)
+        b = accountant.send(_envelope(sender=1, payload=b"x" * 100), now=0.0)
+        assert a == pytest.approx(b)
+
+    def test_traffic_totals_accumulate(self):
+        accountant = BandwidthAccountant()
+        envelope = _envelope(payload=1.0)
+        accountant.send(envelope, now=0.0)
+        accountant.send(envelope, now=0.0)
+        assert accountant.message_count == 2
+        assert accountant.total_bits == 2 * envelope.size_bits()
+        assert accountant.total_megabytes > 0
+
+    def test_reset_clears_state(self):
+        model = BandwidthModel(bits_per_second=10.0)
+        accountant = BandwidthAccountant(model=model)
+        accountant.send(_envelope(payload=b"abc"), now=0.0)
+        accountant.reset()
+        assert accountant.message_count == 0
+        assert accountant.send(_envelope(), now=0.0) >= 0.0
+
+    def test_idle_uplink_does_not_delay_later_sends(self):
+        model = BandwidthModel(bits_per_second=1e9)
+        accountant = BandwidthAccountant(model=model)
+        accountant.send(_envelope(), now=0.0)
+        later = accountant.send(_envelope(), now=100.0)
+        assert later == pytest.approx(100.0, abs=1e-3)

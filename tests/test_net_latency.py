@@ -1,0 +1,86 @@
+"""Tests for the latency models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.latency import (
+    AWS_REGIONS,
+    ConstantLatency,
+    GeoLatencyModel,
+    UniformLatency,
+    aws_latency_model,
+    cps_latency_model,
+)
+
+
+class TestConstantLatency:
+    def test_returns_constant(self):
+        model = ConstantLatency(0.005)
+        assert model.delay(0, 1) == 0.005
+        assert model.expected_delay(3, 4) == 0.005
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-0.001)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self):
+        model = UniformLatency(low=0.001, high=0.002, seed=1)
+        for _ in range(100):
+            delay = model.delay(0, 1)
+            assert 0.001 <= delay <= 0.002
+
+    def test_reproducible_for_same_seed(self):
+        a = UniformLatency(seed=7)
+        b = UniformLatency(seed=7)
+        assert [a.delay(0, 1) for _ in range(5)] == [b.delay(0, 1) for _ in range(5)]
+
+    def test_expected_delay_is_midpoint(self):
+        model = UniformLatency(low=0.002, high=0.006)
+        assert model.expected_delay(0, 1) == pytest.approx(0.004)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(low=0.01, high=0.001)
+
+
+class TestGeoLatencyModel:
+    def test_round_robin_region_assignment(self):
+        model = aws_latency_model(num_nodes=16)
+        assert model.region_of(0) == AWS_REGIONS[0]
+        assert model.region_of(8) == AWS_REGIONS[0]
+        assert model.region_of(9) == AWS_REGIONS[1]
+
+    def test_intra_region_faster_than_cross_continent(self):
+        model = aws_latency_model(num_nodes=16)
+        same_region = model.base_delay(0, 8)
+        cross = model.base_delay(0, 6)  # us-east-1 -> ap-southeast-1
+        assert same_region < cross
+
+    def test_base_delay_symmetric(self):
+        model = aws_latency_model(num_nodes=8)
+        assert model.base_delay(1, 5) == pytest.approx(model.base_delay(5, 1))
+
+    def test_jitter_stays_within_fraction(self):
+        model = aws_latency_model(num_nodes=8, seed=3)
+        base = model.base_delay(0, 6)
+        for _ in range(50):
+            delay = model.delay(0, 6)
+            assert abs(delay - base) <= base * model.jitter_fraction + 1e-12
+
+    def test_assignment_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            GeoLatencyModel(
+                regions=("a", "b"),
+                one_way_ms={("a", "a"): 1.0},
+                num_nodes=4,
+                assignment=["a"],
+            )
+
+
+class TestCpsLatency:
+    def test_sub_two_millisecond_lan(self):
+        model = cps_latency_model(num_nodes=10)
+        for _ in range(50):
+            assert model.delay(0, 1) <= 0.0015

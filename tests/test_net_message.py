@@ -1,0 +1,117 @@
+"""Tests for message construction and wire-size accounting."""
+
+import pytest
+
+from repro.net.message import (
+    HEADER_BITS,
+    HMAC_TAG_BITS,
+    Envelope,
+    Message,
+    MessageTrace,
+    estimate_size_bits,
+)
+
+
+class TestEstimateSizeBits:
+    def test_none_costs_nothing(self):
+        assert estimate_size_bits(None) == 0
+
+    def test_bool_costs_one_bit(self):
+        assert estimate_size_bits(True) == 1
+        assert estimate_size_bits(False) == 1
+
+    def test_small_int_has_floor(self):
+        assert estimate_size_bits(1) == 8
+        assert estimate_size_bits(0) == 8
+
+    def test_large_int_uses_bit_length(self):
+        assert estimate_size_bits(2 ** 40) == 41
+
+    def test_float_costs_value_bits(self):
+        assert estimate_size_bits(3.14) == 64
+
+    def test_string_costs_8_bits_per_char(self):
+        assert estimate_size_bits("abcd") == 32
+
+    def test_bytes_cost_8_bits_per_byte(self):
+        assert estimate_size_bits(b"\x00\x01\x02") == 24
+
+    def test_list_sums_elements_plus_framing(self):
+        assert estimate_size_bits([1.0, 2.0]) == 8 + 64 + 64
+
+    def test_dict_sums_keys_and_values(self):
+        size = estimate_size_bits({"a": 1.0})
+        assert size == 8 + 8 + 64
+
+    def test_nested_structures(self):
+        payload = [[1.0, 2.0], [3.0]]
+        assert estimate_size_bits(payload) == 8 + (8 + 128) + (8 + 64)
+
+
+class TestMessage:
+    def test_size_includes_header_and_names(self):
+        message = Message("p", "T", None, None)
+        assert message.size_bits() == HEADER_BITS + 8 + 8
+
+    def test_round_number_adds_bits(self):
+        without = Message("p", "T", None, None).size_bits()
+        with_round = Message("p", "T", 5, None).size_bits()
+        assert with_round > without
+
+    def test_larger_round_costs_more_bits(self):
+        small = Message("p", "T", 2, None).size_bits()
+        large = Message("p", "T", 2 ** 20, None).size_bits()
+        assert large > small
+
+    def test_size_bytes_rounds_up(self):
+        message = Message("p", "T", None, True)
+        assert message.size_bytes() == (message.size_bits() + 7) // 8
+
+    def test_with_payload_keeps_identity_fields(self):
+        message = Message("p", "T", 3, 1.0)
+        other = message.with_payload(2.0)
+        assert other.protocol == "p" and other.mtype == "T" and other.round == 3
+        assert other.payload == 2.0
+
+    def test_messages_are_hashable_and_frozen(self):
+        message = Message("p", "T", 1, 0.5)
+        assert hash(message) == hash(Message("p", "T", 1, 0.5))
+        with pytest.raises(AttributeError):
+            message.mtype = "X"
+
+
+class TestEnvelope:
+    def test_authenticated_envelope_includes_hmac(self):
+        message = Message("p", "T", None, None)
+        sealed = Envelope(0, 1, message, authenticated=True)
+        plain = Envelope(0, 1, message, authenticated=False)
+        assert sealed.size_bits() == plain.size_bits() + HMAC_TAG_BITS
+
+    def test_key_groups_by_channel_and_type(self):
+        message = Message("p", "T", None, None)
+        envelope = Envelope(2, 3, message)
+        assert envelope.key() == (2, 3, "p", "T")
+
+
+class TestMessageTrace:
+    def test_records_counts_and_bits(self):
+        trace = MessageTrace()
+        message = Message("p", "T", None, 1.0)
+        trace.record(Envelope(0, 1, message))
+        trace.record(Envelope(1, 0, message))
+        assert trace.message_count == 2
+        assert trace.total_bits == 2 * Envelope(0, 1, message).size_bits()
+
+    def test_per_sender_accounting(self):
+        trace = MessageTrace()
+        message = Message("p", "T", None, None)
+        trace.record(Envelope(0, 1, message))
+        trace.record(Envelope(0, 2, message))
+        trace.record(Envelope(1, 0, message))
+        assert trace.per_sender_bits[0] == 2 * Envelope(0, 1, message).size_bits()
+        assert trace.per_sender_bits[1] == Envelope(1, 0, message).size_bits()
+
+    def test_megabyte_conversion(self):
+        trace = MessageTrace()
+        trace.total_bits = 8_000_000
+        assert trace.total_megabytes == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Tests for the asynchronous network and the adversarial delivery policy."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import ConstantLatency
+from repro.net.message import Envelope, Message
+from repro.net.network import AsynchronousNetwork, DeliveryPolicy
+
+
+def _envelope(sender=0, destination=1):
+    return Envelope(sender, destination, Message("p", "T", None, 1.0))
+
+
+class TestDeliveryPolicy:
+    def test_no_delay_by_default(self):
+        policy = DeliveryPolicy()
+        assert policy.extra_delay(_envelope()) == 0.0
+
+    def test_bounded_extra_delay(self):
+        policy = DeliveryPolicy(max_extra_delay=0.5, seed=3)
+        for _ in range(100):
+            assert 0.0 <= policy.extra_delay(_envelope()) <= 0.5
+
+    def test_target_fraction_zero_never_delays(self):
+        policy = DeliveryPolicy(max_extra_delay=1.0, target_fraction=0.0)
+        assert all(policy.extra_delay(_envelope()) == 0.0 for _ in range(20))
+
+    def test_reorder_toggle_controls_tiebreak(self):
+        ordered = DeliveryPolicy(reorder=False)
+        assert ordered.tiebreak() == 0.0
+        shuffled = DeliveryPolicy(reorder=True, seed=1)
+        assert 0.0 <= shuffled.tiebreak() <= 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(NetworkError):
+            DeliveryPolicy(max_extra_delay=-1.0)
+        with pytest.raises(NetworkError):
+            DeliveryPolicy(target_fraction=1.5)
+
+
+class TestAsynchronousNetwork:
+    def test_delivery_time_includes_latency(self):
+        network = AsynchronousNetwork(4, latency=ConstantLatency(0.02))
+        assert network.delivery_time(_envelope(), now=1.0) == pytest.approx(1.02)
+
+    def test_delivery_time_includes_bandwidth(self):
+        network = AsynchronousNetwork(
+            4,
+            latency=ConstantLatency(0.0),
+            bandwidth=BandwidthModel(bits_per_second=1000.0),
+        )
+        envelope = _envelope()
+        expected = envelope.size_bits() / 1000.0
+        assert network.delivery_time(envelope, now=0.0) == pytest.approx(expected)
+
+    def test_adversarial_delay_added(self):
+        network = AsynchronousNetwork(
+            4,
+            latency=ConstantLatency(0.0),
+            policy=DeliveryPolicy(max_extra_delay=0.5, seed=2),
+        )
+        times = [network.delivery_time(_envelope(), now=0.0) for _ in range(50)]
+        assert max(times) > 0.0
+        assert all(0.0 <= t <= 0.5 for t in times)
+
+    def test_unknown_destination_rejected(self):
+        network = AsynchronousNetwork(2)
+        with pytest.raises(NetworkError):
+            network.delivery_time(_envelope(destination=5), now=0.0)
+
+    def test_trace_and_reset(self):
+        network = AsynchronousNetwork(4)
+        network.delivery_time(_envelope(), now=0.0)
+        assert network.trace.message_count == 1
+        network.reset()
+        assert network.trace.message_count == 0
+
+    def test_rejects_empty_network(self):
+        with pytest.raises(NetworkError):
+            AsynchronousNetwork(0)

@@ -1,0 +1,95 @@
+"""Tests for Delphi parameter derivation (Algorithm 2 setup)."""
+
+import math
+
+import pytest
+
+from repro.analysis.parameters import DelphiParameters, derive_parameters
+from repro.errors import ConfigurationError
+
+
+class TestDerivation:
+    def test_level_count_follows_log2_delta_over_rho(self):
+        params = DelphiParameters(n=16, t=5, epsilon=2.0, rho0=2.0, delta_max=2048.0)
+        assert params.level_count == int(math.ceil(math.log2(2048.0 / 2.0))) + 1
+
+    def test_eps_prime_matches_algorithm_2(self):
+        params = DelphiParameters(n=16, t=5, epsilon=2.0, rho0=2.0, delta_max=2048.0)
+        l_max = params.level_count_uncapped - 1
+        assert params.eps_prime == pytest.approx(2.0 / (4 * 2048.0 * l_max * 16))
+
+    def test_rounds_follow_eps_prime(self):
+        params = DelphiParameters(n=16, t=5, epsilon=2.0, rho0=2.0, delta_max=2048.0)
+        assert params.rounds_uncapped == int(math.ceil(math.log2(1.0 / params.eps_prime)))
+
+    def test_round_cap_reported(self):
+        params = DelphiParameters(
+            n=16, t=5, epsilon=2.0, rho0=2.0, delta_max=2048.0, max_rounds=8
+        )
+        assert params.rounds == 8
+        assert params.rounds_capped
+        uncapped = DelphiParameters(n=16, t=5, epsilon=2.0, rho0=2.0, delta_max=2048.0)
+        assert not uncapped.rounds_capped
+
+    def test_level_cap(self):
+        params = DelphiParameters(
+            n=16, t=5, epsilon=2.0, rho0=2.0, delta_max=2048.0, max_levels=4
+        )
+        assert params.level_count == 4
+        assert params.levels == [0, 1, 2, 3]
+
+    def test_describe_contains_key_fields(self):
+        description = derive_parameters(n=16, epsilon=2.0, delta_max=2000.0).describe()
+        for key in ("n", "t", "epsilon", "rho0", "delta_max", "levels", "rounds"):
+            assert key in description
+
+
+class TestCheckpointGeometry:
+    def test_separator_doubles_per_level(self):
+        params = DelphiParameters(n=7, t=2, epsilon=1.0, rho0=1.0, delta_max=16.0)
+        assert params.separator(0) == 1.0
+        assert params.separator(3) == 8.0
+
+    def test_checkpoint_value_is_index_times_separator(self):
+        params = DelphiParameters(n=7, t=2, epsilon=1.0, rho0=2.0, delta_max=16.0)
+        assert params.checkpoint_value(1, 5) == 5 * 4.0
+
+    def test_nearest_checkpoints_bracket_the_value(self):
+        params = DelphiParameters(n=7, t=2, epsilon=1.0, rho0=1.0, delta_max=16.0)
+        low, high = params.nearest_checkpoints(0, 10.6)
+        assert low == 10 and high == 11
+        assert params.checkpoint_value(0, low) <= 10.6 <= params.checkpoint_value(0, high)
+
+    def test_nearest_checkpoints_negative_values(self):
+        params = DelphiParameters(n=7, t=2, epsilon=1.0, rho0=1.0, delta_max=16.0)
+        low, high = params.nearest_checkpoints(0, -3.4)
+        assert low == -4 and high == -3
+
+    def test_checkpoints_within_distance(self):
+        params = DelphiParameters(n=7, t=2, epsilon=1.0, rho0=1.0, delta_max=16.0)
+        indices = params.checkpoints_within(0, 10.0, 2.0)
+        assert indices == [8, 9, 10, 11, 12]
+
+    def test_invalid_level_rejected(self):
+        params = DelphiParameters(n=7, t=2, epsilon=1.0, rho0=1.0, delta_max=16.0)
+        with pytest.raises(ConfigurationError):
+            params.separator(99)
+
+
+class TestValidation:
+    def test_rejects_bad_resilience(self):
+        with pytest.raises(ConfigurationError):
+            DelphiParameters(n=6, t=2, epsilon=1.0, rho0=1.0, delta_max=8.0)
+
+    def test_rejects_non_positive_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            DelphiParameters(n=7, t=2, epsilon=0.0, rho0=1.0, delta_max=8.0)
+
+    def test_rejects_delta_below_rho(self):
+        with pytest.raises(ConfigurationError):
+            DelphiParameters(n=7, t=2, epsilon=1.0, rho0=4.0, delta_max=2.0)
+
+    def test_derive_parameters_defaults(self):
+        params = derive_parameters(n=10, epsilon=0.5, delta_max=64.0)
+        assert params.t == 3
+        assert params.rho0 == 0.5

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+paper's invariants.
+
+These cover the pure building blocks where the paper's lemmas are stated:
+the cross-level weight differencing (Theorem IV.1's lower bound), level
+aggregation (weighted averages stay in the convex hull of checkpoints),
+trimmed means (validity of the baselines), the shift codec, the size
+accounting and the BinAA engine run in a synchronous lockstep harness
+(range halving and convex validity for arbitrary binary input vectors).
+"""
+
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import (
+    aggregate_level,
+    cross_level_output,
+    cross_level_weights,
+    round_to_epsilon,
+    LevelAggregate,
+)
+from repro.net.message import Message, estimate_size_bits
+from repro.protocols.baselines.abraham_aaa import trimmed_mean
+from repro.protocols.binaa import BinAAEngine
+from repro.protocols.fifo import ShiftCodec
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+weights = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+values = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestCrossLevelWeightProperties:
+    @given(st.lists(weights, min_size=1, max_size=12))
+    def test_primed_weights_non_negative(self, level_weights):
+        assert all(w >= 0.0 for w in cross_level_weights(level_weights))
+
+    @given(st.lists(weights, min_size=1, max_size=12))
+    def test_saturated_level_guarantees_half_total(self, level_weights):
+        """Theorem IV.1: if any level weight is 1, the differenced sum >= 1/2."""
+        if any(abs(w - 1.0) < 1e-12 for w in level_weights):
+            assert sum(cross_level_weights(level_weights)) >= 0.5 - 1e-9
+
+    @given(st.lists(weights, min_size=2, max_size=12), st.integers(min_value=0, max_value=10))
+    def test_levels_above_first_saturation_contribute_zero(self, level_weights, position):
+        position = min(position, len(level_weights) - 2)
+        level_weights = list(level_weights)
+        # Force saturation at `position` and at every later level.
+        for index in range(position, len(level_weights)):
+            level_weights[index] = 1.0
+        primed = cross_level_weights(level_weights)
+        assert all(abs(w) < 1e-12 for w in primed[position + 1:])
+
+
+class TestAggregationProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=-50, max_value=50),
+            weights,
+            min_size=1,
+            max_size=10,
+        ),
+        st.floats(min_value=0.1, max_value=10.0),
+        values,
+    )
+    def test_level_value_within_checkpoint_hull(self, weight_map, separator, own_input):
+        checkpoint_values = {index: index * separator for index in weight_map}
+        aggregate = aggregate_level(0, checkpoint_values, weight_map, own_input, 1e-3)
+        if aggregate.fallback:
+            assert aggregate.value == own_input
+        else:
+            positive = [checkpoint_values[i] for i, w in weight_map.items() if w > 0]
+            assert min(positive) - 1e-9 <= aggregate.value <= max(positive) + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(values, st.floats(min_value=1e-6, max_value=1.0)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_cross_level_output_within_level_value_hull(self, pairs):
+        aggregates = [
+            LevelAggregate(level=i, value=v, weight=w, fallback=False)
+            for i, (v, w) in enumerate(pairs)
+        ]
+        output = cross_level_output(aggregates)
+        lows = min(v for v, _ in pairs)
+        highs = max(v for v, _ in pairs)
+        assert lows - 1e-6 <= output <= highs + 1e-6
+
+    @given(values, st.floats(min_value=1e-3, max_value=100.0))
+    def test_rounding_moves_value_at_most_half_epsilon(self, value, epsilon):
+        rounded = round_to_epsilon(value, epsilon)
+        assert abs(rounded - value) <= epsilon / 2 + 1e-6
+
+
+class TestTrimmedMeanProperties:
+    @given(
+        st.lists(values, min_size=3, max_size=25),
+        st.lists(values, min_size=0, max_size=4),
+    )
+    def test_trimmed_mean_stays_in_honest_hull(self, honest, byzantine):
+        trim = len(byzantine)
+        if len(honest) + len(byzantine) <= 2 * trim:
+            return
+        result = trimmed_mean(honest + byzantine, trim)
+        # With at most `trim` adversarial values and `trim` removed from each
+        # side, the result cannot leave the honest convex hull.
+        assert min(honest) - 1e-9 <= result <= max(honest) + 1e-9
+
+
+class TestShiftCodecProperties:
+    @given(st.lists(st.sampled_from(["2L", "L", "C", "R", "2R"]), max_size=20))
+    def test_reconstruct_is_deterministic(self, tokens):
+        first = ShiftCodec.reconstruct(1.0, tokens)
+        second = ShiftCodec.reconstruct(1.0, tokens)
+        assert first == second
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.sampled_from(["2L", "L", "C", "R", "2R"]),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_encode_inverts_apply(self, round_number, token, previous):
+        current = ShiftCodec.apply(token, round_number, previous)
+        encoded = ShiftCodec(previous).encode(round_number, previous, current)
+        assert ShiftCodec.apply(encoded, round_number, previous) == current
+
+
+class TestSizeAccountingProperties:
+    nested = st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(-1000, 1000), st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=10)),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=20,
+    )
+
+    @given(nested)
+    def test_size_is_non_negative_and_deterministic(self, payload):
+        assert estimate_size_bits(payload) >= 0
+        assert estimate_size_bits(payload) == estimate_size_bits(payload)
+
+    @given(nested, nested)
+    def test_container_at_least_as_big_as_parts(self, a, b):
+        assert estimate_size_bits([a, b]) >= estimate_size_bits(a) + estimate_size_bits(b)
+
+    @given(st.integers(min_value=1, max_value=10 ** 6))
+    def test_message_round_field_monotone(self, round_number):
+        smaller = Message("p", "T", round_number, None).size_bits()
+        larger = Message("p", "T", round_number * 2, None).size_bits()
+        assert larger >= smaller
+
+
+def _lockstep_binaa(inputs: List[int], t: int, rounds: int) -> List[float]:
+    """Run BinAA engines in synchronous lockstep (no network), delivering every
+    emitted sub-message to every engine between steps, until all finish."""
+    n = len(inputs)
+    engines = [BinAAEngine(n, t, rounds=rounds) for _ in range(n)]
+    outbox = []
+    for node_id, engine in enumerate(engines):
+        for sub in engine.start(inputs[node_id]):
+            outbox.append((node_id, sub))
+    guard = 0
+    while outbox and guard < 10_000:
+        guard += 1
+        sender, sub = outbox.pop(0)
+        for engine in engines:
+            for emitted in engine.handle(sender, sub):
+                outbox.append((engines.index(engine), emitted))
+    return [engine.output for engine in engines]
+
+
+class TestBinAAEngineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=7))
+    def test_convex_validity_and_range_halving(self, inputs):
+        t = (len(inputs) - 1) // 3
+        rounds = 3
+        outputs = _lockstep_binaa(inputs, t, rounds)
+        assert all(output is not None for output in outputs)
+        low, high = min(inputs), max(inputs)
+        for output in outputs:
+            assert low - 1e-12 <= output <= high + 1e-12
+        spread = max(outputs) - min(outputs)
+        assert spread <= (high - low) / (2 ** rounds) + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=4, max_value=8))
+    def test_unanimous_inputs_fixed_point(self, bit, n):
+        t = (n - 1) // 3
+        outputs = _lockstep_binaa([bit] * n, t, rounds=2)
+        assert all(output == float(bit) for output in outputs)

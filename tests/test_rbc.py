@@ -1,0 +1,98 @@
+"""Tests for Bracha reliable broadcast."""
+
+import pytest
+
+from repro.adversary.strategies import CrashStrategy, EquivocatingStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.rbc import RBCEngine, ReliableBroadcastNode
+
+from conftest import run_nodes
+
+
+def _run(value, n=4, t=1, broadcaster=0, byzantine=None, seed=0):
+    nodes = {
+        i: ReliableBroadcastNode(
+            i, n, t, broadcaster=broadcaster, value=value if i == broadcaster else None
+        )
+        for i in range(n)
+    }
+    result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+    return nodes, result
+
+
+class TestRBCEngine:
+    def test_broadcaster_must_provide_value(self):
+        engine = RBCEngine(4, 1, broadcaster=0, node_id=0)
+        with pytest.raises(ConfigurationError):
+            engine.start()
+
+    def test_non_broadcaster_start_is_silent(self):
+        engine = RBCEngine(4, 1, broadcaster=0, node_id=1)
+        assert engine.start() == []
+
+    def test_send_from_wrong_sender_ignored(self):
+        engine = RBCEngine(4, 1, broadcaster=0, node_id=1)
+        assert engine.handle(2, ("SEND", "forged")) == []
+
+    def test_resilience_checked(self):
+        with pytest.raises(ConfigurationError):
+            RBCEngine(3, 1, broadcaster=0, node_id=0)
+
+    def test_ready_amplification_at_t_plus_one(self):
+        engine = RBCEngine(4, 1, broadcaster=0, node_id=1)
+        engine.start()
+        out = engine.handle(2, ("READY", "v"))
+        assert out == []
+        out = engine.handle(3, ("READY", "v"))
+        assert ("READY", "v") in out
+
+    def test_unhashable_values_supported(self):
+        engine = RBCEngine(4, 1, broadcaster=0, node_id=1)
+        engine.start()
+        for sender in range(3):
+            engine.handle(sender, ("READY", [1, 2, 3]))
+        assert engine.delivered == [1, 2, 3]
+
+
+class TestRBCProtocol:
+    def test_validity_honest_broadcaster(self):
+        nodes, result = _run(value=42.5)
+        assert result.all_honest_decided
+        for node in nodes.values():
+            assert node.output == 42.5
+
+    def test_delivers_list_values(self):
+        nodes, _ = _run(value=[1, 2, 3])
+        for node in nodes.values():
+            assert node.output == [1, 2, 3]
+
+    def test_agreement_with_crashed_receiver(self):
+        nodes, result = _run(value=7.0, byzantine={2: CrashStrategy()})
+        for node_id in (0, 1, 3):
+            assert nodes[node_id].output == 7.0
+
+    def test_crashed_broadcaster_blocks_nobody_delivers(self):
+        # A silent broadcaster means nothing is ever delivered; the run ends
+        # with the event queue drained and no honest outputs.
+        nodes = {
+            i: ReliableBroadcastNode(i, 4, 1, broadcaster=3, value=None) for i in range(4)
+        }
+        result = run_nodes(nodes, byzantine={3: CrashStrategy()}, max_events=50_000)
+        assert result.outputs == {}
+
+    def test_agreement_under_equivocating_broadcaster(self):
+        # An equivocating broadcaster may prevent delivery, but honest nodes
+        # that do deliver must deliver the same value.
+        for seed in range(4):
+            nodes, _ = _run(value=1, byzantine={0: EquivocatingStrategy()}, seed=seed)
+            delivered = [node.output for i, node in nodes.items() if i != 0 and node.has_output]
+            assert len(set(delivered)) <= 1
+
+    def test_seven_nodes_two_crashes(self):
+        nodes = {
+            i: ReliableBroadcastNode(i, 7, 2, broadcaster=1, value=3.3 if i == 1 else None)
+            for i in range(7)
+        }
+        result = run_nodes(nodes, byzantine={5: CrashStrategy(), 6: CrashStrategy()})
+        for node_id in range(5):
+            assert nodes[node_id].output == 3.3

@@ -1,0 +1,35 @@
+"""Tests for the asyncio runtime adapter."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.protocols.binaa import BinAANode
+from repro.protocols.bv_broadcast import BVBroadcastNode
+from repro.sim.asyncio_runtime import AsyncioRuntime
+
+
+class TestAsyncioRuntime:
+    def test_bv_broadcast_completes_on_asyncio(self):
+        nodes = {i: BVBroadcastNode(i, 4, 1, value=i % 2) for i in range(4)}
+        result = AsyncioRuntime(nodes, timeout=10.0).run()
+        assert set(result.outputs) == {0, 1, 2, 3}
+        for output in result.outputs.values():
+            assert output.issubset({0, 1})
+
+    def test_binaa_completes_on_asyncio(self):
+        nodes = {i: BinAANode(i, 4, 1, value=i % 2, rounds=3) for i in range(4)}
+        result = AsyncioRuntime(nodes, timeout=20.0).run()
+        assert len(result.outputs) == 4
+        values = list(result.outputs.values())
+        assert max(values) - min(values) <= 0.125 + 1e-9
+
+    def test_latency_model_is_honoured(self):
+        nodes = {i: BVBroadcastNode(i, 4, 1, value=1) for i in range(4)}
+        result = AsyncioRuntime(nodes, latency=ConstantLatency(0.001), timeout=10.0).run()
+        assert len(result.outputs) == 4
+
+    def test_traffic_is_traced(self):
+        nodes = {i: BVBroadcastNode(i, 4, 1, value=0) for i in range(4)}
+        result = AsyncioRuntime(nodes, timeout=10.0).run()
+        assert result.trace.message_count > 0
+        assert result.wall_seconds >= 0.0

@@ -1,0 +1,72 @@
+"""Tests for the event scheduler and event ordering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.message import Envelope, Message
+from repro.sim.events import Event, EventKind
+from repro.sim.scheduler import EventScheduler
+
+
+def _event(time, tiebreak=0.0, sequence=0, node=0):
+    return Event(time=time, tiebreak=tiebreak, sequence=sequence, kind=EventKind.START, node=node)
+
+
+class TestEventOrdering:
+    def test_ordered_by_time(self):
+        assert _event(1.0) < _event(2.0)
+
+    def test_tiebreak_orders_simultaneous_events(self):
+        assert _event(1.0, tiebreak=0.1) < _event(1.0, tiebreak=0.9)
+
+    def test_sequence_is_final_tiebreaker(self):
+        assert _event(1.0, 0.5, sequence=1) < _event(1.0, 0.5, sequence=2)
+
+    def test_deliver_event_repr_mentions_route(self):
+        envelope = Envelope(0, 1, Message("p", "T", None, None))
+        event = Event(1.0, 0.0, 1, EventKind.DELIVER, 1, envelope)
+        assert "0->1" in repr(event)
+
+
+class TestEventScheduler:
+    def test_pop_returns_events_in_time_order(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(_event(2.0, sequence=scheduler.next_sequence()))
+        scheduler.schedule(_event(1.0, sequence=scheduler.next_sequence()))
+        scheduler.schedule(_event(3.0, sequence=scheduler.next_sequence()))
+        times = [scheduler.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_clock_advances_monotonically(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(_event(5.0, sequence=1))
+        scheduler.pop()
+        assert scheduler.now == 5.0
+
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(_event(5.0, sequence=1))
+        scheduler.pop()
+        with pytest.raises(SimulationError):
+            scheduler.schedule(_event(1.0, sequence=2))
+
+    def test_pop_empty_returns_none(self):
+        assert EventScheduler().pop() is None
+
+    def test_pending_counts_events(self):
+        scheduler = EventScheduler()
+        assert scheduler.pending == 0
+        scheduler.schedule(_event(1.0, sequence=1))
+        assert scheduler.pending == 1
+
+    def test_clear_resets_clock_and_queue(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(_event(1.0, sequence=1))
+        scheduler.pop()
+        scheduler.clear()
+        assert scheduler.now == 0.0
+        assert scheduler.pending == 0
+
+    def test_sequence_numbers_increase(self):
+        scheduler = EventScheduler()
+        assert scheduler.next_sequence() < scheduler.next_sequence()

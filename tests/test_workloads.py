@@ -1,0 +1,124 @@
+"""Tests for the Bitcoin, drone and sensor workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.bitcoin import EXCHANGES, BitcoinPriceFeed
+from repro.workloads.drone import CAR_DIAGONAL_M, DroneLocalisationWorkload
+from repro.workloads.sensors import SensorGridWorkload
+
+
+class TestBitcoinPriceFeed:
+    def test_one_quote_per_exchange_per_minute(self):
+        feed = BitcoinPriceFeed(seed=1)
+        quotes = feed.next_minute()
+        assert len(quotes) == len(EXCHANGES)
+        assert {quote.exchange for quote in quotes} == set(EXCHANGES)
+        assert feed.minute == 1
+
+    def test_prices_track_base_price(self):
+        feed = BitcoinPriceFeed(base_price=40_000.0, seed=2)
+        inputs = feed.node_inputs(num_nodes=16)
+        assert all(30_000 < value < 50_000 for value in inputs)
+
+    def test_node_inputs_one_per_node(self):
+        feed = BitcoinPriceFeed(seed=3)
+        assert len(feed.node_inputs(num_nodes=25)) == 25
+
+    def test_median_of_multiple_exchanges_reduces_spread(self):
+        feed_single = BitcoinPriceFeed(seed=4)
+        feed_multi = BitcoinPriceFeed(seed=4)
+        spreads_single, spreads_multi = [], []
+        for _ in range(100):
+            single = feed_single.node_inputs(10, exchanges_per_node=1)
+            multi = feed_multi.node_inputs(10, exchanges_per_node=5)
+            spreads_single.append(max(single) - min(single))
+            spreads_multi.append(max(multi) - min(multi))
+        assert np.mean(spreads_multi) < np.mean(spreads_single)
+
+    def test_observed_ranges_match_frechet_scale(self):
+        feed = BitcoinPriceFeed(seed=5)
+        ranges = feed.observed_ranges(num_nodes=10, minutes=500)
+        # The Frechet(4.41, 29.3) fit has a median of ~32$ and rarely exceeds
+        # a few hundred dollars; check the gross statistics look like Fig. 4.
+        assert 15.0 < float(np.median(ranges)) < 60.0
+        assert float(np.mean(np.asarray(ranges) <= 100.0)) > 0.95
+
+    def test_reproducible_for_seed(self):
+        a = BitcoinPriceFeed(seed=9).node_inputs(5)
+        b = BitcoinPriceFeed(seed=9).node_inputs(5)
+        assert a == b
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitcoinPriceFeed(base_price=-1.0)
+        with pytest.raises(ConfigurationError):
+            BitcoinPriceFeed(range_alpha=0.5)
+        feed = BitcoinPriceFeed()
+        with pytest.raises(ConfigurationError):
+            feed.node_inputs(0)
+
+
+class TestDroneWorkload:
+    def test_iou_samples_in_unit_interval_with_paper_mean(self):
+        workload = DroneLocalisationWorkload(seed=1)
+        ious = workload.sample_ious(3000)
+        assert all(0.0 < value < 1.0 for value in ious)
+        assert abs(np.mean(ious) - 0.87) < 0.02
+
+    def test_estimates_near_true_location(self):
+        workload = DroneLocalisationWorkload(true_location=(50.0, -20.0), seed=2)
+        xs, ys = workload.node_inputs(num_drones=40)
+        assert abs(np.mean(xs) - 50.0) < 3.0
+        assert abs(np.mean(ys) + 20.0) < 3.0
+
+    def test_error_distance_mean_matches_paper_ballpark(self):
+        workload = DroneLocalisationWorkload(seed=3)
+        distances = workload.error_distances(num_drones=400)
+        # The paper reports ~2 m expected error per coordinate pair.
+        assert 0.5 < np.mean(distances) < 5.0
+
+    def test_detection_error_bounded_by_diagonal(self):
+        workload = DroneLocalisationWorkload(seed=4)
+        observation = workload.observe(drone=0)
+        max_error = CAR_DIAGONAL_M + 25.0  # GPS tail allowance
+        assert abs(observation.estimate[0] - 100.0) < max_error
+
+    def test_observed_ranges_positive(self):
+        workload = DroneLocalisationWorkload(seed=5)
+        ranges = workload.observed_ranges(num_drones=15, rounds=30)
+        assert len(ranges) == 30
+        assert all(value > 0 for value in ranges)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DroneLocalisationWorkload(mean_iou=1.5)
+        with pytest.raises(ConfigurationError):
+            DroneLocalisationWorkload(gps_mean_error=0.0)
+        with pytest.raises(ConfigurationError):
+            DroneLocalisationWorkload().node_inputs(0)
+
+
+class TestSensorWorkload:
+    def test_measurements_near_true_value(self):
+        workload = SensorGridWorkload(true_value=25.0, seed=1)
+        values = workload.node_inputs(200)
+        assert abs(np.mean(values) - 25.0) < 0.2
+
+    def test_drifting_sensors_offset(self):
+        workload = SensorGridWorkload(
+            true_value=25.0, drift_fraction=0.5, drift=5.0, seed=2
+        )
+        values = workload.node_inputs(10)
+        assert max(values) - min(values) > 4.0
+
+    def test_ranges_positive(self):
+        workload = SensorGridWorkload(seed=3)
+        assert all(value > 0 for value in workload.observed_ranges(8, rounds=10))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorGridWorkload(drift_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            SensorGridWorkload().node_inputs(0)
