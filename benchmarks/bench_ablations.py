@@ -13,112 +13,88 @@ The paper motivates three design decisions that these ablations isolate:
 3. **Statistically derived Delta** (Section IV-D): configuring Delta from
    extreme-value theory instead of a loose domain bound cuts the number of
    levels and rounds, which directly shows up in runtime.
+
+Each ablation's scenario pair/grid is declared once in
+:mod:`repro.experiments.presets` (``ablation-levels``,
+``ablation-bundling``, ``ablation-delta-bound``) and executed through the
+experiment harness; the tests below only assert the paper's orderings.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.analysis.parameters import derive_parameters
-from repro.analysis.range_analysis import validity_margin
-from repro.distributions.extreme_value import delta_bound
-from repro.distributions.thin_tailed import NormalInputs
-from repro.runner import run_delphi
-from repro.testbed.metrics import MetricsCollector
+from repro.experiments import preset
+from repro.experiments.presets import (
+    ABLATION_DELTA_AVERAGE,
+    ABLATION_DELTA_MAX,
+    ABLATION_EPSILON,
+)
 
 from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
-from bench_common import max_rounds, print_report, record_run, spread_inputs
-
-N = 7
-EPSILON = 1.0
-DELTA_MAX = 64.0
-CENTRE = 500.0
-DELTA_AVERAGE = 3.0  # average-case honest range
+from bench_common import bench_scale, harness_executor, print_report
 
 
 def test_ablation_single_vs_multi_level(benchmark):
     """Single level at rho = Delta vs the multi-level scheme."""
-    inputs = spread_inputs(N, CENTRE, DELTA_AVERAGE)
+    sweep = preset("ablation-levels", scale=bench_scale())
+    executor = harness_executor()
 
-    multi_params = derive_parameters(
-        n=N, epsilon=EPSILON, rho0=EPSILON, delta_max=DELTA_MAX, max_rounds=max_rounds()
-    )
-    single_params = derive_parameters(
-        n=N, epsilon=EPSILON, rho0=DELTA_MAX, delta_max=DELTA_MAX, max_rounds=max_rounds()
-    )
+    result = benchmark.pedantic(lambda: executor.run(sweep), rounds=1, iterations=1)
 
-    def run_both():
-        return run_delphi(multi_params, inputs), run_delphi(single_params, inputs)
+    multi = next(cell.metrics for cell in result if cell.label == "multi-level")
+    single = next(cell.metrics for cell in result if cell.label == "single-level")
 
-    multi, single = benchmark.pedantic(run_both, rounds=1, iterations=1)
-
-    multi_margin = validity_margin(multi.output_values, inputs)
-    single_margin = validity_margin(single.output_values, inputs)
     print("\n# Ablation: multi-level vs single worst-case level")
-    print(f"  multi-level : validity excursion {multi_margin:8.3f}, spread {multi.output_spread:.4f}")
-    print(f"  single level: validity excursion {single_margin:8.3f}, spread {single.output_spread:.4f}")
+    print(f"  multi-level : validity excursion {multi['validity_margin']:8.3f}, "
+          f"spread {multi['output_spread']:.4f}")
+    print(f"  single level: validity excursion {single['validity_margin']:8.3f}, "
+          f"spread {single['output_spread']:.4f}")
 
     # Both reach agreement, but the single worst-case level can stray much
     # further from the honest inputs (its only checkpoints are Delta apart).
-    assert multi.all_decided and single.all_decided
-    assert multi_margin <= max(EPSILON, DELTA_AVERAGE) + 1e-9
-    assert single_margin >= multi_margin
+    assert multi["all_decided"] and single["all_decided"]
+    assert multi["validity_margin"] <= max(ABLATION_EPSILON, ABLATION_DELTA_AVERAGE) + 1e-9
+    assert single["validity_margin"] >= multi["validity_margin"]
 
 
 def test_ablation_bundling_traffic_tracks_active_checkpoints(benchmark):
     """Traffic must scale with delta/rho0 (active checkpoints), not Delta/rho0."""
-    params = derive_parameters(
-        n=N, epsilon=EPSILON, rho0=EPSILON, delta_max=DELTA_MAX, max_rounds=max_rounds()
-    )
-    collector = MetricsCollector("ablation-bundling")
+    sweep = preset("ablation-bundling", scale=bench_scale())
+    executor = harness_executor()
 
-    def sweep():
-        for delta in (2.0, 8.0, 32.0):
-            inputs = spread_inputs(N, CENTRE, delta)
-            record_run(
-                collector, f"delta={delta:g}", N, run_delphi(params, inputs), inputs, delta=delta
-            )
-        return collector
+    result = benchmark.pedantic(lambda: executor.run(sweep), rounds=1, iterations=1)
 
-    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    collector = result.to_collector("ablation-bundling")
     print_report(collector, "megabytes")
 
-    by_delta = {record.parameters["delta"]: record.megabytes for record in collector.records}
+    by_delta = {cell.spec.delta: cell.metrics["megabytes"] for cell in result}
     print(f"\n  traffic ratio delta 32 vs 2: x{by_delta[32.0] / by_delta[2.0]:.2f} "
-          f"(checkpoint-space ratio would be x{DELTA_MAX / EPSILON:.0f})")
+          f"(checkpoint-space ratio would be x{ABLATION_DELTA_MAX / ABLATION_EPSILON:.0f})")
     # Traffic grows with the active range but far less than the full
     # checkpoint-space ratio — that is the bundling/zero-block optimisation.
     assert by_delta[2.0] <= by_delta[8.0] + 1e-9
     assert by_delta[8.0] <= by_delta[32.0] + 1e-9
-    assert by_delta[32.0] / by_delta[2.0] < DELTA_MAX / EPSILON
+    assert by_delta[32.0] / by_delta[2.0] < ABLATION_DELTA_MAX / ABLATION_EPSILON
 
 
 def test_ablation_statistical_delta_bound(benchmark):
     """EVT-derived Delta vs a loose domain bound."""
-    noise = NormalInputs(sigma=0.5, true_value=CENTRE, seed=8)
-    derived_delta = max(2.0, delta_bound(N, security_bits=20, distribution=noise))
-    loose_delta = 512.0
+    sweep = preset("ablation-delta-bound", scale=bench_scale())
+    executor = harness_executor()
 
-    derived_params = derive_parameters(
-        n=N, epsilon=EPSILON, rho0=EPSILON, delta_max=derived_delta, max_rounds=max_rounds()
-    )
-    loose_params = derive_parameters(
-        n=N, epsilon=EPSILON, rho0=EPSILON, delta_max=loose_delta, max_rounds=max_rounds()
-    )
-    inputs = noise.sample_inputs(N)
+    result = benchmark.pedantic(lambda: executor.run(sweep), rounds=1, iterations=1)
 
-    def run_both():
-        return run_delphi(derived_params, inputs), run_delphi(loose_params, inputs)
-
-    derived, loose = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    derived_cell = next(cell for cell in result if cell.label == "derived")
+    loose_cell = next(cell for cell in result if cell.label == "loose")
+    derived, loose = derived_cell.metrics, loose_cell.metrics
 
     print("\n# Ablation: EVT-derived Delta vs loose domain bound")
-    print(f"  derived Delta={derived_delta:8.2f}: levels={derived_params.level_count}, "
-          f"traffic {derived.total_megabytes:.3f} MB, runtime {derived.runtime_seconds:.3f} s")
-    print(f"  loose   Delta={loose_delta:8.2f}: levels={loose_params.level_count}, "
-          f"traffic {loose.total_megabytes:.3f} MB, runtime {loose.runtime_seconds:.3f} s")
+    print(f"  derived Delta={derived_cell.spec.delta_max:8.2f}: levels={derived['levels']}, "
+          f"traffic {derived['megabytes']:.3f} MB, runtime {derived['runtime_seconds']:.3f} s")
+    print(f"  loose   Delta={loose_cell.spec.delta_max:8.2f}: levels={loose['levels']}, "
+          f"traffic {loose['megabytes']:.3f} MB, runtime {loose['runtime_seconds']:.3f} s")
 
-    assert derived_params.level_count < loose_params.level_count
-    assert derived.total_megabytes <= loose.total_megabytes + 1e-9
-    assert derived.all_decided and loose.all_decided
+    assert derived["levels"] < loose["levels"]
+    assert derived["megabytes"] <= loose["megabytes"] + 1e-9
+    assert derived["all_decided"] and loose["all_decided"]

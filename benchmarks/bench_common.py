@@ -23,24 +23,24 @@ by the dedicated sweeps instead.
 from __future__ import annotations
 
 import os
-import sys
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.analysis.parameters import DelphiParameters, derive_parameters
-from repro.runner import ProtocolRunResult, run_abraham, run_delphi, run_fin
-from repro.testbed.aws import AwsTestbed
-from repro.testbed.cps import CpsTestbed
+from repro.experiments import SweepExecutor
+from repro.experiments.cells import spread_inputs as _spread_inputs
+from repro.experiments.presets import (
+    DRONE_DELTA_MAX,
+    DRONE_EPSILON,
+    DRONE_RHO0,
+    ORACLE_DELTA_MAX,
+    ORACLE_EPSILON,
+    ORACLE_RHO0,
+)
+from repro.experiments.presets import aws_node_counts as _aws_node_counts
+from repro.experiments.presets import cps_node_counts as _cps_node_counts
+from repro.experiments.presets import max_rounds as _max_rounds
+from repro.runner import ProtocolRunResult
 from repro.testbed.metrics import MetricsCollector
-
-#: Paper configuration for the oracle-network (AWS) application.
-ORACLE_EPSILON = 2.0
-ORACLE_RHO0 = 10.0
-ORACLE_DELTA_MAX = 2000.0
-
-#: Paper configuration for the drone (CPS) application.
-DRONE_EPSILON = 0.5
-DRONE_RHO0 = 0.5
-DRONE_DELTA_MAX = 50.0
 
 
 #: File collecting every experiment table printed during a benchmark session.
@@ -72,21 +72,28 @@ def bench_scale() -> str:
 
 def aws_node_counts() -> List[int]:
     """System sizes for the AWS (oracle) experiments."""
-    if bench_scale() == "full":
-        return [16, 64, 112, 160]
-    return [7, 13, 19]
+    return _aws_node_counts(bench_scale())
 
 
 def cps_node_counts() -> List[int]:
     """System sizes for the CPS (drone) experiments."""
-    if bench_scale() == "full":
-        return [43, 85, 127, 169]
-    return [7, 13, 19]
+    return _cps_node_counts(bench_scale())
 
 
 def max_rounds() -> int:
     """Cap on BinAA iterations at quick scale (uncapped at full scale)."""
-    return 10_000 if bench_scale() == "full" else 6
+    return _max_rounds(bench_scale())
+
+
+def harness_executor() -> SweepExecutor:
+    """The executor benchmark sweeps run through.
+
+    No on-disk cache (benchmark timing must reflect real execution) and no
+    progress lines (pytest captures stdout/stderr anyway); parallelism is
+    auto-detected from the machine and can be pinned with
+    ``REPRO_SWEEP_WORKERS``.
+    """
+    return SweepExecutor(cache_dir=None, progress=None)
 
 
 def oracle_params(n: int, rho0: float = ORACLE_RHO0) -> DelphiParameters:
@@ -113,9 +120,7 @@ def drone_params(n: int) -> DelphiParameters:
 
 def spread_inputs(n: int, centre: float, delta: float, seed: int = 0) -> List[float]:
     """n honest inputs spread (deterministically) across a range of ``delta``."""
-    if n == 1:
-        return [centre]
-    return [centre - delta / 2.0 + delta * index / (n - 1) for index in range(n)]
+    return _spread_inputs(n, centre, delta)
 
 
 def record_run(

@@ -5,54 +5,51 @@ exchanges, histograms the per-minute range ``delta`` and fits extreme-value
 distributions, finding Frechet (alpha = 4.41, scale = 29.3) the best fit —
 which then drives Delphi's ``Delta = 2000$`` configuration.
 
-The synthetic feed reproduces the fitted range law, so this benchmark
-regenerates the histogram, refits the candidate distributions, checks that
-an extreme-value law (Frechet/Gumbel) wins, and reports the headline
-statistics the paper quotes (delta below 100$ for ~99% of minutes, mean
-delta ~25$).
+The scenario itself is declared once in
+:func:`repro.experiments.presets.fig4_bitcoin_range`; this benchmark is a
+thin wrapper that executes the preset through the experiment harness,
+prints the headline statistics the paper quotes (delta below 100$ for ~99%
+of minutes, mean delta ~25$) and asserts the distribution shape.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.analysis.range_analysis import analyse_ranges
-from repro.distributions.fitting import fit_distributions, histogram
-from repro.workloads.bitcoin import BitcoinPriceFeed
+from repro.experiments import preset
 
 from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
-from bench_common import bench_scale
+from bench_common import bench_scale, harness_executor
 
 
 def test_fig4_bitcoin_range_histogram(benchmark):
-    minutes = 2 * 7 * 24 * 60 if bench_scale() == "full" else 3 * 24 * 60
-    feed = BitcoinPriceFeed(seed=4)
+    sweep = preset("fig4", scale=bench_scale())
+    executor = harness_executor()
 
-    ranges = benchmark.pedantic(
-        lambda: feed.observed_ranges(num_nodes=10, minutes=minutes), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: executor.run(sweep), rounds=1, iterations=1)
 
-    stats = analyse_ranges(ranges, thresholds=(30.0, 100.0, 300.0), security_bits=30)
-    centres, counts = histogram(ranges, bins=30)
-    fits = fit_distributions(ranges, candidates=("frechet", "gumbel", "gamma", "normal"))
+    metrics = result.results[0].metrics
+    fraction_below = {threshold: fraction for threshold, fraction in metrics["fraction_below"]}
+    minutes = metrics["samples"]
 
     print(f"\n# Fig. 4: per-minute range over {minutes} synthetic minutes")
-    print(f"  mean delta      : {stats.mean:7.2f} $   (paper: ~25 $)")
-    print(f"  median delta    : {stats.median:7.2f} $")
-    print(f"  p99 delta       : {stats.p99:7.2f} $")
-    print(f"  <= 100 $        : {100 * stats.fraction_below[100.0]:6.2f} %  (paper: 99.2 %)")
-    print(f"  <= 300 $        : {100 * stats.fraction_below[300.0]:6.2f} %  (paper: 100 %)")
-    print(f"  recommended Delta (lambda=30): {stats.recommended_delta:8.1f} $ (paper: 2000 $)")
-    print("  best fits       : " + ", ".join(f"{fit.name} (KS={fit.ks_statistic:.3f})" for fit in fits[:3]))
+    print(f"  mean delta      : {metrics['mean']:7.2f} $   (paper: ~25 $)")
+    print(f"  median delta    : {metrics['median']:7.2f} $")
+    print(f"  p99 delta       : {metrics['p99']:7.2f} $")
+    print(f"  <= 100 $        : {100 * fraction_below[100.0]:6.2f} %  (paper: 99.2 %)")
+    print(f"  <= 300 $        : {100 * fraction_below[300.0]:6.2f} %  (paper: 100 %)")
+    print(f"  recommended Delta (lambda=30): {metrics['recommended_delta']:8.1f} $ (paper: 2000 $)")
+    print("  best fits       : " + ", ".join(f"{fit['name']} (KS={fit['ks']:.3f})" for fit in metrics["fits"][:3]))
     print("  histogram (bin centre $: count):")
+    centres = metrics["histogram"]["centres"]
+    counts = metrics["histogram"]["counts"]
     peak = max(counts)
     for centre, count in zip(centres[:15], counts[:15]):
         bar = "#" * max(1, int(40 * count / peak)) if count else ""
         print(f"    {centre:7.1f}: {count:5d} {bar}")
 
     # Shape checks against the paper's observations.
-    assert fits[0].name in ("frechet", "gumbel")
-    assert stats.fraction_below[100.0] > 0.95
-    assert 10.0 < stats.mean < 60.0
-    assert stats.recommended_delta <= 10_000.0
+    assert metrics["fits"][0]["name"] in ("frechet", "gumbel")
+    assert fraction_below[100.0] > 0.95
+    assert 10.0 < metrics["mean"] < 60.0
+    assert metrics["recommended_delta"] <= 10_000.0

@@ -2,43 +2,41 @@
 
 The paper trains EfficientDet on ~100k car instances, evaluates on 80k, and
 finds the detection IoU follows a thin-tailed Gamma-like distribution with
-mean 0.87 and fewer than 0.37% of detections below IoU 0.6.  The synthetic
-detector model reproduces those statistics; this benchmark regenerates the
-histogram, fits candidate distributions and checks the thin-tail properties
-that justify the drone application's ``Delta = 50 m`` configuration.
+mean 0.87 and fewer than 0.37% of detections below IoU 0.6.
+
+The scenario is declared once in
+:func:`repro.experiments.presets.fig5_drone_iou`; this benchmark executes
+the preset through the experiment harness, regenerates the histogram and
+checks the thin-tail properties that justify the drone application's
+``Delta = 50 m`` configuration.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.distributions.fitting import fit_distributions, histogram
-from repro.workloads.drone import DroneLocalisationWorkload
+from repro.experiments import preset
 
 from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
-from bench_common import bench_scale
+from bench_common import bench_scale, harness_executor
 
 
 def test_fig5_iou_histogram(benchmark):
-    detections = 80_000 if bench_scale() == "full" else 12_000
-    workload = DroneLocalisationWorkload(seed=5)
+    sweep = preset("fig5", scale=bench_scale())
+    executor = harness_executor()
 
-    ious = benchmark.pedantic(
-        lambda: workload.sample_ious(detections), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: executor.run(sweep), rounds=1, iterations=1)
 
-    values = np.asarray(ious)
-    mean_iou = float(values.mean())
-    below_06 = float(np.mean(values < 0.6))
-    centres, counts = histogram(ious, bins=25)
-    fits = fit_distributions(ious, candidates=("gamma", "normal", "frechet"))
+    metrics = result.results[0].metrics
+    detections = metrics["samples"]
 
     print(f"\n# Fig. 5: IoU distribution over {detections} synthetic detections")
-    print(f"  mean IoU        : {mean_iou:.3f}   (paper: 0.87)")
-    print(f"  IoU < 0.6       : {100 * below_06:.2f} % (paper: 0.37 %)")
-    print("  best fits       : " + ", ".join(f"{fit.name} (KS={fit.ks_statistic:.3f})" for fit in fits[:2]))
+    print(f"  mean IoU        : {metrics['mean_iou']:.3f}   (paper: 0.87)")
+    print(f"  IoU < 0.6       : {100 * metrics['fraction_below_06']:.2f} % (paper: 0.37 %)")
+    print("  best fits       : " + ", ".join(f"{fit['name']} (KS={fit['ks']:.3f})" for fit in metrics["fits"][:2]))
     print("  histogram (IoU bin centre: count):")
+    centres = metrics["histogram"]["centres"]
+    counts = metrics["histogram"]["counts"]
     peak = max(counts)
     for centre, count in zip(centres, counts):
         if count == 0:
@@ -48,10 +46,9 @@ def test_fig5_iou_histogram(benchmark):
 
     # Per-coordinate location error implied by the IoU model (paper: ~0.7 m
     # mean from the detector plus ~1.3 m from GPS, ~2 m combined).
-    errors = workload.error_distances(num_drones=2000)
-    print(f"  mean location error: {float(np.mean(errors)):.2f} m (paper: ~2 m)")
+    print(f"  mean location error: {metrics['mean_error_m']:.2f} m (paper: ~2 m)")
 
-    assert abs(mean_iou - 0.87) < 0.02
-    assert below_06 < 0.02
-    assert fits[0].name == "gamma" or fits[0].ks_statistic < 0.05
-    assert 0.5 < float(np.mean(errors)) < 5.0
+    assert abs(metrics["mean_iou"] - 0.87) < 0.02
+    assert metrics["fraction_below_06"] < 0.02
+    assert metrics["fits"][0]["name"] == "gamma" or metrics["fits"][0]["ks"] < 0.05
+    assert 0.5 < metrics["mean_error_m"] < 5.0

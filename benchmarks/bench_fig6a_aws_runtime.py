@@ -5,102 +5,41 @@ average-case and a worst-case input range), Abraham et al. and FIN all agree
 on a Bitcoin price over the geo-distributed AWS model, and the simulated
 runtime is reported per system size.
 
-Expected shape (paper): Delphi's runtime grows much more slowly with n than
-FIN's and Abraham et al.'s (which pay for O(n^3) communication and, for FIN,
-coin computations), is largely insensitive to the input range delta, and the
-baselines can win at small n where Delphi's higher round count dominates.
+The full grid is declared once in :func:`repro.experiments.presets.fig6a`
+(protocol variants x system sizes); this benchmark executes it through the
+parallel experiment harness and asserts the paper's shape: Delphi's runtime
+grows much more slowly with n than FIN's and Abraham et al.'s (which pay
+for O(n^3) communication and, for FIN, coin computations), is largely
+insensitive to the input range delta, and the baselines can win at small n
+where Delphi's higher round count dominates.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.runner import run_abraham, run_delphi, run_fin
-from repro.testbed.aws import AwsTestbed
-from repro.testbed.metrics import MetricsCollector
+from repro.experiments import preset
+from repro.experiments.presets import ORACLE_EPSILON, aws_node_counts
 
 from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
-from bench_common import (
-    ORACLE_DELTA_MAX,
-    ORACLE_EPSILON,
-    aws_node_counts,
-    max_rounds,
-    oracle_params,
-    print_report,
-    record_run,
-    spread_inputs,
-)
-
-#: Average-case and high-volatility input ranges from the paper (in dollars).
-DELTA_AVERAGE = 20.0
-DELTA_WORST = 180.0
-
-PRICE = 40_000.0
+from bench_common import bench_scale, harness_executor, print_report
 
 
 def test_fig6a_runtime_vs_n_on_aws(benchmark):
-    collector = MetricsCollector("fig6a-aws-runtime")
+    sweep = preset("fig6a", scale=bench_scale())
+    executor = harness_executor()
 
-    def sweep():
-        for n in aws_node_counts():
-            testbed = AwsTestbed(num_nodes=n, seed=1)
-            inputs_avg = spread_inputs(n, PRICE, DELTA_AVERAGE)
-            inputs_worst = spread_inputs(n, PRICE, DELTA_WORST)
+    result = benchmark.pedantic(lambda: executor.run(sweep), rounds=1, iterations=1)
 
-            record_run(
-                collector,
-                "delphi d=20",
-                n,
-                run_delphi(
-                    oracle_params(n), inputs_avg,
-                    network=testbed.network(), compute=testbed.compute(),
-                ),
-                inputs_avg,
-                delta=DELTA_AVERAGE,
-            )
-            record_run(
-                collector,
-                "delphi d=180",
-                n,
-                run_delphi(
-                    oracle_params(n), inputs_worst,
-                    network=testbed.network(), compute=testbed.compute(),
-                ),
-                inputs_worst,
-                delta=DELTA_WORST,
-            )
-            record_run(
-                collector,
-                "abraham",
-                n,
-                run_abraham(
-                    n, inputs_avg,
-                    epsilon=ORACLE_EPSILON, delta_max=ORACLE_DELTA_MAX, rounds=max_rounds(),
-                    network=testbed.network(), compute=testbed.compute(),
-                ),
-                inputs_avg,
-            )
-            record_run(
-                collector,
-                "fin",
-                n,
-                run_fin(
-                    n, inputs_avg,
-                    network=testbed.network(), compute=testbed.compute(),
-                ),
-                inputs_avg,
-            )
-        return collector
-
-    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    collector = result.to_collector("fig6a-aws-runtime")
     print_report(collector, "runtime_seconds")
 
-    sizes = aws_node_counts()
+    sizes = aws_node_counts(bench_scale())
     largest = sizes[-1]
     smallest = sizes[0]
 
     def runtime(protocol: str, n: int) -> float:
-        return {record.n: record.runtime_seconds for record in collector.series(protocol)}[n]
+        return float(result.metric(protocol, n, "runtime_seconds"))
 
     delphi_growth = runtime("delphi d=20", largest) / runtime("delphi d=20", smallest)
     abraham_growth = runtime("abraham", largest) / runtime("abraham", smallest)

@@ -4,7 +4,9 @@ Reproduces the bandwidth half of the scalability experiment: total traffic
 (MB) consumed to reach one agreement, per protocol and system size, with the
 paper's bandwidth configuration ``rho0 = epsilon = 2$``.
 
-Expected shape (paper): Delphi's bandwidth grows roughly quadratically in n
+The grid is declared once in :func:`repro.experiments.presets.fig6b`; this
+benchmark executes it through the parallel experiment harness and asserts
+the paper's shape: Delphi's bandwidth grows roughly quadratically in n
 while FIN's and Abraham et al.'s grow roughly cubically, so the gap widens
 with n and the baselines' curves overtake Delphi's as n grows.
 """
@@ -15,74 +17,30 @@ import math
 
 import pytest
 
-from repro.runner import run_abraham, run_delphi, run_fin
-from repro.testbed.aws import AwsTestbed
-from repro.testbed.metrics import MetricsCollector
+from repro.experiments import preset
+from repro.experiments.presets import aws_node_counts
 
 from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
-from bench_common import (
-    ORACLE_DELTA_MAX,
-    ORACLE_EPSILON,
-    aws_node_counts,
-    max_rounds,
-    oracle_params,
-    print_report,
-    record_run,
-    spread_inputs,
-)
-
-DELTA_AVERAGE = 20.0
-DELTA_WORST = 180.0
-PRICE = 40_000.0
+from bench_common import bench_scale, harness_executor, print_report
 
 
 def test_fig6b_bandwidth_vs_n_on_aws(benchmark):
-    collector = MetricsCollector("fig6b-aws-bandwidth")
+    sweep = preset("fig6b", scale=bench_scale())
+    executor = harness_executor()
 
-    def sweep():
-        for n in aws_node_counts():
-            testbed = AwsTestbed(num_nodes=n, seed=2)
-            inputs_avg = spread_inputs(n, PRICE, DELTA_AVERAGE)
-            inputs_worst = spread_inputs(n, PRICE, DELTA_WORST)
-            # Fig. 6b uses rho0 = epsilon = 2$ (finer checkpoints than 6a).
-            params = oracle_params(n, rho0=ORACLE_EPSILON)
+    result = benchmark.pedantic(lambda: executor.run(sweep), rounds=1, iterations=1)
 
-            record_run(
-                collector, "delphi d=20", n,
-                run_delphi(params, inputs_avg, network=testbed.network(), compute=testbed.compute()),
-                inputs_avg,
-            )
-            record_run(
-                collector, "delphi d=180", n,
-                run_delphi(params, inputs_worst, network=testbed.network(), compute=testbed.compute()),
-                inputs_worst,
-            )
-            record_run(
-                collector, "abraham", n,
-                run_abraham(
-                    n, inputs_avg,
-                    epsilon=ORACLE_EPSILON, delta_max=ORACLE_DELTA_MAX, rounds=max_rounds(),
-                    network=testbed.network(), compute=testbed.compute(),
-                ),
-                inputs_avg,
-            )
-            record_run(
-                collector, "fin", n,
-                run_fin(n, inputs_avg, network=testbed.network(), compute=testbed.compute()),
-                inputs_avg,
-            )
-        return collector
-
-    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    collector = result.to_collector("fig6b-aws-bandwidth")
     print_report(collector, "megabytes")
     print_report(collector, "message_count")
 
-    sizes = aws_node_counts()
+    sizes = aws_node_counts(bench_scale())
     smallest, largest = sizes[0], sizes[-1]
 
     def exponent(protocol: str) -> float:
-        series = {record.n: record.megabytes for record in collector.series(protocol)}
-        return math.log(series[largest] / series[smallest]) / math.log(largest / smallest)
+        small = float(result.metric(protocol, smallest, "megabytes"))
+        large = float(result.metric(protocol, largest, "megabytes"))
+        return math.log(large / small) / math.log(largest / smallest)
 
     delphi_exp = exponent("delphi d=20")
     abraham_exp = exponent("abraham")

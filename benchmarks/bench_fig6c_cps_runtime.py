@@ -5,7 +5,9 @@ drone-localisation configuration (``Delta = 50 m``, ``rho0 = epsilon =
 0.5 m``) run over the Raspberry-Pi model, for Delphi at an average and a
 worst-case input range, plus the FIN and Abraham et al. baselines.
 
-Expected shape (paper): the constrained CPU and shared bandwidth make the
+The grid is declared once in :func:`repro.experiments.presets.fig6c`; this
+benchmark executes it through the parallel experiment harness and asserts
+the paper's shape: the constrained CPU and shared bandwidth make the
 computation-heavy baselines far slower than Delphi at every n (the paper
 reports ~8x at n = 169), and — unlike on AWS — Delphi's runtime *is*
 sensitive to the input range delta because a larger range means more active
@@ -17,72 +19,28 @@ from __future__ import annotations
 
 import pytest
 
-from repro.runner import run_abraham, run_delphi, run_fin
-from repro.testbed.cps import CpsTestbed
-from repro.testbed.metrics import MetricsCollector
+from repro.experiments import preset
+from repro.experiments.presets import cps_node_counts
 
 from bench_common import emit as print  # noqa: A001 - route prints past pytest capture
-from bench_common import (
-    DRONE_DELTA_MAX,
-    DRONE_EPSILON,
-    bench_scale,
-    cps_node_counts,
-    drone_params,
-    max_rounds,
-    print_report,
-    record_run,
-    spread_inputs,
-)
-
-DELTA_AVERAGE = 5.0
-DELTA_WORST = 50.0
-LOCATION = 120.0
+from bench_common import bench_scale, harness_executor, print_report
 
 
 def test_fig6c_runtime_vs_n_on_cps(benchmark):
-    collector = MetricsCollector("fig6c-cps-runtime")
+    sweep = preset("fig6c", scale=bench_scale())
+    executor = harness_executor()
 
-    def sweep():
-        for n in cps_node_counts():
-            testbed = CpsTestbed(num_nodes=n, seed=3)
-            inputs_avg = spread_inputs(n, LOCATION, DELTA_AVERAGE)
-            inputs_worst = spread_inputs(n, LOCATION, DELTA_WORST)
+    result = benchmark.pedantic(lambda: executor.run(sweep), rounds=1, iterations=1)
 
-            record_run(
-                collector, "delphi d=5m", n,
-                run_delphi(drone_params(n), inputs_avg, network=testbed.network(), compute=testbed.compute()),
-                inputs_avg,
-            )
-            record_run(
-                collector, "delphi d=50m", n,
-                run_delphi(drone_params(n), inputs_worst, network=testbed.network(), compute=testbed.compute()),
-                inputs_worst,
-            )
-            record_run(
-                collector, "abraham", n,
-                run_abraham(
-                    n, inputs_avg,
-                    epsilon=DRONE_EPSILON, delta_max=DRONE_DELTA_MAX, rounds=max_rounds(),
-                    network=testbed.network(), compute=testbed.compute(),
-                ),
-                inputs_avg,
-            )
-            record_run(
-                collector, "fin", n,
-                run_fin(n, inputs_avg, network=testbed.network(), compute=testbed.compute()),
-                inputs_avg,
-            )
-        return collector
-
-    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    collector = result.to_collector("fig6c-cps-runtime")
     print_report(collector, "runtime_seconds")
     print_report(collector, "megabytes")
 
-    sizes = cps_node_counts()
+    sizes = cps_node_counts(bench_scale())
     smallest, largest = sizes[0], sizes[-1]
 
     def runtime(protocol: str, n: int) -> float:
-        return {record.n: record.runtime_seconds for record in collector.series(protocol)}[n]
+        return float(result.metric(protocol, n, "runtime_seconds"))
 
     fin_speedup = runtime("fin", largest) / runtime("delphi d=5m", largest)
     abraham_speedup = runtime("abraham", largest) / runtime("delphi d=5m", largest)

@@ -5,6 +5,11 @@ records the active scale, and — because pytest captures per-test stdout —
 replays every experiment table the benchmarks emitted (via
 ``bench_common.emit``) into the terminal summary, so the teed benchmark log
 contains the same rows/series the paper's tables and figures report.
+
+Because the repo-root test suite also loads this conftest (root collection
+visits ``benchmarks/`` even though ``bench_*.py`` files never match pytest's
+test-file pattern), the banner, table-log reset and replay only fire when
+benchmark tests were actually collected in this session.
 """
 
 from __future__ import annotations
@@ -16,8 +21,15 @@ sys.path.insert(0, os.path.dirname(__file__))
 
 from bench_common import TABLES_PATH, bench_scale  # noqa: E402
 
+_BENCHMARKS_DIR = os.path.abspath(os.path.dirname(__file__))
+_session_has_benchmarks = False
 
-def pytest_sessionstart(session):
+
+def pytest_collection_modifyitems(session, config, items):
+    global _session_has_benchmarks
+    if not any(str(item.fspath).startswith(_BENCHMARKS_DIR) for item in items):
+        return
+    _session_has_benchmarks = True
     print(f"\n[repro-delphi benchmarks] scale = {bench_scale()} "
           "(set REPRO_BENCH_SCALE=full for paper-scale system sizes)")
     # Start a fresh experiment-table log for this session.
@@ -26,7 +38,7 @@ def pytest_sessionstart(session):
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not os.path.exists(TABLES_PATH):
+    if not _session_has_benchmarks or not os.path.exists(TABLES_PATH):
         return
     terminalreporter.write_sep("=", "experiment tables (paper figures/tables reproduced)")
     with open(TABLES_PATH, "r", encoding="utf-8") as handle:

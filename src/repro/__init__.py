@@ -46,6 +46,11 @@ The package is organised as a layered system:
 ``repro.analysis``
     Parameter derivation, range analysis, analytic complexity formulas
     (Tables I-III) and experiment reporting helpers.
+
+``repro.experiments``
+    Declarative experiment harness: scenario/sweep specs, a parallel
+    executor with spec-hash result caching, JSON/CSV artifacts, the
+    paper's figures as named presets and the ``python -m repro`` CLI.
 """
 
 from repro._version import __version__

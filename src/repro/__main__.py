@@ -1,0 +1,11 @@
+"""``python -m repro`` — the experiment-harness command line.
+
+See :mod:`repro.experiments.cli` for the subcommands and examples.
+"""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

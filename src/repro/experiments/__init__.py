@@ -1,0 +1,76 @@
+"""Declarative, parallel experiment harness for the Delphi reproduction.
+
+The paper's evaluation is a grid of scenarios — protocol x n x network
+model x adversary x workload — and this subsystem expresses that grid as
+data and executes it efficiently:
+
+``spec``
+    :class:`ScenarioSpec` (one cell as plain data, content-hashable) and
+    :class:`SweepSpec` (a base scenario expanded along axes/variants into
+    the full grid, with deterministic per-cell seeding).
+
+``cells``
+    Pure cell functions mapping a spec to a JSON-safe metrics dict: run a
+    protocol through the simulator, or analyse a workload distribution
+    (Figs. 4/5).
+
+``executor``
+    :class:`SweepExecutor`: fans cells out across worker processes
+    (``concurrent.futures.ProcessPoolExecutor``), caches results on disk
+    keyed by spec hash (re-runs skip computed cells), reports progress,
+    and returns results in deterministic grid order.
+
+``artifacts``
+    :class:`CellResult`/:class:`SweepResult` plus JSON/CSV writers and the
+    bridge into :class:`repro.testbed.metrics.MetricsCollector` used by the
+    benchmark suite's report tables.
+
+``presets``
+    The paper's figures/tables (Fig. 4-7, ablations, smoke/fault grids) as
+    named, scale-aware sweeps.
+
+``cli``
+    The ``python -m repro`` command line (``sweep`` / ``run`` /
+    ``list-scenarios``).
+
+Example
+-------
+Run Fig. 6a's grid in parallel with caching, then render its table::
+
+    from repro.experiments import SweepExecutor, preset
+
+    executor = SweepExecutor(cache_dir=".repro-cache")
+    result = executor.run(preset("fig6a"))
+    print(result.to_collector().render_table("runtime_seconds"))
+
+Or define a custom grid inline::
+
+    from repro.experiments import ScenarioSpec, SweepSpec, SweepExecutor
+
+    sweep = SweepSpec(
+        name="my-sweep",
+        base=ScenarioSpec(epsilon=1.0, delta_max=16.0, testbed="aws"),
+        axes={"protocol": ["delphi", "fin"], "n": [7, 13, 19]},
+    )
+    result = SweepExecutor().run(sweep)
+    result.write_csv("out/my-sweep.csv")
+"""
+
+from repro.experiments.artifacts import CellResult, SweepResult
+from repro.experiments.cells import run_cell
+from repro.experiments.executor import SweepExecutor, execute_cell
+from repro.experiments.presets import PRESETS, list_presets, preset
+from repro.experiments.spec import ScenarioSpec, SweepSpec
+
+__all__ = [
+    "CellResult",
+    "PRESETS",
+    "ScenarioSpec",
+    "SweepExecutor",
+    "SweepResult",
+    "SweepSpec",
+    "execute_cell",
+    "list_presets",
+    "preset",
+    "run_cell",
+]

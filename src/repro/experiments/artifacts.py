@@ -1,0 +1,186 @@
+"""Result containers and artifact writers for experiment sweeps.
+
+A :class:`CellResult` pairs one scenario spec with the metrics its cell
+function produced (plus bookkeeping: spec hash, wall-clock, cache status).
+A :class:`SweepResult` is the ordered collection for a whole sweep and knows
+how to
+
+* bridge into the benchmark harness's :class:`~repro.testbed.metrics.MetricsCollector`
+  (so refactored benchmarks keep emitting the same tables), and
+* serialise to the JSON/CSV artifact formats ``benchmarks/bench_common.py``
+  consumers already parse (one JSON object / CSV row per cell, metrics
+  flattened next to the spec fields).
+
+Example
+-------
+>>> result = executor.run(sweep)                       # doctest: +SKIP
+>>> result.write_json("out/sweep.json")                # doctest: +SKIP
+>>> collector = result.to_collector()                  # doctest: +SKIP
+>>> print(collector.render_table("runtime_seconds"))   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.testbed.metrics import MetricsCollector
+
+from repro.experiments.spec import ScenarioSpec
+
+#: Metrics every protocol cell reports, in the order CSV columns prefer.
+_CORE_METRICS = (
+    "runtime_seconds",
+    "megabytes",
+    "message_count",
+    "output_spread",
+    "validity_margin",
+)
+
+
+@dataclass
+class CellResult:
+    """One computed (or cache-loaded) experiment cell."""
+
+    spec: ScenarioSpec
+    spec_hash: str
+    metrics: Dict[str, Any]
+    elapsed_seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def label(self) -> str:
+        """The series label of the underlying spec."""
+        return self.spec.label
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict: spec + metrics + bookkeeping."""
+        return {
+            "spec_hash": self.spec_hash,
+            "cached": self.cached,
+            "elapsed_seconds": self.elapsed_seconds,
+            "spec": self.spec.to_dict(),
+            "metrics": self.metrics,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep, in deterministic grid order."""
+
+    name: str
+    results: List[CellResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def cached_count(self) -> int:
+        """How many cells were served from the result cache."""
+        return sum(1 for result in self.results if result.cached)
+
+    def metrics_by_hash(self) -> Dict[str, Dict[str, Any]]:
+        """Map spec hash -> metrics (for result-equality comparisons)."""
+        return {result.spec_hash: result.metrics for result in self.results}
+
+    def series(self, label: str) -> List[CellResult]:
+        """All cells of one series label, ordered by system size."""
+        return sorted(
+            (result for result in self.results if result.label == label),
+            key=lambda result: result.spec.n,
+        )
+
+    def metric(self, label: str, n: int, name: str) -> Any:
+        """One metric value of one (series, n) cell."""
+        for result in self.series(label):
+            if result.spec.n == n:
+                return result.metrics[name]
+        raise KeyError(f"no cell for series {label!r} at n={n}")
+
+    # ------------------------------------------------------------------
+    def to_collector(self, experiment: Optional[str] = None) -> MetricsCollector:
+        """Bridge protocol-cell results into a :class:`MetricsCollector`.
+
+        The collector renders the same protocol-by-n tables the benchmark
+        suite has always emitted, so refactored benchmarks stay drop-in
+        compatible with ``bench_common.print_report``.
+        """
+        collector = MetricsCollector(experiment or self.name)
+        for result in self.results:
+            if result.spec.kind != "protocol":
+                continue
+            metrics = result.metrics
+            collector.add_run(
+                protocol=result.label,
+                n=result.spec.n,
+                runtime_seconds=float(metrics["runtime_seconds"]),
+                megabytes=float(metrics["megabytes"]),
+                message_count=int(metrics["message_count"]),
+                output_spread=float(metrics["output_spread"]),
+                validity_margin=float(metrics["validity_margin"]),
+                delta=float(result.spec.delta),
+                seed=float(result.spec.seed),
+            )
+        return collector
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat per-cell rows: spec fields + scalar metrics."""
+        rows: List[Dict[str, Any]] = []
+        for result in self.results:
+            row: Dict[str, Any] = {"label": result.label, "spec_hash": result.spec_hash}
+            row.update(result.spec.to_dict())
+            # Flatten scalar extras (e.g. fig7's heatmap coordinates) so CSV
+            # consumers keep the cell's grid position.
+            for key, value in row.pop("extras", {}).items():
+                if isinstance(value, (int, float, str, bool)):
+                    row.setdefault(key, value)
+            for key, value in result.metrics.items():
+                if isinstance(value, (int, float, str, bool)) or value is None:
+                    row[key] = value
+            rows.append(row)
+        return rows
+
+    def write_json(self, path: str) -> str:
+        """Write the full sweep (specs + complete metrics) as JSON."""
+        _ensure_parent(path)
+        payload = {
+            "sweep": self.name,
+            "cells": [result.as_dict() for result in self.results],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def write_csv(self, path: str) -> str:
+        """Write one CSV row per cell (scalar metrics only)."""
+        _ensure_parent(path)
+        rows = self.rows()
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        # Keep the headline metrics adjacent for eyeballing.
+        for name in reversed(_CORE_METRICS):
+            if name in columns:
+                columns.remove(name)
+                columns.insert(2, name)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)

@@ -1,0 +1,286 @@
+"""Cell functions: turn one :class:`ScenarioSpec` into a metrics dict.
+
+Every scenario *kind* maps to one module-level function (so cells pickle
+cleanly into worker processes).  Cell functions are **pure**: all randomness
+derives from ``spec.seed``, which is what lets the executor cache results by
+spec hash and guarantees parallel == serial output.
+
+Metrics dicts are JSON-safe (plain floats/ints/strings/lists) because they
+are written verbatim into the on-disk result cache and the JSON/CSV
+artifacts.
+
+Example
+-------
+>>> from repro.experiments import ScenarioSpec
+>>> from repro.experiments.cells import run_cell
+>>> metrics = run_cell(ScenarioSpec(protocol="delphi", n=5, delta_max=8.0))
+>>> metrics["all_decided"]
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.adversary.base import AdversaryStrategy
+from repro.adversary.strategies import (
+    CrashStrategy,
+    DelayedHonestStrategy,
+    EquivocatingStrategy,
+    RandomBitStrategy,
+    SpamStrategy,
+)
+from repro.analysis.parameters import derive_parameters
+from repro.analysis.range_analysis import analyse_ranges, validity_margin
+from repro.distributions.fitting import fit_distributions, histogram
+from repro.distributions.thin_tailed import NormalInputs
+from repro.errors import ConfigurationError
+from repro.net.latency import UniformLatency
+from repro.net.network import AsynchronousNetwork, DeliveryPolicy
+from repro.runner import (
+    ProtocolRunResult,
+    run_abraham,
+    run_delphi,
+    run_dolev,
+    run_dora,
+    run_fin,
+    run_hbbft,
+)
+from repro.sim.runtime import ComputeModel
+from repro.testbed.aws import AwsTestbed
+from repro.testbed.cps import CpsTestbed
+from repro.workloads.bitcoin import BitcoinPriceFeed
+from repro.workloads.drone import DroneLocalisationWorkload
+from repro.workloads.sensors import SensorGridWorkload
+
+from repro.experiments.spec import ScenarioSpec
+
+# ----------------------------------------------------------------------
+# Building blocks: inputs, network/compute, adversary.
+
+
+def spread_inputs(n: int, centre: float, delta: float) -> List[float]:
+    """n inputs spread deterministically across a range ``delta`` — the
+    canonical input layout of the paper's protocol sweeps (shared with the
+    benchmark suite via ``bench_common.spread_inputs``)."""
+    if n == 1:
+        return [centre]
+    return [centre - delta / 2.0 + delta * index / (n - 1) for index in range(n)]
+
+
+def lan_network(
+    n: int, seed: int = 0, adversarial_delay: float = 0.0
+) -> AsynchronousNetwork:
+    """A small asynchronous network with jittered latency and reordering —
+    the test suite's default environment (shared with ``tests/helpers.py``)."""
+    return AsynchronousNetwork(
+        num_nodes=n,
+        latency=UniformLatency(low=0.001, high=0.01, seed=seed),
+        policy=DeliveryPolicy(max_extra_delay=adversarial_delay, reorder=True, seed=seed),
+    )
+
+
+def build_inputs(spec: ScenarioSpec) -> List[float]:
+    """Honest input values for a protocol cell, from the spec's workload."""
+    n = spec.n
+    if spec.workload == "spread":
+        return spread_inputs(n, spec.centre, spec.delta)
+    if spec.workload == "bitcoin":
+        return BitcoinPriceFeed(seed=spec.seed).node_inputs(n)
+    if spec.workload == "drone":
+        xs, _ys = DroneLocalisationWorkload(seed=spec.seed).node_inputs(n)
+        return xs
+    if spec.workload == "sensors":
+        return SensorGridWorkload(true_value=spec.centre, seed=spec.seed).node_inputs(n)
+    if spec.workload == "normal":
+        sigma = float(spec.extras.get("sigma", 0.5))
+        return NormalInputs(
+            sigma=sigma, true_value=spec.centre, seed=spec.seed
+        ).sample_inputs(n)
+    raise ConfigurationError(f"unknown workload {spec.workload!r}")
+
+
+def build_network(spec: ScenarioSpec) -> Tuple[Optional[AsynchronousNetwork], Optional[ComputeModel]]:
+    """The (network, compute) pair for the spec's testbed."""
+    if spec.testbed == "aws":
+        testbed = AwsTestbed(
+            num_nodes=spec.n, seed=spec.seed, adversarial_delay=spec.adversarial_delay
+        )
+        return testbed.network(), testbed.compute()
+    if spec.testbed == "cps":
+        testbed = CpsTestbed(
+            num_nodes=spec.n, seed=spec.seed, adversarial_delay=spec.adversarial_delay
+        )
+        return testbed.network(), testbed.compute()
+    if spec.testbed == "lan":
+        return lan_network(spec.n, seed=spec.seed, adversarial_delay=spec.adversarial_delay), None
+    if spec.testbed == "ideal":
+        return None, None
+    raise ConfigurationError(f"unknown testbed {spec.testbed!r}")
+
+
+def _make_strategy(spec: ScenarioSpec, node_id: int) -> AdversaryStrategy:
+    if spec.adversary == "crash":
+        return CrashStrategy()
+    if spec.adversary == "delay":
+        return DelayedHonestStrategy(hold_back=int(spec.extras.get("hold_back", 3)))
+    if spec.adversary == "equivocate":
+        return EquivocatingStrategy()
+    if spec.adversary == "random-bit":
+        return RandomBitStrategy(seed=spec.seed + node_id)
+    if spec.adversary == "spam":
+        return SpamStrategy(copies=int(spec.extras.get("spam_copies", 2)))
+    raise ConfigurationError(f"unknown adversary {spec.adversary!r}")
+
+
+def build_adversary(spec: ScenarioSpec) -> Optional[Dict[int, AdversaryStrategy]]:
+    """Per-node Byzantine strategies (the highest ``num_byzantine`` ids)."""
+    if spec.adversary == "none" or spec.num_byzantine == 0:
+        return None
+    corrupted = range(spec.n - spec.num_byzantine, spec.n)
+    return {node_id: _make_strategy(spec, node_id) for node_id in corrupted}
+
+
+# ----------------------------------------------------------------------
+# Protocol cell.
+
+
+def _run_named_protocol(
+    spec: ScenarioSpec, inputs: List[float]
+) -> Tuple[ProtocolRunResult, Dict[str, Any]]:
+    network, compute = build_network(spec)
+    byzantine = build_adversary(spec)
+    derived: Dict[str, Any] = {}
+    if spec.protocol in ("delphi", "dora"):
+        params = derive_parameters(
+            n=spec.n,
+            epsilon=spec.epsilon,
+            rho0=spec.rho0,
+            delta_max=spec.delta_max,
+            max_rounds=spec.max_rounds,
+        )
+        derived = {"levels": params.level_count, "rounds": params.rounds}
+        runner = run_delphi if spec.protocol == "delphi" else run_dora
+        result = runner(params, inputs, network=network, byzantine=byzantine, compute=compute)
+    elif spec.protocol in ("abraham", "dolev"):
+        runner = run_abraham if spec.protocol == "abraham" else run_dolev
+        result = runner(
+            spec.n,
+            inputs,
+            epsilon=spec.epsilon,
+            delta_max=spec.delta_max,
+            rounds=spec.max_rounds,
+            network=network,
+            byzantine=byzantine,
+            compute=compute,
+        )
+    elif spec.protocol in ("fin", "hbbft"):
+        runner = run_fin if spec.protocol == "fin" else run_hbbft
+        result = runner(spec.n, inputs, network=network, byzantine=byzantine, compute=compute)
+    else:
+        raise ConfigurationError(f"unknown protocol {spec.protocol!r}")
+    return result, derived
+
+
+def run_protocol_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Run one protocol instance end to end and summarise it as metrics."""
+    inputs = build_inputs(spec)
+    result, derived = _run_named_protocol(spec, inputs)
+    honest_inputs = [inputs[node_id] for node_id in result.honest_nodes] or inputs
+    metrics: Dict[str, Any] = {
+        "protocol": spec.protocol,
+        "n": spec.n,
+        "runtime_seconds": result.runtime_seconds,
+        "megabytes": result.total_megabytes,
+        "message_count": result.message_count,
+        "events_processed": result.events_processed,
+        "output_spread": result.output_spread,
+        "validity_margin": validity_margin(result.output_values, honest_inputs),
+        "all_decided": result.all_decided,
+        "decided_count": len(result.outputs),
+        "num_byzantine": len(result.byzantine_nodes),
+        "input_range": max(honest_inputs) - min(honest_inputs),
+        "output_values": list(result.output_values),
+    }
+    metrics.update(derived)
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Workload-analysis cells (Figs. 4 and 5).
+
+
+def run_bitcoin_range_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Fig. 4 cell: per-minute Bitcoin inter-exchange range statistics.
+
+    ``extras``: ``minutes`` (observation window), ``num_sources`` (exchanges
+    queried per minute), ``thresholds``, ``security_bits``, ``bins``,
+    ``candidates`` (distribution families to fit).
+    """
+    extras = spec.extras
+    minutes = int(extras.get("minutes", 3 * 24 * 60))
+    num_sources = int(extras.get("num_sources", 10))
+    thresholds = tuple(float(t) for t in extras.get("thresholds", (30.0, 100.0, 300.0)))
+    candidates = tuple(extras.get("candidates", ("frechet", "gumbel", "gamma", "normal")))
+    feed = BitcoinPriceFeed(seed=spec.seed)
+    ranges = feed.observed_ranges(num_nodes=num_sources, minutes=minutes)
+    stats = analyse_ranges(
+        ranges, thresholds=thresholds, security_bits=int(extras.get("security_bits", 30))
+    )
+    centres, counts = histogram(ranges, bins=int(extras.get("bins", 30)))
+    fits = fit_distributions(ranges, candidates=candidates)
+    return {
+        "samples": len(ranges),
+        "mean": stats.mean,
+        "median": stats.median,
+        "p99": stats.p99,
+        "max": stats.maximum,
+        "fraction_below": [[t, stats.fraction_below[t]] for t in thresholds],
+        "recommended_delta": stats.recommended_delta,
+        "fits": [{"name": fit.name, "ks": fit.ks_statistic} for fit in fits],
+        "histogram": {"centres": centres, "counts": counts},
+    }
+
+
+def run_drone_iou_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Fig. 5 cell: object-detection IoU distribution for the drone workload.
+
+    ``extras``: ``detections``, ``bins``, ``candidates``, ``num_drones``
+    (for the implied location-error statistic).
+    """
+    extras = spec.extras
+    detections = int(extras.get("detections", 12_000))
+    candidates = tuple(extras.get("candidates", ("gamma", "normal", "frechet")))
+    workload = DroneLocalisationWorkload(seed=spec.seed)
+    ious = workload.sample_ious(detections)
+    values = np.asarray(ious)
+    centres, counts = histogram(ious, bins=int(extras.get("bins", 25)))
+    fits = fit_distributions(ious, candidates=candidates)
+    errors = workload.error_distances(num_drones=int(extras.get("num_drones", 2000)))
+    return {
+        "samples": detections,
+        "mean_iou": float(values.mean()),
+        "fraction_below_06": float(np.mean(values < 0.6)),
+        "fits": [{"name": fit.name, "ks": fit.ks_statistic} for fit in fits],
+        "histogram": {"centres": centres, "counts": counts},
+        "mean_error_m": float(np.mean(errors)),
+    }
+
+
+#: Registry mapping scenario kinds to their cell functions.
+CELL_KINDS: Dict[str, Callable[[ScenarioSpec], Dict[str, Any]]] = {
+    "protocol": run_protocol_cell,
+    "bitcoin_range": run_bitcoin_range_cell,
+    "drone_iou": run_drone_iou_cell,
+}
+
+
+def run_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Dispatch one spec to its registered cell function."""
+    try:
+        cell = CELL_KINDS[spec.kind]
+    except KeyError:
+        raise ConfigurationError(f"no cell function registered for kind {spec.kind!r}")
+    return cell(spec)

@@ -1,0 +1,211 @@
+"""Command-line interface for the experiment harness: ``python -m repro``.
+
+Three subcommands:
+
+``repro list-scenarios``
+    Show every registered preset sweep with its description and cell count.
+
+``repro sweep NAME``
+    Execute a preset sweep (parallel by default, cached by spec hash) and
+    print the protocol-by-n report table; ``--json``/``--csv`` write the
+    artifact files, ``--dry-run`` prints the expanded grid without running.
+
+``repro run``
+    Execute one ad-hoc scenario assembled from flags and print its metrics
+    as JSON.
+
+Examples
+--------
+::
+
+    PYTHONPATH=src python -m repro list-scenarios
+    PYTHONPATH=src python -m repro sweep smoke --workers 4 --json out/smoke.json
+    PYTHONPATH=src python -m repro sweep fig6a --dry-run
+    PYTHONPATH=src python -m repro run --protocol delphi --n 7 --delta-max 16 --testbed aws
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.presets import SCALES, list_presets, preset
+from repro.experiments.spec import (
+    KNOWN_ADVERSARIES,
+    KNOWN_PROTOCOLS,
+    KNOWN_TESTBEDS,
+    KNOWN_WORKLOADS,
+    ScenarioSpec,
+)
+
+#: Default on-disk result cache used by the CLI.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Metrics the report table can render (ExperimentRecord numeric fields).
+TABLE_METRICS = (
+    "runtime_seconds",
+    "megabytes",
+    "message_count",
+    "output_spread",
+    "validity_margin",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Delphi reproduction experiment harness: run declarative "
+            "protocol sweeps in parallel with per-cell result caching."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-scenarios", help="list the registered preset sweeps"
+    )
+    list_parser.add_argument(
+        "--scale", choices=SCALES, default="quick", help="scale used for cell counts"
+    )
+
+    sweep = subparsers.add_parser("sweep", help="execute a preset sweep")
+    sweep.add_argument("name", help="preset name (see list-scenarios)")
+    sweep.add_argument("--scale", choices=SCALES, default="quick")
+    sweep.add_argument("--workers", type=int, default=None, help="worker process count")
+    sweep.add_argument(
+        "--serial", action="store_true", help="run in-process instead of the worker pool"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"per-cell result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    sweep.add_argument(
+        "--force", action="store_true", help="recompute cells even when cached"
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true", help="print the expanded grid, run nothing"
+    )
+    sweep.add_argument("--json", dest="json_path", help="write full results as JSON")
+    sweep.add_argument("--csv", dest="csv_path", help="write per-cell rows as CSV")
+    sweep.add_argument(
+        "--metric",
+        default="runtime_seconds",
+        help="metric rendered in the report table (default: runtime_seconds)",
+    )
+    sweep.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    run = subparsers.add_parser("run", help="execute one ad-hoc scenario")
+    run.add_argument("--protocol", choices=KNOWN_PROTOCOLS, default="delphi")
+    run.add_argument("--n", type=int, default=7)
+    run.add_argument("--epsilon", type=float, default=1.0)
+    run.add_argument("--rho0", type=float, default=None)
+    run.add_argument("--delta-max", type=float, default=16.0)
+    run.add_argument("--max-rounds", type=int, default=6)
+    run.add_argument("--testbed", choices=KNOWN_TESTBEDS, default="lan")
+    run.add_argument("--workload", choices=KNOWN_WORKLOADS, default="spread")
+    run.add_argument("--delta", type=float, default=4.0, help="honest input range")
+    run.add_argument("--centre", type=float, default=100.0, help="input range centre")
+    run.add_argument("--adversary", choices=KNOWN_ADVERSARIES, default="none")
+    run.add_argument("--num-byzantine", type=int, default=0)
+    run.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = list_presets(scale=args.scale)
+    width = max(len(name) for name, _d, _c in rows)
+    print(f"{'preset'.ljust(width)}  cells  description")
+    for name, description, count in rows:
+        print(f"{name.ljust(width)}  {count:>5}  {description}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.metric not in TABLE_METRICS:
+        raise ConfigurationError(
+            f"unknown metric {args.metric!r} (known: {', '.join(TABLE_METRICS)})"
+        )
+    sweep = preset(args.name, scale=args.scale)
+    cells = sweep.cells()
+    if args.dry_run:
+        print(f"# sweep {sweep.name}: {len(cells)} cells ({args.scale} scale)")
+        for index, spec in enumerate(cells):
+            print(
+                f"  [{index + 1:>3}] {spec.label:<16} kind={spec.kind} n={spec.n} "
+                f"testbed={spec.testbed} seed={spec.seed} hash={spec.spec_hash()}"
+            )
+        return 0
+    executor = SweepExecutor(
+        cache_dir=None if args.no_cache else args.cache_dir,
+        max_workers=args.workers,
+        parallel=False if args.serial else None,
+    )
+    if args.quiet:
+        executor.progress = lambda message: None
+    result = executor.run(sweep, force=args.force)
+    fresh = len(result) - result.cached_count
+    print(f"# sweep {result.name}: {len(result)} cells ({result.cached_count} cached, {fresh} computed)")
+    collector = result.to_collector()
+    if collector.records:
+        print(collector.render_table(args.metric))
+    else:  # workload-analysis sweeps have no protocol table; dump metrics
+        for cell in result:
+            print(f"## {cell.label} ({cell.spec_hash})")
+            print(json.dumps(cell.metrics, indent=2, sort_keys=True))
+    if args.json_path:
+        print(f"wrote {result.write_json(args.json_path)}")
+    if args.csv_path:
+        print(f"wrote {result.write_csv(args.csv_path)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec(
+        protocol=args.protocol,
+        n=args.n,
+        epsilon=args.epsilon,
+        rho0=args.rho0,
+        delta_max=args.delta_max,
+        max_rounds=args.max_rounds,
+        testbed=args.testbed,
+        workload=args.workload,
+        delta=args.delta,
+        centre=args.centre,
+        adversary=args.adversary,
+        num_byzantine=args.num_byzantine,
+        seed=args.seed,
+    )
+    executor = SweepExecutor(cache_dir=None, progress=lambda message: None)
+    cell = executor.run_one(spec)
+    print(json.dumps(cell.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "list-scenarios":
+            return _cmd_list(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "run":
+            return _cmd_run(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2

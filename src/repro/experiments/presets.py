@@ -1,0 +1,370 @@
+"""Named experiment presets: the paper's figures/tables as declarative sweeps.
+
+Each preset is a factory ``(scale) -> SweepSpec`` registered in
+:data:`PRESETS`.  ``scale`` is ``"quick"`` (small n, capped BinAA rounds —
+minutes of pure Python) or ``"full"`` (the paper's system sizes — hours).
+The benchmark scripts under ``benchmarks/`` and the ``python -m repro`` CLI
+both build their grids from here, so a figure's scenario set is defined in
+exactly one place.
+
+Example
+-------
+>>> from repro.experiments.presets import preset
+>>> sweep = preset("fig6a", scale="quick")
+>>> len(sweep.cells())
+12
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.distributions.extreme_value import delta_bound
+from repro.distributions.thin_tailed import NormalInputs
+from repro.errors import ConfigurationError
+
+from repro.experiments.spec import ScenarioSpec, SweepSpec
+
+#: Paper configuration for the oracle-network (AWS) application.
+ORACLE_EPSILON = 2.0
+ORACLE_RHO0 = 10.0
+ORACLE_DELTA_MAX = 2000.0
+
+#: Paper configuration for the drone (CPS) application.
+DRONE_EPSILON = 0.5
+DRONE_RHO0 = 0.5
+DRONE_DELTA_MAX = 50.0
+
+#: Average-case and high-volatility Bitcoin input ranges (dollars).
+ORACLE_DELTA_AVERAGE = 20.0
+ORACLE_DELTA_WORST = 180.0
+BITCOIN_PRICE = 40_000.0
+
+#: Average-case and worst-case drone input ranges (metres).
+DRONE_DELTA_AVERAGE = 5.0
+DRONE_DELTA_WORST = 50.0
+DRONE_LOCATION = 120.0
+
+SCALES = ("quick", "full")
+
+
+def _check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ConfigurationError(f"unknown scale {scale!r} (expected one of {SCALES})")
+    return scale
+
+
+def aws_node_counts(scale: str = "quick") -> List[int]:
+    """System sizes for the AWS (oracle) experiments."""
+    return [16, 64, 112, 160] if _check_scale(scale) == "full" else [7, 13, 19]
+
+
+def cps_node_counts(scale: str = "quick") -> List[int]:
+    """System sizes for the CPS (drone) experiments."""
+    return [43, 85, 127, 169] if _check_scale(scale) == "full" else [7, 13, 19]
+
+
+def max_rounds(scale: str = "quick") -> int:
+    """Cap on BinAA iterations at quick scale (effectively uncapped at full)."""
+    return 10_000 if _check_scale(scale) == "full" else 6
+
+
+# ----------------------------------------------------------------------
+# Presets.
+
+
+def smoke(scale: str = "quick") -> SweepSpec:
+    """A fast 12-cell protocol x n grid on the LAN model (CI smoke grid)."""
+    _check_scale(scale)
+    return SweepSpec(
+        name="smoke",
+        description="12-cell protocol x n smoke grid on the LAN network model",
+        base=ScenarioSpec(
+            epsilon=1.0, delta_max=8.0, max_rounds=5, testbed="lan", delta=3.0, centre=100.0
+        ),
+        axes={
+            "protocol": ["delphi", "abraham", "fin", "hbbft"],
+            "n": [4, 5, 7],
+        },
+    )
+
+
+def fig6a(scale: str = "quick") -> SweepSpec:
+    """Fig. 6a: runtime vs n on the AWS model (Delphi at two input ranges
+    vs the Abraham et al. and FIN baselines)."""
+    return SweepSpec(
+        name="fig6a",
+        description="Fig. 6a — protocol runtime vs system size on the AWS testbed",
+        base=ScenarioSpec(
+            testbed="aws",
+            epsilon=ORACLE_EPSILON,
+            rho0=ORACLE_RHO0,
+            delta_max=ORACLE_DELTA_MAX,
+            max_rounds=max_rounds(scale),
+            centre=BITCOIN_PRICE,
+            delta=ORACLE_DELTA_AVERAGE,
+            seed=1,
+        ),
+        axes={"n": aws_node_counts(scale)},
+        variants=[
+            {"name": "delphi d=20", "protocol": "delphi", "delta": ORACLE_DELTA_AVERAGE},
+            {"name": "delphi d=180", "protocol": "delphi", "delta": ORACLE_DELTA_WORST},
+            {"name": "abraham", "protocol": "abraham"},
+            {"name": "fin", "protocol": "fin"},
+        ],
+        derive_seeds=False,
+    )
+
+
+def fig6b(scale: str = "quick") -> SweepSpec:
+    """Fig. 6b: bandwidth vs n on the AWS model (``rho0 = epsilon = 2$``)."""
+    sweep = fig6a(scale)
+    return SweepSpec(
+        name="fig6b",
+        description="Fig. 6b — network bandwidth vs system size on the AWS testbed",
+        base=sweep.base.replace(rho0=ORACLE_EPSILON, seed=2),
+        axes=sweep.axes,
+        variants=sweep.variants,
+        derive_seeds=False,
+    )
+
+
+def fig6c(scale: str = "quick") -> SweepSpec:
+    """Fig. 6c: runtime vs n on the CPS (Raspberry-Pi) model with the drone
+    configuration."""
+    return SweepSpec(
+        name="fig6c",
+        description="Fig. 6c — protocol runtime vs system size on the CPS testbed",
+        base=ScenarioSpec(
+            testbed="cps",
+            epsilon=DRONE_EPSILON,
+            rho0=DRONE_RHO0,
+            delta_max=DRONE_DELTA_MAX,
+            max_rounds=max_rounds(scale),
+            centre=DRONE_LOCATION,
+            delta=DRONE_DELTA_AVERAGE,
+            seed=3,
+        ),
+        axes={"n": cps_node_counts(scale)},
+        variants=[
+            {"name": "delphi d=5m", "protocol": "delphi", "delta": DRONE_DELTA_AVERAGE},
+            {"name": "delphi d=50m", "protocol": "delphi", "delta": DRONE_DELTA_WORST},
+            {"name": "abraham", "protocol": "abraham"},
+            {"name": "fin", "protocol": "fin"},
+        ],
+        derive_seeds=False,
+    )
+
+
+def _fig7(testbed: str, scale: str) -> SweepSpec:
+    n = 16 if _check_scale(scale) == "full" else 7
+    epsilon = 1.0
+    cells: List[ScenarioSpec] = []
+    for agreement_ratio in (4, 16, 64):
+        for range_ratio in (1, 4, 16):
+            delta_max = agreement_ratio * epsilon
+            delta = min(range_ratio * epsilon, 0.9 * delta_max)
+            cells.append(
+                ScenarioSpec(
+                    name=f"A={agreement_ratio} R={range_ratio}",
+                    protocol="delphi",
+                    n=n,
+                    epsilon=epsilon,
+                    rho0=epsilon,
+                    delta_max=delta_max,
+                    max_rounds=8,
+                    testbed=testbed,
+                    delta=delta,
+                    centre=1000.0,
+                    seed=7,
+                    extras={"agreement_ratio": agreement_ratio, "range_ratio": range_ratio},
+                )
+            )
+    return SweepSpec(
+        name=f"fig7-{testbed}",
+        description=f"Fig. 7 — Delphi runtime heatmap (agreement x range ratio) on {testbed}",
+        explicit=cells,
+    )
+
+
+def fig7_aws(scale: str = "quick") -> SweepSpec:
+    """Fig. 7 (AWS half): agreement-ratio x range-ratio runtime heatmap."""
+    return _fig7("aws", scale)
+
+
+def fig7_cps(scale: str = "quick") -> SweepSpec:
+    """Fig. 7 (CPS half): agreement-ratio x range-ratio runtime heatmap."""
+    return _fig7("cps", scale)
+
+
+def fig4_bitcoin_range(scale: str = "quick") -> SweepSpec:
+    """Fig. 4: the per-minute Bitcoin inter-exchange range histogram."""
+    minutes = 2 * 7 * 24 * 60 if _check_scale(scale) == "full" else 3 * 24 * 60
+    cell = ScenarioSpec(
+        name="bitcoin-range",
+        kind="bitcoin_range",
+        seed=4,
+        extras={"minutes": minutes, "num_sources": 10, "bins": 30},
+    )
+    return SweepSpec(
+        name="fig4",
+        description="Fig. 4 — Bitcoin inter-exchange price-range histogram and EVT fit",
+        explicit=[cell],
+    )
+
+
+def fig5_drone_iou(scale: str = "quick") -> SweepSpec:
+    """Fig. 5: the drone object-detection IoU histogram."""
+    detections = 80_000 if _check_scale(scale) == "full" else 12_000
+    cell = ScenarioSpec(
+        name="drone-iou",
+        kind="drone_iou",
+        seed=5,
+        extras={"detections": detections, "bins": 25, "num_drones": 2000},
+    )
+    return SweepSpec(
+        name="fig5",
+        description="Fig. 5 — drone object-detection IoU histogram and thin-tail fit",
+        explicit=[cell],
+    )
+
+
+#: Ablation constants (Section III design decisions at n = 7).
+ABLATION_N = 7
+ABLATION_EPSILON = 1.0
+ABLATION_DELTA_MAX = 64.0
+ABLATION_CENTRE = 500.0
+ABLATION_DELTA_AVERAGE = 3.0
+
+
+def ablation_levels(scale: str = "quick") -> SweepSpec:
+    """Ablation: multi-level checkpoints vs one worst-case level."""
+    return SweepSpec(
+        name="ablation-levels",
+        description="Ablation — multi-level checkpoints vs a single worst-case level",
+        base=ScenarioSpec(
+            protocol="delphi",
+            n=ABLATION_N,
+            epsilon=ABLATION_EPSILON,
+            delta_max=ABLATION_DELTA_MAX,
+            max_rounds=max_rounds(scale),
+            testbed="ideal",
+            delta=ABLATION_DELTA_AVERAGE,
+            centre=ABLATION_CENTRE,
+        ),
+        variants=[
+            {"name": "multi-level", "rho0": ABLATION_EPSILON},
+            {"name": "single-level", "rho0": ABLATION_DELTA_MAX},
+        ],
+        derive_seeds=False,
+    )
+
+
+def ablation_bundling(scale: str = "quick") -> SweepSpec:
+    """Ablation: traffic must track active checkpoints (delta/rho0), not the
+    checkpoint space (Delta/rho0)."""
+    return SweepSpec(
+        name="ablation-bundling",
+        description="Ablation — bundled traffic scales with the active range delta",
+        base=ScenarioSpec(
+            protocol="delphi",
+            n=ABLATION_N,
+            epsilon=ABLATION_EPSILON,
+            rho0=ABLATION_EPSILON,
+            delta_max=ABLATION_DELTA_MAX,
+            max_rounds=max_rounds(scale),
+            testbed="ideal",
+            centre=ABLATION_CENTRE,
+        ),
+        variants=[
+            {"name": f"delta={delta:g}", "delta": delta} for delta in (2.0, 8.0, 32.0)
+        ],
+        derive_seeds=False,
+    )
+
+
+def ablation_delta_bound(scale: str = "quick") -> SweepSpec:
+    """Ablation: EVT-derived ``Delta`` vs a loose domain bound."""
+    noise = NormalInputs(sigma=0.5, true_value=ABLATION_CENTRE, seed=8)
+    derived_delta = max(2.0, delta_bound(ABLATION_N, security_bits=20, distribution=noise))
+    return SweepSpec(
+        name="ablation-delta-bound",
+        description="Ablation — EVT-derived Delta vs a loose domain bound",
+        base=ScenarioSpec(
+            protocol="delphi",
+            n=ABLATION_N,
+            epsilon=ABLATION_EPSILON,
+            rho0=ABLATION_EPSILON,
+            max_rounds=max_rounds(scale),
+            testbed="ideal",
+            workload="normal",
+            centre=ABLATION_CENTRE,
+            seed=8,
+            extras={"sigma": 0.5},
+        ),
+        variants=[
+            {"name": "derived", "delta_max": derived_delta},
+            {"name": "loose", "delta_max": 512.0},
+        ],
+        derive_seeds=False,
+    )
+
+
+def faults(scale: str = "quick") -> SweepSpec:
+    """Fault-injection grid: Delphi under every adversary strategy."""
+    _check_scale(scale)
+    return SweepSpec(
+        name="faults",
+        description="Delphi under crash/delay/equivocate/random-bit/spam adversaries",
+        base=ScenarioSpec(
+            protocol="delphi",
+            epsilon=1.0,
+            delta_max=8.0,
+            max_rounds=5,
+            testbed="lan",
+            delta=3.0,
+            centre=100.0,
+            num_byzantine=1,
+        ),
+        axes={
+            "adversary": ["crash", "delay", "equivocate", "random-bit", "spam"],
+            "n": [4, 7],
+        },
+    )
+
+
+PresetFactory = Callable[[str], SweepSpec]
+
+#: Registry of named presets: name -> (factory, short description).
+PRESETS: Dict[str, Tuple[PresetFactory, str]] = {
+    "smoke": (smoke, "12-cell protocol x n smoke grid (LAN model, fast)"),
+    "fig4": (fig4_bitcoin_range, "Fig. 4 Bitcoin range histogram + EVT fit"),
+    "fig5": (fig5_drone_iou, "Fig. 5 drone IoU histogram + thin-tail fit"),
+    "fig6a": (fig6a, "Fig. 6a runtime vs n (AWS testbed)"),
+    "fig6b": (fig6b, "Fig. 6b bandwidth vs n (AWS testbed)"),
+    "fig6c": (fig6c, "Fig. 6c runtime vs n (CPS testbed)"),
+    "fig7-aws": (fig7_aws, "Fig. 7 heatmap, AWS half"),
+    "fig7-cps": (fig7_cps, "Fig. 7 heatmap, CPS half"),
+    "ablation-levels": (ablation_levels, "multi-level vs single-level checkpoints"),
+    "ablation-bundling": (ablation_bundling, "traffic vs active checkpoint range"),
+    "ablation-delta-bound": (ablation_delta_bound, "EVT Delta vs loose domain bound"),
+    "faults": (faults, "Delphi under five Byzantine strategies"),
+}
+
+
+def preset(name: str, scale: str = "quick") -> SweepSpec:
+    """Build one named preset sweep at the given scale."""
+    try:
+        factory, _description = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigurationError(f"unknown preset {name!r} (known: {known})")
+    return factory(scale)
+
+
+def list_presets(scale: str = "quick") -> List[Tuple[str, str, int]]:
+    """(name, description, cell count) for every registered preset."""
+    return [
+        (name, description, len(factory(scale).cells()))
+        for name, (factory, description) in sorted(PRESETS.items())
+    ]

@@ -15,7 +15,7 @@ from repro.net.message import Message
 from repro.protocols.base import BROADCAST
 from repro.protocols.bv_broadcast import BVBroadcastNode
 
-from conftest import run_nodes
+from helpers import run_nodes
 
 
 def _attach(strategy, value=1, n=4, t=1):

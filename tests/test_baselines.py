@@ -13,7 +13,7 @@ from repro.protocols.baselines.fin_acs import FinAcsNode
 from repro.protocols.baselines.hbbft_acs import HoneyBadgerAcsNode
 from repro.crypto.coin import CommonCoin
 
-from conftest import assert_agreement, assert_validity, run_nodes
+from helpers import assert_agreement, assert_validity, run_nodes
 
 
 class TestTrimmedMean:

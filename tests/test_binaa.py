@@ -7,7 +7,7 @@ from repro.errors import ConfigurationError
 from repro.net.message import Message
 from repro.protocols.binaa import BinAAEngine, BinAANode, rounds_for_epsilon
 
-from conftest import run_nodes
+from helpers import run_nodes
 
 
 def _run(values, rounds=4, t=1, byzantine=None, seed=0):

@@ -7,7 +7,7 @@ from repro.crypto.coin import CommonCoin
 from repro.errors import ConfigurationError
 from repro.protocols.binary_ba import BinaryBAEngine, BinaryBANode
 
-from conftest import run_nodes
+from helpers import run_nodes
 
 
 def _run(values, t=1, byzantine=None, seed=0):

@@ -6,7 +6,7 @@ from repro.adversary.strategies import CrashStrategy, EquivocatingStrategy, Rand
 from repro.errors import ConfigurationError
 from repro.protocols.bv_broadcast import BVBroadcastNode
 
-from conftest import run_nodes
+from helpers import run_nodes
 
 
 def _run(values, n=None, t=1, byzantine=None, seed=0):

@@ -16,7 +16,7 @@ from repro.core.delphi import DelphiNode, DelphiOutput
 from repro.errors import ProtocolError
 from repro.net.message import Message
 
-from conftest import assert_agreement, assert_validity, run_nodes, small_delphi_params
+from helpers import assert_agreement, assert_validity, run_nodes, small_delphi_params
 
 
 def _run_delphi(values, params=None, byzantine=None, seed=0, adversarial_delay=0.0):

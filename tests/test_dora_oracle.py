@@ -11,7 +11,7 @@ from repro.errors import ConfigurationError
 from repro.oracle.network import OracleNetwork
 from repro.oracle.smr import SMRChannel
 
-from conftest import run_nodes, small_delphi_params
+from helpers import run_nodes, small_delphi_params
 
 
 def _run_dora(values, params=None, byzantine=None, seed=0):

@@ -17,7 +17,7 @@ from repro.testbed.cps import CpsTestbed
 from repro.workloads.bitcoin import BitcoinPriceFeed
 from repro.workloads.drone import DroneLocalisationWorkload
 
-from conftest import assert_agreement, assert_validity, run_nodes
+from helpers import assert_agreement, assert_validity, run_nodes
 
 
 class TestOraclePipeline:

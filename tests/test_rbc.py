@@ -6,7 +6,7 @@ from repro.adversary.strategies import CrashStrategy, EquivocatingStrategy
 from repro.errors import ConfigurationError
 from repro.protocols.rbc import RBCEngine, ReliableBroadcastNode
 
-from conftest import run_nodes
+from helpers import run_nodes
 
 
 def _run(value, n=4, t=1, broadcaster=0, byzantine=None, seed=0):

@@ -10,7 +10,7 @@ from repro.testbed.aws import AwsTestbed
 from repro.testbed.cps import CpsTestbed
 from repro.testbed.metrics import ExperimentRecord, MetricsCollector
 
-from conftest import small_delphi_params
+from helpers import small_delphi_params
 
 
 class TestAwsTestbed:
