@@ -75,9 +75,15 @@ def aggregate_level(
     weighted_value = sum(
         weight * checkpoint_values[index] for index, weight in positive.items()
     )
+    value = weighted_value / total_weight
+    # The weighted average lies in the convex hull of the positive-weight
+    # checkpoints by construction; only float underflow (denormal weights
+    # whose products round to zero) can push it out, so clamp it back.
+    hull = [checkpoint_values[index] for index in positive]
+    value = min(max(value, min(hull)), max(hull))
     return LevelAggregate(
         level=level,
-        value=weighted_value / total_weight,
+        value=value,
         weight=max(positive.values()),
         fallback=False,
     )

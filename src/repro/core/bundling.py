@@ -52,9 +52,12 @@ class Bundle:
     def level(self, level: int, exclude: Sequence[int]) -> LevelBundle:
         """Get (or create) the bundle entry for ``level`` with the sender's
         current explicit set ``exclude``."""
-        if level not in self.levels:
-            self.levels[level] = LevelBundle(level=level, exclude=tuple(sorted(exclude)))
-        return self.levels[level]
+        entry = self.levels.get(level)
+        if entry is None:
+            entry = self.levels[level] = LevelBundle(
+                level=level, exclude=tuple(sorted(exclude))
+            )
+        return entry
 
     def add_default(self, level: int, exclude: Sequence[int], subs: Sequence[SubMessage]) -> None:
         """Append default-block sub-messages for ``level``."""

@@ -103,7 +103,12 @@ class LevelState:
     @property
     def terminated(self) -> bool:
         """Whether every engine at this level has completed all rounds."""
-        return all(engine.has_output for engine in self.all_engines())
+        if self.default_engine.output is None:
+            return False
+        for engine in self.explicit.values():
+            if engine.output is None:
+                return False
+        return True
 
     def checkpoint_weights(self) -> Dict[int, float]:
         """Final weights of the explicit checkpoints (only meaningful once

@@ -126,9 +126,18 @@ class DelphiNode(ProtocolNode):
             return []
         if not self._started or self.has_output:
             return []
-        try:
-            incoming = decode_bundle(message.payload)
-        except ProtocolError:
+        # A broadcast bundle is delivered to all n nodes; decode it once and
+        # memoise the result on the (immutable) message.  Receivers only read
+        # the decoded structure, so sharing it is safe.  ``False`` marks a
+        # malformed (Byzantine) payload so it is not re-parsed per receiver.
+        incoming = getattr(message, "_bundle_memo", None)
+        if incoming is None:
+            try:
+                incoming = decode_bundle(message.payload)
+            except ProtocolError:
+                incoming = False
+            object.__setattr__(message, "_bundle_memo", incoming)
+        if incoming is False:
             # Malformed (Byzantine) bundle: discard entirely.
             return []
         outgoing = self._process_bundle(sender, incoming)

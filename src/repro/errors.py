@@ -38,3 +38,8 @@ class NetworkError(ReproError):
 
 class AnalysisError(ReproError):
     """A statistical analysis (fitting, extreme-value estimation) failed."""
+
+
+class EquivalenceError(SimulationError):
+    """The fast and reference simulation engines produced different results
+    for the same scenario — the fast path's correctness guarantee is broken."""

@@ -1,6 +1,6 @@
 """Command-line interface for the experiment harness: ``python -m repro``.
 
-Three subcommands:
+Four subcommands:
 
 ``repro list-scenarios``
     Show every registered preset sweep with its description and cell count.
@@ -14,6 +14,11 @@ Three subcommands:
     Execute one ad-hoc scenario assembled from flags and print its metrics
     as JSON.
 
+``repro perf``
+    Run the perf basket (fast engine timed against the reference engine,
+    byte-identical results asserted) and write a ``BENCH_<date>.json``
+    artifact; ``--check`` gates against a committed baseline.
+
 Examples
 --------
 ::
@@ -22,6 +27,7 @@ Examples
     PYTHONPATH=src python -m repro sweep smoke --workers 4 --json out/smoke.json
     PYTHONPATH=src python -m repro sweep fig6a --dry-run
     PYTHONPATH=src python -m repro run --protocol delphi --n 7 --delta-max 16 --testbed aws
+    PYTHONPATH=src python -m repro perf --quick --check benchmarks/perf_baseline.json
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro._version import __version__
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 
 from repro.experiments.executor import SweepExecutor
 from repro.experiments.presets import SCALES, list_presets, preset
@@ -120,6 +126,36 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--adversary", choices=KNOWN_ADVERSARIES, default="none")
     run.add_argument("--num-byzantine", type=int, default=0)
     run.add_argument("--seed", type=int, default=0)
+
+    perf = subparsers.add_parser(
+        "perf", help="run the perf basket and write a BENCH_<date>.json artifact"
+    )
+    perf.add_argument(
+        "--quick", action="store_true", help="run only the quick (CI smoke) scenarios"
+    )
+    perf.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        help="run only the named scenario (repeatable; see the basket in repro.perf)",
+    )
+    perf.add_argument(
+        "--skip-reference",
+        action="store_true",
+        help="time the fast engine only (skips the equivalence check)",
+    )
+    perf.add_argument(
+        "--output", default=".", help="directory for the BENCH_<date>.json artifact"
+    )
+    perf.add_argument(
+        "--no-artifact", action="store_true", help="print results without writing a file"
+    )
+    perf.add_argument(
+        "--check",
+        dest="baseline_path",
+        help="compare against a committed baseline file and exit 1 on regression",
+    )
+    perf.add_argument("--quiet", action="store_true", help="suppress progress lines")
     return parser
 
 
@@ -193,6 +229,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import compare_to_baseline, load_baseline, run_suite, write_bench
+
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    baseline = load_baseline(args.baseline_path) if args.baseline_path else None
+    results = run_suite(
+        quick=args.quick,
+        names=args.scenarios,
+        verify=not args.skip_reference,
+        progress=progress,
+    )
+    for result in results:
+        entry = result.as_dict()
+        fast_eps = entry.get("fast_events_per_sec")
+        line = (
+            f"{result.name}: {result.events:,} events, "
+            f"fast {entry['fast_seconds']:.2f}s"
+            + (f" ({fast_eps:,.0f} events/sec)" if fast_eps else "")
+        )
+        if result.reference is not None:
+            line += (
+                f", reference {entry['reference_seconds']:.2f}s, "
+                f"speedup {entry['speedup']:.2f}x, "
+                f"identical={result.equivalent}"
+            )
+        print(line)
+    if not args.no_artifact:
+        path = write_bench(results, output_dir=args.output, quick=args.quick)
+        print(f"wrote {path}")
+    if baseline is not None:
+        checks = compare_to_baseline(results, baseline)
+        failed = False
+        for check in checks:
+            print(check.describe())
+            failed = failed or not check.ok
+        if failed:
+            print("perf regression detected (see above)", file=sys.stderr)
+            return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -204,7 +281,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "run":
             return _cmd_run(args)
-    except ConfigurationError as error:
+        if args.command == "perf":
+            return _cmd_perf(args)
+    except ReproError as error:
+        # Covers configuration mistakes and designed runtime failures such
+        # as the perf suite's EquivalenceError — clean message, no traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
     parser.error(f"unknown command {args.command!r}")

@@ -50,6 +50,12 @@ KNOWN_WORKLOADS = ("spread", "bitcoin", "drone", "sensors", "normal")
 #: Byzantine strategies a cell can attach to corrupted nodes.
 KNOWN_ADVERSARIES = ("none", "crash", "delay", "equivocate", "random-bit", "spam")
 
+#: Version token mixed into every spec hash.  Bump whenever a change outside
+#: the spec itself alters cell results for the same spec (e.g. the PR-2 move
+#: to per-pair block-drawn RNG streams), so stale on-disk caches are
+#: invalidated instead of silently mixing old- and new-scheme numbers.
+RESULT_SCHEME_VERSION = 2
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -139,8 +145,13 @@ class ScenarioSpec:
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
     def spec_hash(self) -> str:
-        """Stable content hash of the spec — the executor's cache key."""
-        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()[:16]
+        """Stable content hash of the spec — the executor's cache key.
+
+        Includes :data:`RESULT_SCHEME_VERSION` so result-affecting changes
+        to the simulator (not visible in the spec) invalidate old caches.
+        """
+        blob = f"v{RESULT_SCHEME_VERSION}:{self.canonical_json()}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
     def replace(self, **overrides: Any) -> "ScenarioSpec":
         """A copy with the given fields replaced.

@@ -72,12 +72,20 @@ class BandwidthAccountant:
         sender, i.e. ``now`` plus any queueing delay behind earlier messages
         plus the transmission delay of this envelope.
         """
-        self.trace.record(envelope)
+        return self.send_raw(envelope.sender, envelope.size_bits(), now)
+
+    def send_raw(self, sender: int, size_bits: int, now: float) -> float:
+        """:meth:`send` given a precomputed wire size (fast-path entry).
+
+        Must perform the same arithmetic as :meth:`send` bit for bit — the
+        fast and reference simulation engines assert identical traces.
+        """
+        self.trace.record_raw(sender, size_bits)
         if self.model.unlimited:
             return now
-        start = max(now, self._uplink_free_at.get(envelope.sender, 0.0))
-        finish = start + self.model.transmission_delay(envelope.size_bits())
-        self._uplink_free_at[envelope.sender] = finish
+        start = max(now, self._uplink_free_at.get(sender, 0.0))
+        finish = start + size_bits / self.model.bits_per_second
+        self._uplink_free_at[sender] = finish
         return finish
 
     def reset(self) -> None:

@@ -12,15 +12,68 @@ The paper evaluates Delphi in two environments:
 Latency models map a ``(sender, destination)`` pair to a one-way delay in
 seconds, optionally with jitter drawn from a seeded random stream so that
 simulations are reproducible.
+
+Jitter is sampled from *per-pair* streams drawn in blocks: every ordered
+``(sender, destination)`` pair owns an independent generator seeded from
+``(model seed, sender, destination)``, and delays are produced in vectorised
+blocks of :data:`JITTER_BLOCK` values at a time.  This keeps the simulator's
+hot loop free of per-message scalar RNG calls, and it gives a stronger
+determinism guarantee than a single shared stream: the ``k``-th message on a
+pair sees the same delay regardless of how traffic on *other* pairs is
+interleaved, which is what lets the fast and reference simulation engines
+produce identical results (see ``docs/SIMULATOR.md``).
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: Number of jitter values drawn per vectorised block.
+JITTER_BLOCK = 256
+
+#: Stream-domain tag mixed into per-pair latency seeds (keeps latency
+#: streams independent from the delivery policy's streams).
+_LATENCY_STREAM_TAG = 0x4C
+
+
+class PairStream:
+    """One ordered pair's delay stream, drawn in vectorised blocks.
+
+    ``fill`` maps a :class:`numpy.random.Generator` to the next block of
+    delays (a plain Python list, so the hot loop pays no numpy scalar
+    boxing); :meth:`next` hands them out one at a time.
+    """
+
+    __slots__ = ("_rng", "_fill", "_buf", "_idx")
+
+    def __init__(
+        self,
+        seed: int,
+        sender: int,
+        destination: int,
+        fill: Callable[[np.random.Generator], List[float]],
+    ) -> None:
+        self._rng = np.random.default_rng(
+            [_LATENCY_STREAM_TAG, seed & 0xFFFFFFFF, sender, destination]
+        )
+        self._fill = fill
+        self._buf: List[float] = []
+        self._idx = 0
+
+    def next(self) -> float:
+        """The next delay in this pair's stream."""
+        idx = self._idx
+        buf = self._buf
+        if idx >= len(buf):
+            buf = self._buf = self._fill(self._rng)
+            idx = 0
+        self._idx = idx + 1
+        return buf[idx]
 
 #: The eight AWS regions used in the paper's geo-distributed testbed.
 AWS_REGIONS: Tuple[str, ...] = (
@@ -94,7 +147,12 @@ class LatencyModel:
     """Base class for latency models.
 
     Subclasses implement :meth:`delay` returning a one-way delay in seconds
-    for a message from ``sender`` to ``destination``.
+    for a message from ``sender`` to ``destination``.  Models whose delays
+    are random should also implement :meth:`pair_sampler` on top of
+    :class:`PairStream` so the fast simulation engine can pull delays
+    without per-message method dispatch; the default sampler simply wraps
+    :meth:`delay`, which keeps custom models correct (both engines then
+    consume the model's stream in the same per-pair order).
     """
 
     def delay(self, sender: int, destination: int) -> float:
@@ -104,6 +162,15 @@ class LatencyModel:
     def expected_delay(self, sender: int, destination: int) -> float:
         """Expected (jitter-free) one-way delay; defaults to :meth:`delay`."""
         return self.delay(sender, destination)
+
+    def pair_sampler(self, sender: int, destination: int) -> Callable[[], float]:
+        """A zero-argument callable yielding successive delays for one pair.
+
+        The fast engine caches one sampler per ordered pair and calls it
+        once per scheduled message — exactly as often as the reference
+        engine calls :meth:`delay` for that pair.
+        """
+        return lambda: self.delay(sender, destination)
 
 
 @dataclass
@@ -119,15 +186,22 @@ class ConstantLatency(LatencyModel):
     def delay(self, sender: int, destination: int) -> float:
         return self.seconds
 
+    def pair_sampler(self, sender: int, destination: int) -> Callable[[], float]:
+        seconds = self.seconds
+        return lambda: seconds
+
 
 @dataclass
 class UniformLatency(LatencyModel):
-    """Delays drawn uniformly from ``[low, high]`` with a seeded stream."""
+    """Delays drawn uniformly from ``[low, high]`` with seeded per-pair
+    streams (see the module docstring for the block-drawing scheme)."""
 
     low: float = 0.001
     high: float = 0.010
     seed: int = 0
-    _rng: random.Random = field(init=False, repr=False)
+    _streams: Dict[Tuple[int, int], PairStream] = field(
+        init=False, repr=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.low < 0 or self.high < self.low:
@@ -135,10 +209,24 @@ class UniformLatency(LatencyModel):
                 "UniformLatency requires 0 <= low <= high, got "
                 f"low={self.low}, high={self.high}"
             )
-        self._rng = random.Random(self.seed)
+
+    def _fill(self, rng: np.random.Generator) -> List[float]:
+        return rng.uniform(self.low, self.high, JITTER_BLOCK).tolist()
+
+    def _stream(self, sender: int, destination: int) -> PairStream:
+        key = (sender, destination)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = PairStream(
+                self.seed, sender, destination, self._fill
+            )
+        return stream
 
     def delay(self, sender: int, destination: int) -> float:
-        return self._rng.uniform(self.low, self.high)
+        return self._stream(sender, destination).next()
+
+    def pair_sampler(self, sender: int, destination: int) -> Callable[[], float]:
+        return self._stream(sender, destination).next
 
     def expected_delay(self, sender: int, destination: int) -> float:
         return (self.low + self.high) / 2.0
@@ -159,7 +247,9 @@ class GeoLatencyModel(LatencyModel):
     jitter_fraction: float = 0.10
     seed: int = 0
     assignment: Optional[List[str]] = None
-    _rng: random.Random = field(init=False, repr=False)
+    _streams: Dict[Tuple[int, int], PairStream] = field(
+        init=False, repr=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -175,7 +265,6 @@ class GeoLatencyModel(LatencyModel):
                 "assignment length must equal num_nodes "
                 f"({len(self.assignment)} != {self.num_nodes})"
             )
-        self._rng = random.Random(self.seed)
 
     def region_of(self, node: int) -> str:
         """Region name the given node is assigned to."""
@@ -188,10 +277,27 @@ class GeoLatencyModel(LatencyModel):
             raise ConfigurationError(f"no latency entry for region pair {key}")
         return self.one_way_ms[key] / 1000.0
 
+    def _stream(self, sender: int, destination: int) -> PairStream:
+        key = (sender, destination)
+        stream = self._streams.get(key)
+        if stream is None:
+            base = self.base_delay(sender, destination)
+            fraction = self.jitter_fraction
+
+            def fill(rng: np.random.Generator) -> List[float]:
+                jitter = rng.uniform(-fraction, fraction, JITTER_BLOCK)
+                return np.maximum(0.0, base * (1.0 + jitter)).tolist()
+
+            stream = self._streams[key] = PairStream(
+                self.seed, sender, destination, fill
+            )
+        return stream
+
     def delay(self, sender: int, destination: int) -> float:
-        base = self.base_delay(sender, destination)
-        jitter = self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
-        return max(0.0, base * (1.0 + jitter))
+        return self._stream(sender, destination).next()
+
+    def pair_sampler(self, sender: int, destination: int) -> Callable[[], float]:
+        return self._stream(sender, destination).next
 
     def expected_delay(self, sender: int, destination: int) -> float:
         return self.base_delay(sender, destination)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: Framing overhead charged per message, in bits (type tags, ids, lengths).
 HEADER_BITS = 64
@@ -114,6 +114,25 @@ class Message:
         return Message(self.protocol, self.mtype, self.round, payload)
 
 
+def cached_size_bits(message: Message) -> int:
+    """:meth:`Message.size_bits`, memoised on the message instance.
+
+    A broadcast serialises the same (immutable) message once per
+    destination, and the runtime needs the size again for bandwidth
+    accounting and CPU cost — so the payload walk in
+    :func:`estimate_size_bits` dominates a naive hot loop.  The fast
+    simulation engine uses this helper to compute each message's size at
+    most once.  Messages are frozen dataclasses, so the memo is stashed via
+    ``object.__setattr__``; payloads are never mutated after sending (the
+    protocol-node contract), which keeps the cache sound.
+    """
+    bits = getattr(message, "_size_bits_memo", None)
+    if bits is None:
+        bits = message.size_bits()
+        object.__setattr__(message, "_size_bits_memo", bits)
+    return bits
+
+
 @dataclass(frozen=True)
 class Envelope:
     """A message in flight: sender, destination, message and authentication.
@@ -159,12 +178,26 @@ class MessageTrace:
 
     def record(self, envelope: Envelope) -> None:
         """Account for one transported envelope."""
+        self.record_raw(envelope.sender, envelope.size_bits())
+
+    def record_raw(self, sender: int, bits: int) -> None:
+        """Account for one transported envelope given its precomputed size.
+
+        The fast simulation engine accumulates traffic without building
+        :class:`Envelope` objects and merges totals through this method.
+        """
         self.message_count += 1
-        bits = envelope.size_bits()
         self.total_bits += bits
-        self.per_sender_bits[envelope.sender] = (
-            self.per_sender_bits.get(envelope.sender, 0) + bits
-        )
+        self.per_sender_bits[sender] = self.per_sender_bits.get(sender, 0) + bits
+
+    def merge_counts(
+        self, message_count: int, total_bits: int, per_sender_bits: Dict[int, int]
+    ) -> None:
+        """Merge pre-aggregated counts (one bulk update per simulation run)."""
+        self.message_count += message_count
+        self.total_bits += total_bits
+        for sender, bits in per_sender_bits.items():
+            self.per_sender_bits[sender] = self.per_sender_bits.get(sender, 0) + bits
 
     @property
     def total_bytes(self) -> int:

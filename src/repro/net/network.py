@@ -11,14 +11,49 @@ cannot drop them".
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
+
+import numpy as np
 
 from repro.errors import NetworkError
 from repro.net.bandwidth import BandwidthAccountant, BandwidthModel
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Envelope, MessageTrace
+
+#: Number of policy random values drawn per vectorised block.
+POLICY_BLOCK = 1024
+
+#: Stream-domain tags for the policy's two independent streams.
+_DELAY_STREAM_TAG = 0x50
+_TIEBREAK_STREAM_TAG = 0x54
+
+
+class _BlockUniform:
+    """A seeded uniform[0, 1) stream drawn in vectorised blocks.
+
+    The delivery policy keeps two of these — one for extra-delay decisions,
+    one for tie-breaking — so the value each concern sees depends only on
+    how many times *that concern* has drawn, never on how draws from the
+    two concerns interleave.  That per-stream stability is what the fast
+    and reference simulation engines rely on for exact equivalence.
+    """
+
+    __slots__ = ("_rng", "_buf", "_idx")
+
+    def __init__(self, tag: int, seed: int) -> None:
+        self._rng = np.random.default_rng([tag, seed & 0xFFFFFFFF])
+        self._buf: List[float] = []
+        self._idx = 0
+
+    def next(self) -> float:
+        idx = self._idx
+        buf = self._buf
+        if idx >= len(buf):
+            buf = self._buf = self._rng.random(POLICY_BLOCK).tolist()
+            idx = 0
+        self._idx = idx + 1
+        return buf[idx]
 
 
 @dataclass
@@ -41,34 +76,40 @@ class DeliveryPolicy:
         Fraction of messages the adversary chooses to slow down; 1.0 delays
         every message, 0.0 none.
     seed:
-        Seed of the policy's private random stream.
+        Seed of the policy's private random streams.
     """
 
     max_extra_delay: float = 0.0
     reorder: bool = True
     target_fraction: float = 1.0
     seed: int = 0
-    _rng: random.Random = field(init=False, repr=False)
+    _delay_stream: _BlockUniform = field(init=False, repr=False)
+    _tie_stream: _BlockUniform = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_extra_delay < 0:
             raise NetworkError("max_extra_delay must be non-negative")
         if not 0.0 <= self.target_fraction <= 1.0:
             raise NetworkError("target_fraction must be in [0, 1]")
-        self._rng = random.Random(self.seed)
+        self._delay_stream = _BlockUniform(_DELAY_STREAM_TAG, self.seed)
+        self._tie_stream = _BlockUniform(_TIEBREAK_STREAM_TAG, self.seed)
 
     def extra_delay(self, envelope: Envelope) -> float:
         """Adversarial delay (seconds) added to this envelope."""
+        return self.extra_delay_raw()
+
+    def extra_delay_raw(self) -> float:
+        """:meth:`extra_delay` without the (unused) envelope argument."""
         if self.max_extra_delay <= 0.0:
             return 0.0
-        if self._rng.random() > self.target_fraction:
+        if self._delay_stream.next() > self.target_fraction:
             return 0.0
-        return self._rng.uniform(0.0, self.max_extra_delay)
+        return self._delay_stream.next() * self.max_extra_delay
 
     def tiebreak(self) -> float:
         """Tie-breaking priority for simultaneous deliveries."""
         if self.reorder:
-            return self._rng.random()
+            return self._tie_stream.next()
         return 0.0
 
 

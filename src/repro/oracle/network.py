@@ -32,6 +32,7 @@ class OracleReport:
     runtime_seconds: float
     total_megabytes: float
     honest_outputs: Dict[int, float]
+    events_processed: int = 0
 
     @property
     def output_spread(self) -> float:
@@ -132,6 +133,7 @@ class OracleNetwork:
             runtime_seconds=result.runtime_seconds,
             total_megabytes=result.trace.total_megabytes,
             honest_outputs=honest_outputs,
+            events_processed=result.events_processed,
         )
 
     def _submit_reports(

@@ -1,0 +1,28 @@
+"""Micro-benchmark subsystem: the repo's performance trajectory.
+
+``python -m repro perf`` runs a fixed basket of simulation scenarios on the
+fast engine *and* the reference engine, asserts that both produce
+byte-identical results, and writes a ``BENCH_<date>.json`` artifact with
+events/sec and wall-clock per scenario.  Committed baselines under
+``benchmarks/perf_baseline.json`` let CI fail on regressions; see the
+"Performance" section of the README and ``docs/SIMULATOR.md``.
+"""
+
+from repro.perf.baseline import compare_to_baseline, load_baseline
+from repro.perf.suite import (
+    SCENARIOS,
+    PerfScenario,
+    ScenarioResult,
+    run_suite,
+    write_bench,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "PerfScenario",
+    "ScenarioResult",
+    "compare_to_baseline",
+    "load_baseline",
+    "run_suite",
+    "write_bench",
+]

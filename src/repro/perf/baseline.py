@@ -1,0 +1,107 @@
+"""Committed perf baselines and regression gating.
+
+``benchmarks/perf_baseline.json`` records events/sec for each perf scenario
+as measured on the reference machine when the fast path landed, plus the
+pre-fast-path ("pre-PR") throughput for context.  CI runs
+``python -m repro perf --quick --check benchmarks/perf_baseline.json`` and
+fails when any scenario drops below ``baseline / max_regression`` — loose
+enough (2x by default) to absorb runner-hardware variance, tight enough to
+catch an accidental return to per-message payload walks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Schema tag expected at the top of a baseline file.
+BASELINE_SCHEMA = "repro-perf-baseline/1"
+
+#: Default tolerated slowdown factor vs the committed baseline.
+DEFAULT_MAX_REGRESSION = 2.0
+
+
+@dataclass(frozen=True)
+class BaselineCheck:
+    """One scenario's comparison against the committed baseline."""
+
+    name: str
+    current_events_per_sec: Optional[float]
+    baseline_events_per_sec: float
+    max_regression: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline (>= 1.0 means at least as fast as recorded)."""
+        if self.current_events_per_sec is None or self.baseline_events_per_sec <= 0:
+            return None
+        return self.current_events_per_sec / self.baseline_events_per_sec
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario is within the tolerated regression."""
+        ratio = self.ratio
+        return ratio is not None and ratio >= 1.0 / self.max_regression
+
+    def describe(self) -> str:
+        ratio = self.ratio
+        shown = f"{ratio:.2f}x" if ratio is not None else "n/a"
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (
+            f"{self.name}: {shown} of baseline "
+            f"({self.current_events_per_sec or 0:,.0f} vs "
+            f"{self.baseline_events_per_sec:,.0f} events/sec) -> {verdict}"
+        )
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Load and validate a committed baseline file."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ConfigurationError(f"baseline file not found: {path}")
+    try:
+        payload = json.loads(file_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"baseline file {path} is not valid JSON: {error}")
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"baseline file {path} has schema {payload.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("events_per_sec"), dict):
+        raise ConfigurationError(
+            f"baseline file {path} is missing the events_per_sec table"
+        )
+    return payload
+
+
+def compare_to_baseline(
+    results: Sequence, baseline: Dict[str, Any]
+) -> List[BaselineCheck]:
+    """Compare suite results against a loaded baseline.
+
+    Scenarios absent from the baseline table are skipped (new scenarios can
+    land before their baseline is recorded); scenarios in the baseline that
+    did not run are also skipped (``--quick`` runs a subset).
+    """
+    table = baseline["events_per_sec"]
+    max_regression = float(baseline.get("max_regression", DEFAULT_MAX_REGRESSION))
+    checks: List[BaselineCheck] = []
+    for result in results:
+        recorded = table.get(result.name)
+        if recorded is None:
+            continue
+        entry = result.as_dict()
+        checks.append(
+            BaselineCheck(
+                name=result.name,
+                current_events_per_sec=entry.get("fast_events_per_sec"),
+                baseline_events_per_sec=float(recorded),
+                max_regression=max_regression,
+            )
+        )
+    return checks

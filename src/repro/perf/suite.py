@@ -1,0 +1,363 @@
+"""The perf scenario basket: timed, equivalence-checked simulation runs.
+
+Each :class:`PerfScenario` describes one simulation workload.  Running a
+scenario executes it once per requested engine (``fast`` first, then
+``reference``), with fresh, identically seeded networks and nodes per run,
+and reduces every run to a canonical *fingerprint* — a SHA-256 over the
+sorted-JSON projection of the protocol outputs, decision times, simulated
+runtime, traffic totals and event count.  Identical fingerprints mean the
+two engines produced byte-identical results; a mismatch raises
+:class:`~repro.errors.EquivalenceError` (the fast path's correctness
+guarantee is broken and the numbers would be meaningless).
+
+The basket covers the paper's hot spots:
+
+* ``delphi-n40-aws`` / ``delphi-n160-aws`` — Fig. 6a's AWS oracle sweep at
+  a medium and the largest system size (the n=160 cell is the acceptance
+  scenario for hot-path work);
+* ``abraham-n40-aws`` — one round-heavy baseline protocol;
+* ``oracle-smr-e3-n13-aws`` — three epochs of the end-to-end oracle
+  network, including DORA attestation and the SMR channel.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.analysis.parameters import derive_parameters
+from repro.errors import ConfigurationError, EquivalenceError
+from repro.experiments.cells import build_inputs, build_network
+from repro.experiments.spec import ScenarioSpec
+from repro.oracle.network import OracleNetwork
+from repro.runner import ProtocolRunResult, run_abraham, run_delphi
+from repro.sim.runtime import SimulationConfig
+from repro.testbed.aws import AwsTestbed
+from repro.workloads.bitcoin import BitcoinPriceFeed
+
+#: Schema tag written into every BENCH artifact.
+BENCH_SCHEMA = "repro-perf/1"
+
+
+def _fingerprint(projection: Any) -> str:
+    """SHA-256 over the canonical JSON of a result projection."""
+    blob = json.dumps(projection, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _protocol_projection(result: ProtocolRunResult) -> Dict[str, Any]:
+    return {
+        "outputs": {str(k): v for k, v in sorted(result.outputs.items())},
+        "runtime_seconds": result.runtime_seconds,
+        "megabytes": result.total_megabytes,
+        "message_count": result.message_count,
+        "events_processed": result.events_processed,
+    }
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One engine's timed execution of a scenario."""
+
+    engine: str
+    wall_seconds: float
+    events: int
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One entry of the perf basket.
+
+    ``run`` executes the scenario under the given engine name and returns
+    ``(events_processed, fingerprint_projection)``; the suite adds timing.
+    ``quick`` marks scenarios included in the CI smoke basket.
+    """
+
+    name: str
+    description: str
+    quick: bool
+    run: Callable[[str], Tuple[int, Dict[str, Any]]]
+
+
+# ----------------------------------------------------------------------
+# Scenario implementations.
+
+
+def _delphi_aws(n: int) -> Callable[[str], Tuple[int, Dict[str, Any]]]:
+    def runner(engine: str) -> Tuple[int, Dict[str, Any]]:
+        spec = ScenarioSpec(protocol="delphi", n=n, testbed="aws", seed=1)
+        inputs = build_inputs(spec)
+        network, compute = build_network(spec)
+        params = derive_parameters(
+            n=n,
+            epsilon=spec.epsilon,
+            rho0=spec.rho0,
+            delta_max=spec.delta_max,
+            max_rounds=spec.max_rounds,
+        )
+        result = run_delphi(
+            params,
+            inputs,
+            network=network,
+            compute=compute,
+            config=SimulationConfig(engine=engine),
+        )
+        return result.events_processed, _protocol_projection(result)
+
+    return runner
+
+
+def _abraham_aws(n: int) -> Callable[[str], Tuple[int, Dict[str, Any]]]:
+    def runner(engine: str) -> Tuple[int, Dict[str, Any]]:
+        spec = ScenarioSpec(protocol="abraham", n=n, testbed="aws", seed=2)
+        inputs = build_inputs(spec)
+        network, compute = build_network(spec)
+        result = run_abraham(
+            n,
+            inputs,
+            epsilon=spec.epsilon,
+            delta_max=spec.delta_max,
+            rounds=spec.max_rounds,
+            network=network,
+            compute=compute,
+            config=SimulationConfig(engine=engine),
+        )
+        return result.events_processed, _protocol_projection(result)
+
+    return runner
+
+
+def _oracle_smr(n: int, epochs: int) -> Callable[[str], Tuple[int, Dict[str, Any]]]:
+    def runner(engine: str) -> Tuple[int, Dict[str, Any]]:
+        params = derive_parameters(n=n, epsilon=2.0, rho0=10.0, delta_max=2000.0, max_rounds=6)
+        testbed = AwsTestbed(num_nodes=n, seed=11)
+        oracle = OracleNetwork(
+            params=params, network_factory=testbed.network, compute=testbed.compute()
+        )
+        feed = BitcoinPriceFeed(seed=11)
+        events = 0
+        epochs_projection: List[Dict[str, Any]] = []
+        for _epoch in range(epochs):
+            measurements = feed.node_inputs(n)
+            report = oracle.report_round(
+                measurements, config=SimulationConfig(engine=engine)
+            )
+            events += report.events_processed
+            epochs_projection.append(
+                {
+                    "value": report.value,
+                    "runtime_seconds": report.runtime_seconds,
+                    "megabytes": report.total_megabytes,
+                    "honest_outputs": {
+                        str(k): v for k, v in sorted(report.honest_outputs.items())
+                    },
+                }
+            )
+        chain = [
+            [entry.position, entry.submitter, float(entry.payload.value), entry.valid]
+            for entry in oracle.chain.entries
+        ]
+        projection = {
+            "epochs": epochs_projection,
+            "chain": chain,
+            "validations": oracle.chain.validations,
+        }
+        return events, projection
+
+    return runner
+
+
+#: The perf basket, in execution order.
+SCENARIOS: Tuple[PerfScenario, ...] = (
+    PerfScenario(
+        name="delphi-n40-aws",
+        description="Delphi n=40 on the AWS model (Fig. 6a medium cell)",
+        quick=True,
+        run=_delphi_aws(40),
+    ),
+    PerfScenario(
+        name="delphi-n160-aws",
+        description="Delphi n=160 on the AWS model (Fig. 6a largest cell)",
+        quick=False,
+        run=_delphi_aws(160),
+    ),
+    PerfScenario(
+        name="abraham-n40-aws",
+        description="Abraham et al. baseline n=40 on the AWS model",
+        quick=True,
+        run=_abraham_aws(40),
+    ),
+    PerfScenario(
+        name="oracle-smr-e3-n13-aws",
+        description="3 epochs of the DORA oracle network + SMR channel, n=13",
+        quick=True,
+        run=_oracle_smr(13, epochs=3),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Timing and equivalence outcome for one scenario."""
+
+    name: str
+    description: str
+    events: int
+    fast: RunOutcome
+    reference: Optional[RunOutcome]
+    equivalent: Optional[bool]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Reference wall-clock divided by fast wall-clock."""
+        if self.reference is None or self.fast.wall_seconds == 0:
+            return None
+        return self.reference.wall_seconds / self.fast.wall_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "name": self.name,
+            "description": self.description,
+            "events": self.events,
+            "fast_seconds": self.fast.wall_seconds,
+            "fast_events_per_sec": (
+                self.events / self.fast.wall_seconds if self.fast.wall_seconds else None
+            ),
+            "fingerprint": self.fast.fingerprint,
+            "equivalent": self.equivalent,
+        }
+        if self.reference is not None:
+            entry["reference_seconds"] = self.reference.wall_seconds
+            entry["reference_events_per_sec"] = (
+                self.events / self.reference.wall_seconds
+                if self.reference.wall_seconds
+                else None
+            )
+            entry["speedup"] = self.speedup
+        return entry
+
+
+def _run_engine(scenario: PerfScenario, engine: str) -> RunOutcome:
+    started = time.perf_counter()
+    events, projection = scenario.run(engine)
+    elapsed = time.perf_counter() - started
+    return RunOutcome(
+        engine=engine,
+        wall_seconds=elapsed,
+        events=events,
+        fingerprint=_fingerprint(projection),
+    )
+
+
+def run_scenario(
+    scenario: PerfScenario,
+    verify: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ScenarioResult:
+    """Run one scenario on the fast engine (and the reference when
+    ``verify``), asserting byte-identical results.
+
+    Raises
+    ------
+    EquivalenceError
+        If the two engines disagree — perf numbers for a wrong result are
+        meaningless, so this aborts the suite.
+    """
+    say = progress or (lambda message: None)
+    say(f"[perf] {scenario.name}: fast engine ...")
+    fast = _run_engine(scenario, "fast")
+    events = fast.events or 0
+    reference: Optional[RunOutcome] = None
+    equivalent: Optional[bool] = None
+    if verify:
+        say(f"[perf] {scenario.name}: reference engine (equivalence oracle) ...")
+        reference = _run_engine(scenario, "reference")
+        equivalent = reference.fingerprint == fast.fingerprint
+        if not equivalent:
+            raise EquivalenceError(
+                f"scenario {scenario.name!r}: fast and reference engines produced "
+                f"different results (fast {fast.fingerprint[:16]} != "
+                f"reference {reference.fingerprint[:16]})"
+            )
+        if not events:
+            events = reference.events
+    return ScenarioResult(
+        name=scenario.name,
+        description=scenario.description,
+        events=events,
+        fast=fast,
+        reference=reference,
+        equivalent=equivalent,
+    )
+
+
+def select_scenarios(
+    quick: bool = False, names: Optional[Sequence[str]] = None
+) -> List[PerfScenario]:
+    """The basket subset selected by CLI flags."""
+    scenarios = list(SCENARIOS)
+    if names:
+        known = {scenario.name: scenario for scenario in scenarios}
+        missing = [name for name in names if name not in known]
+        if missing:
+            raise ConfigurationError(
+                f"unknown perf scenario(s) {', '.join(missing)} "
+                f"(known: {', '.join(known)})"
+            )
+        return [known[name] for name in names]
+    if quick:
+        return [scenario for scenario in scenarios if scenario.quick]
+    return scenarios
+
+
+def run_suite(
+    quick: bool = False,
+    names: Optional[Sequence[str]] = None,
+    verify: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ScenarioResult]:
+    """Run the selected basket and return per-scenario results."""
+    return [
+        run_scenario(scenario, verify=verify, progress=progress)
+        for scenario in select_scenarios(quick=quick, names=names)
+    ]
+
+
+def bench_payload(
+    results: Sequence[ScenarioResult], quick: bool = False
+) -> Dict[str, Any]:
+    """The BENCH artifact body (see README "Performance" for the schema)."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "repro_version": __version__,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "quick": quick,
+        "scenarios": [result.as_dict() for result in results],
+    }
+
+
+def write_bench(
+    results: Sequence[ScenarioResult],
+    output_dir: str = ".",
+    quick: bool = False,
+    date: Optional[datetime.date] = None,
+) -> Path:
+    """Write ``BENCH_<date>.json`` into ``output_dir`` and return its path."""
+    stamp = (date or datetime.date.today()).isoformat()
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{stamp}.json"
+    payload = bench_payload(results, quick=quick)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

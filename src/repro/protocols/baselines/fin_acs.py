@@ -86,6 +86,11 @@ class FinAcsNode(ProtocolNode):
         self._leaders: Dict[int, int] = {}
         self._ba: Dict[int, BinaryBAEngine] = {}
         self._ba_started: Set[int] = set()
+        # BA messages that arrived before the local BA instance existed
+        # (leader still unknown, or this node still in an earlier election).
+        # Dropping them instead of buffering loses BVAL/AUX quorum votes and
+        # can stall the whole election under unlucky delivery orderings.
+        self._ba_pending: Dict[int, List[Tuple[int, Tuple[str, int, object]]]] = {}
         self._winning_election: Optional[int] = None
         self.crypto_operations = 0
 
@@ -216,9 +221,12 @@ class FinAcsNode(ProtocolNode):
             return []
         if self._election_round != election:
             return []
+        return self._attach_ba(election)
+
+    def _attach_ba(self, election: int) -> List[Outbound]:
+        """Create the BA engine for ``election`` and replay buffered votes."""
         self._ba_started.add(election)
         leader = self._leaders[election]
-        covered = self._is_covered(leader)
         engine = BinaryBAEngine(
             n=self.n,
             t=self.t,
@@ -227,7 +235,13 @@ class FinAcsNode(ProtocolNode):
             instance=f"{self.instance}-ba-{election}",
         )
         self._ba[election] = engine
-        return self._wrap_ba(election, engine.start(1 if covered else 0))
+        out = self._wrap_ba(election, engine.start(1 if self._is_covered(leader) else 0))
+        for sender, sub in self._ba_pending.pop(election, []):
+            out.extend(self._wrap_ba(election, engine.handle(sender, sub)))
+        self.crypto_operations += engine.crypto_operations
+        engine.crypto_operations = 0
+        out.extend(self._after_ba(election))
+        return out
 
     def _is_covered(self, leader: int) -> bool:
         cover = self._cover_delivered.get(leader)
@@ -244,10 +258,14 @@ class FinAcsNode(ProtocolNode):
         out: List[Outbound] = []
         if engine is None:
             # The BA for this election has not started locally yet; start it
-            # (with our current coverage verdict) so we do not stall peers.
+            # (with our current coverage verdict) so we do not stall peers,
+            # or buffer the vote for replay if the leader is still unknown.
             out.extend(self._maybe_start_ba_lazy(election))
             engine = self._ba.get(election)
             if engine is None:
+                self._ba_pending.setdefault(election, []).append(
+                    (sender, (mtype, round_number, value))
+                )
                 return out
         out.extend(self._wrap_ba(election, engine.handle(sender, (mtype, round_number, value))))
         self.crypto_operations += engine.crypto_operations
@@ -260,17 +278,7 @@ class FinAcsNode(ProtocolNode):
             return []
         if election not in self._leaders:
             return []
-        self._ba_started.add(election)
-        leader = self._leaders[election]
-        engine = BinaryBAEngine(
-            n=self.n,
-            t=self.t,
-            node_id=self.node_id,
-            coin=self.coin,
-            instance=f"{self.instance}-ba-{election}",
-        )
-        self._ba[election] = engine
-        return self._wrap_ba(election, engine.start(1 if self._is_covered(leader) else 0))
+        return self._attach_ba(election)
 
     def _after_ba(self, election: int) -> List[Outbound]:
         engine = self._ba.get(election)

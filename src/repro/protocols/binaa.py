@@ -173,9 +173,11 @@ class BinAAEngine:
             if state.completed:
                 return out
 
-            # Bracha amplification at t+1 support.
-            for value, senders in list(state.echo1.items()):
-                if len(senders) >= self.t + 1 and value not in state.amplified:
+            # Bracha amplification at t+1 support (mutates only
+            # ``state.amplified``, so iterating the live dict is safe).
+            amplify_at = self.t + 1
+            for value, senders in state.echo1.items():
+                if len(senders) >= amplify_at and value not in state.amplified:
                     state.amplified.add(value)
                     out.append((ECHO1, round_number, value))
 
@@ -187,28 +189,32 @@ class BinAAEngine:
                         out.append((ECHO2, round_number, value))
                         break
 
-            strong_echo1 = sorted(
+            quorum = self.quorum
+            strong_echo1 = [
                 value
                 for value, senders in state.echo1.items()
-                if len(senders) >= self.quorum
-            )
-            strong_echo2 = sorted(
-                value
-                for value, senders in state.echo2.items()
-                if len(senders) >= self.quorum
-            )
+                if len(senders) >= quorum
+            ]
 
             next_value: Optional[float] = None
             if len(strong_echo1) >= 2:
-                # Condition (1): adopt the midpoint of two strongly echoed values.
+                # Condition (1): adopt the midpoint of the two smallest
+                # strongly echoed values.
+                strong_echo1.sort()
                 low, high = strong_echo1[0], strong_echo1[1]
                 self.bv_outputs[round_number] = (low, high)
                 next_value = (low + high) / 2.0
-            elif strong_echo2:
-                # Condition (2): adopt the uniquely ECHO2-supported value.
-                chosen = strong_echo2[0]
-                self.bv_outputs[round_number] = (chosen,)
-                next_value = chosen
+            else:
+                strong_echo2 = [
+                    value
+                    for value, senders in state.echo2.items()
+                    if len(senders) >= quorum
+                ]
+                if strong_echo2:
+                    # Condition (2): adopt the smallest ECHO2-supported value.
+                    chosen = min(strong_echo2)
+                    self.bv_outputs[round_number] = (chosen,)
+                    next_value = chosen
 
             if next_value is None:
                 return out

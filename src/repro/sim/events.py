@@ -3,6 +3,17 @@
 The discrete-event simulator processes a totally ordered stream of events.
 Two kinds exist: ``START`` events that trigger a node's ``on_start`` hook and
 ``DELIVER`` events that hand an in-flight envelope to its destination.
+
+Two representations exist, one per simulation engine (see
+``docs/SIMULATOR.md``):
+
+* the reference engine schedules :class:`Event` dataclass instances
+  (``__slots__``-backed, ordered by ``(time, tiebreak, sequence)``);
+* the fast engine schedules plain 7-tuples
+  ``(time, tiebreak, sequence, kind, node, sender, message)`` with the
+  integer kinds :data:`START_EVENT` / :data:`DELIVER_EVENT`, whose native
+  tuple comparison realises the *same* ``(time, tiebreak, sequence)`` order
+  (the sequence number is unique, so later elements never compare).
 """
 
 from __future__ import annotations
@@ -13,6 +24,10 @@ from typing import Optional
 
 from repro.net.message import Envelope
 
+#: Integer event kinds used by the fast engine's tuple events.
+START_EVENT = 0
+DELIVER_EVENT = 1
+
 
 class EventKind(enum.Enum):
     """The kind of a simulation event."""
@@ -21,7 +36,7 @@ class EventKind(enum.Enum):
     DELIVER = "deliver"
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled simulation event.
 

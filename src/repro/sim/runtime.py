@@ -47,6 +47,16 @@ class ComputeModel:
     per_byte_seconds: float = 0.0
     per_crypto_unit_seconds: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Negative costs would let events finish before they start, which
+        # breaks the scheduler's no-past-events invariant.
+        if (
+            self.per_message_seconds < 0
+            or self.per_byte_seconds < 0
+            or self.per_crypto_unit_seconds < 0
+        ):
+            raise SimulationError("compute-model costs must be non-negative")
+
     def processing_delay(self, message_bytes: int, crypto_units: float = 0.0) -> float:
         """CPU time charged for one delivered message."""
         return (
@@ -54,6 +64,10 @@ class ComputeModel:
             + self.per_byte_seconds * message_bytes
             + self.per_crypto_unit_seconds * crypto_units
         )
+
+
+#: Simulation engines selectable through :attr:`SimulationConfig.engine`.
+KNOWN_ENGINES = ("fast", "reference")
 
 
 @dataclass
@@ -67,16 +81,39 @@ class SimulationConfig:
         :class:`~repro.errors.SimulationError` (it indicates a livelock or a
         runaway protocol).
     max_time:
-        Optional cap on simulated time.
+        Optional cap on simulated time, enforced centrally by the
+        scheduler's pop (see :class:`~repro.sim.scheduler.EventScheduler`):
+        events beyond the cap are never released and the run ends cleanly.
     stop_when_decided:
         Stop as soon as every honest node has an output.  When false the run
         continues until the event queue drains, which is useful for checking
         that late messages do not break anything.
+    engine:
+        ``"fast"`` (default) runs the tuple-event hot path in
+        :mod:`repro.sim.fastpath`; ``"reference"`` runs the original
+        dataclass-dispatch loop.  Both produce identical results for the
+        same inputs — the perf suite asserts it (see ``docs/SIMULATOR.md``).
     """
 
     max_events: int = 5_000_000
     max_time: Optional[float] = None
     stop_when_decided: bool = True
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.max_events <= 0:
+            raise SimulationError(
+                f"max_events must be positive, got {self.max_events}"
+            )
+        if self.max_time is not None and self.max_time < 0:
+            raise SimulationError(
+                f"max_time must be non-negative, got {self.max_time}"
+            )
+        if self.engine not in KNOWN_ENGINES:
+            raise SimulationError(
+                f"unknown simulation engine {self.engine!r} "
+                f"(known: {', '.join(KNOWN_ENGINES)})"
+            )
 
 
 @dataclass
@@ -138,7 +175,7 @@ class SimulationRuntime:
                 raise SimulationError(f"cannot corrupt unknown node {node_id}")
             strategy.attach(self.nodes[node_id])
 
-        self.scheduler = EventScheduler()
+        self.scheduler = EventScheduler(horizon=self.config.max_time)
         self._busy_until: Dict[int, float] = {node_id: 0.0 for node_id in nodes}
         self._decision_times: Dict[int, float] = {}
         self._events_processed = 0
@@ -207,7 +244,24 @@ class SimulationRuntime:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute the protocol to completion and return the result."""
+        """Execute the protocol to completion and return the result.
+
+        Dispatches to the engine selected by ``config.engine``: the fast
+        tuple-event loop when supported (contiguous node ids ``0..n-1``),
+        the reference loop otherwise.  Both produce identical results.
+        """
+        if self.config.engine == "fast" and self._fast_supported():
+            from repro.sim.fastpath import run_fast
+
+            return run_fast(self)
+        return self._run_reference()
+
+    def _fast_supported(self) -> bool:
+        """The fast engine assumes node ids are exactly ``0..n-1``."""
+        return set(self.nodes) == set(range(self.num_nodes))
+
+    def _run_reference(self) -> SimulationResult:
+        """The original per-event dataclass loop (the equivalence oracle)."""
         # Start every node at t=0 (the adversary may still reorder the
         # resulting messages arbitrarily).
         for node_id in self.nodes:
@@ -225,8 +279,6 @@ class SimulationRuntime:
                 break
             event = self.scheduler.pop()
             if event is None:
-                break
-            if self.config.max_time is not None and event.time > self.config.max_time:
                 break
             self._events_processed += 1
             if self._events_processed > self.config.max_events:

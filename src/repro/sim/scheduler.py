@@ -1,4 +1,14 @@
-"""Priority-queue event scheduler with deterministic tie-breaking."""
+"""Priority-queue event scheduler with deterministic tie-breaking.
+
+The scheduler owns the simulation clock and, since the fast-path overhaul,
+also the run's *time horizon*: when a ``max_time`` is configured the
+scheduler itself refuses to release events beyond it (``pop`` returns
+``None`` and sets :attr:`EventScheduler.horizon_reached`), so engines no
+longer need a manual per-event overrun check.  Scheduling an event in the
+past, or configuring a nonsensical horizon, raises a
+:class:`~repro.errors.SimulationError` with the offending values spelled
+out.
+"""
 
 from __future__ import annotations
 
@@ -14,17 +24,37 @@ class EventScheduler:
 
     The scheduler also tracks the current simulated time and refuses to
     schedule events in the past, which catches protocol-runtime bugs early.
+
+    Parameters
+    ----------
+    horizon:
+        Optional cap on simulated time (``SimulationConfig.max_time``).
+        Events scheduled beyond the horizon are accepted — a message may
+        legitimately be in flight past the cap — but never released:
+        :meth:`pop` returns ``None`` instead and records the cutoff in
+        :attr:`horizon_reached`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, horizon: Optional[float] = None) -> None:
+        if horizon is not None and horizon < 0:
+            raise SimulationError(
+                f"simulation horizon (max_time) must be non-negative, got {horizon}"
+            )
         self._heap: List[Event] = []
         self._sequence = 0
         self._now = 0.0
+        self._horizon = horizon
+        self.horizon_reached = False
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def horizon(self) -> Optional[float]:
+        """The time cap this scheduler enforces (``None`` = unbounded)."""
+        return self._horizon
 
     @property
     def pending(self) -> int:
@@ -46,16 +76,22 @@ class EventScheduler:
         """
         if event.time < self._now - 1e-12:
             raise SimulationError(
-                f"cannot schedule event at t={event.time} before now={self._now}"
+                f"cannot schedule an event in the past: event time t={event.time} "
+                f"is before the simulation clock now={self._now}"
             )
         heapq.heappush(self._heap, event)
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest event, advancing simulated time.
 
-        Returns ``None`` when the queue is empty.
+        Returns ``None`` when the queue is empty or when the next event
+        lies beyond the configured horizon (in which case
+        :attr:`horizon_reached` is set and the event stays queued).
         """
         if not self._heap:
+            return None
+        if self._horizon is not None and self._heap[0].time > self._horizon:
+            self.horizon_reached = True
             return None
         event = heapq.heappop(self._heap)
         self._now = max(self._now, event.time)
@@ -66,3 +102,4 @@ class EventScheduler:
         self._heap.clear()
         self._sequence = 0
         self._now = 0.0
+        self.horizon_reached = False

@@ -1,0 +1,210 @@
+"""Tests for the perf micro-benchmark subsystem (``python -m repro perf``)."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main as cli_main
+from repro.perf.baseline import (
+    BASELINE_SCHEMA,
+    BaselineCheck,
+    compare_to_baseline,
+    load_baseline,
+)
+from repro.perf.suite import (
+    BENCH_SCHEMA,
+    SCENARIOS,
+    PerfScenario,
+    run_scenario,
+    run_suite,
+    select_scenarios,
+    write_bench,
+)
+
+
+def tiny_scenario(name="tiny-delphi", quick=True):
+    """A real but very small simulation scenario (fractions of a second)."""
+    from repro.analysis.parameters import derive_parameters
+    from repro.core.delphi import DelphiNode
+    from repro.net.latency import UniformLatency
+    from repro.net.network import AsynchronousNetwork, DeliveryPolicy
+    from repro.sim.runtime import SimulationConfig, SimulationRuntime
+
+    def run(engine):
+        n = 5
+        params = derive_parameters(n=n, epsilon=1.0, delta_max=4.0, max_rounds=3)
+        nodes = {
+            i: DelphiNode(node_id=i, params=params, value=99.0 + i * 0.5)
+            for i in range(n)
+        }
+        runtime = SimulationRuntime(
+            nodes=nodes,
+            network=AsynchronousNetwork(
+                num_nodes=n,
+                latency=UniformLatency(seed=1),
+                policy=DeliveryPolicy(reorder=True, seed=1),
+            ),
+            config=SimulationConfig(engine=engine),
+        )
+        result = runtime.run()
+        projection = {
+            "outputs": {str(k): v for k, v in sorted(result.outputs.items())},
+            "events": result.events_processed,
+            "bits": result.trace.total_bits,
+        }
+        return result.events_processed, projection
+
+    return PerfScenario(name=name, description="tiny test scenario", quick=quick, run=run)
+
+
+class TestBasket:
+    def test_basket_covers_required_scenarios(self):
+        names = {scenario.name for scenario in SCENARIOS}
+        assert {"delphi-n40-aws", "delphi-n160-aws", "abraham-n40-aws"} <= names
+        assert any("smr" in name for name in names)
+
+    def test_quick_subset_excludes_n160(self):
+        quick_names = {scenario.name for scenario in select_scenarios(quick=True)}
+        assert "delphi-n160-aws" not in quick_names
+        assert "delphi-n40-aws" in quick_names
+
+    def test_select_by_name(self):
+        chosen = select_scenarios(names=["abraham-n40-aws"])
+        assert [scenario.name for scenario in chosen] == ["abraham-n40-aws"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_scenarios(names=["no-such-scenario"])
+
+
+class TestRunScenario:
+    def test_verified_run_is_equivalent_and_timed(self):
+        result = run_scenario(tiny_scenario(), verify=True)
+        assert result.equivalent is True
+        assert result.events > 0
+        assert result.fast.wall_seconds > 0
+        assert result.reference is not None
+        assert result.fast.fingerprint == result.reference.fingerprint
+        assert result.speedup is not None
+
+    def test_unverified_run_skips_reference(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        assert result.reference is None
+        assert result.equivalent is None
+        entry = result.as_dict()
+        assert "reference_seconds" not in entry
+        assert entry["fast_events_per_sec"] > 0
+
+
+class TestBenchArtifact:
+    def test_write_bench_schema(self, tmp_path):
+        results = [run_scenario(tiny_scenario(), verify=True)]
+        path = write_bench(
+            results, output_dir=str(tmp_path), date=datetime.date(2026, 7, 25)
+        )
+        assert path.name == "BENCH_2026-07-25.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+        (entry,) = payload["scenarios"]
+        assert entry["name"] == "tiny-delphi"
+        assert entry["equivalent"] is True
+        assert entry["fast_events_per_sec"] > 0
+        assert entry["speedup"] > 0
+        assert len(entry["fingerprint"]) == 64
+
+
+class TestBaseline:
+    def _baseline(self, tmp_path, table, max_regression=2.0):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": BASELINE_SCHEMA,
+                    "max_regression": max_regression,
+                    "events_per_sec": table,
+                }
+            )
+        )
+        return str(path)
+
+    def test_load_and_compare(self, tmp_path):
+        results = [run_scenario(tiny_scenario(), verify=False)]
+        baseline = load_baseline(self._baseline(tmp_path, {"tiny-delphi": 1.0}))
+        (check,) = compare_to_baseline(results, baseline)
+        assert check.ok  # any real run beats 1 event/sec
+        assert check.ratio > 1.0
+
+    def test_regression_detected(self, tmp_path):
+        results = [run_scenario(tiny_scenario(), verify=False)]
+        baseline = load_baseline(self._baseline(tmp_path, {"tiny-delphi": 1e12}))
+        (check,) = compare_to_baseline(results, baseline)
+        assert not check.ok
+        assert "REGRESSION" in check.describe()
+
+    def test_scenarios_missing_from_baseline_skipped(self, tmp_path):
+        results = [run_scenario(tiny_scenario(), verify=False)]
+        baseline = load_baseline(self._baseline(tmp_path, {"other": 1.0}))
+        assert compare_to_baseline(results, baseline) == []
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "events_per_sec": {}}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(tmp_path / "absent.json"))
+
+    def test_committed_baseline_loads_and_names_match_basket(self):
+        baseline = load_baseline("benchmarks/perf_baseline.json")
+        basket = {scenario.name for scenario in SCENARIOS}
+        assert set(baseline["events_per_sec"]) <= basket
+
+    def test_check_ratio_boundary(self):
+        check = BaselineCheck(
+            name="x",
+            current_events_per_sec=500.0,
+            baseline_events_per_sec=1000.0,
+            max_regression=2.0,
+        )
+        assert check.ok  # exactly at the 2x floor
+        worse = BaselineCheck(
+            name="x",
+            current_events_per_sec=499.0,
+            baseline_events_per_sec=1000.0,
+            max_regression=2.0,
+        )
+        assert not worse.ok
+
+
+class TestPerfCli:
+    def test_perf_cli_single_scenario(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = cli_main(
+            [
+                "perf",
+                "--scenario",
+                "oracle-smr-e3-n13-aws",
+                "--skip-reference",
+                "--quiet",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "oracle-smr-e3-n13-aws" in out
+        assert "wrote" in out
+        bench_files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(bench_files) == 1
+
+    def test_run_suite_smoke_with_tiny_basket(self, monkeypatch):
+        import repro.perf.suite as suite_module
+
+        monkeypatch.setattr(suite_module, "SCENARIOS", (tiny_scenario(),))
+        results = run_suite(quick=True, verify=True)
+        assert len(results) == 1
+        assert results[0].equivalent is True

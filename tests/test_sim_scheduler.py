@@ -70,3 +70,39 @@ class TestEventScheduler:
     def test_sequence_numbers_increase(self):
         scheduler = EventScheduler()
         assert scheduler.next_sequence() < scheduler.next_sequence()
+
+
+class TestSchedulerHorizon:
+    def test_pop_refuses_events_beyond_horizon(self):
+        scheduler = EventScheduler(horizon=2.0)
+        scheduler.schedule(_event(1.0, sequence=1))
+        scheduler.schedule(_event(3.0, sequence=2))
+        assert scheduler.pop().time == 1.0
+        assert scheduler.pop() is None
+        assert scheduler.horizon_reached
+        # The over-horizon event stays queued and the clock does not move.
+        assert scheduler.pending == 1
+        assert scheduler.now == 1.0
+
+    def test_event_exactly_at_horizon_is_released(self):
+        scheduler = EventScheduler(horizon=2.0)
+        scheduler.schedule(_event(2.0, sequence=1))
+        assert scheduler.pop().time == 2.0
+        assert not scheduler.horizon_reached
+
+    def test_scheduling_beyond_horizon_is_allowed(self):
+        # A message may legitimately still be in flight past the cap.
+        scheduler = EventScheduler(horizon=1.0)
+        scheduler.schedule(_event(5.0, sequence=1))
+        assert scheduler.pending == 1
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler(horizon=-1.0)
+
+    def test_clear_resets_horizon_flag(self):
+        scheduler = EventScheduler(horizon=1.0)
+        scheduler.schedule(_event(2.0, sequence=1))
+        assert scheduler.pop() is None and scheduler.horizon_reached
+        scheduler.clear()
+        assert not scheduler.horizon_reached
