@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Soft coverage floor: fail CI when critical packages drop below a floor.
+
+Parses a Cobertura ``coverage.xml`` (as produced by ``pytest --cov=repro
+--cov-report=xml``) and computes per-package line coverage for each
+``--package`` prefix (matched against the recorded filenames).  Exits 1 when
+any watched package is below ``--floor`` percent.
+
+Usage (mirrors the CI job)::
+
+    python scripts/check_coverage.py coverage.xml --floor 85 \
+        --package repro/faults --package repro/protocols
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from collections import defaultdict
+from typing import Dict, Tuple
+
+
+def package_line_rates(xml_path: str) -> Dict[str, Tuple[int, int]]:
+    """Map each source file in the report to (lines covered, lines valid)."""
+    tree = ET.parse(xml_path)
+    per_file: Dict[str, Tuple[int, int]] = {}
+    for cls in tree.iter("class"):
+        filename = cls.get("filename", "")
+        covered = valid = 0
+        for line in cls.iter("line"):
+            valid += 1
+            if int(line.get("hits", "0")) > 0:
+                covered += 1
+        if filename:
+            old_covered, old_valid = per_file.get(filename, (0, 0))
+            per_file[filename] = (old_covered + covered, old_valid + valid)
+    return per_file
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to coverage.xml (Cobertura format)")
+    parser.add_argument(
+        "--floor", type=float, default=85.0, help="minimum percent per watched package"
+    )
+    parser.add_argument(
+        "--package",
+        action="append",
+        dest="packages",
+        default=None,
+        help="package path prefix to watch (repeatable), e.g. repro/faults",
+    )
+    args = parser.parse_args()
+    packages = args.packages or ["repro/faults", "repro/protocols"]
+
+    per_file = package_line_rates(args.report)
+    if not per_file:
+        print(f"error: no coverage data found in {args.report}", file=sys.stderr)
+        return 2
+
+    totals: Dict[str, Tuple[int, int]] = defaultdict(lambda: (0, 0))
+    for filename, (covered, valid) in per_file.items():
+        normalised = filename.replace("\\", "/").removeprefix("src/")
+        for package in packages:
+            if normalised.startswith(package.rstrip("/") + "/"):
+                old_covered, old_valid = totals[package]
+                totals[package] = (old_covered + covered, old_valid + valid)
+
+    failed = False
+    for package in packages:
+        covered, valid = totals[package]
+        if valid == 0:
+            print(f"error: no files matched package {package!r}", file=sys.stderr)
+            failed = True
+            continue
+        percent = 100.0 * covered / valid
+        status = "ok" if percent >= args.floor else "BELOW FLOOR"
+        print(
+            f"{package}: {percent:.1f}% ({covered}/{valid} lines) "
+            f"[floor {args.floor:.0f}%] {status}"
+        )
+        if percent < args.floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

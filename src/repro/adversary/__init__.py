@@ -6,6 +6,7 @@ from repro.adversary.strategies import (
     DelayedHonestStrategy,
     EquivocatingStrategy,
     RandomBitStrategy,
+    ScheduledStrategy,
     SpamStrategy,
 )
 from repro.adversary.adaptive import AdaptiveAdversary, CorruptionPlan
@@ -19,5 +20,6 @@ __all__ = [
     "EquivocatingStrategy",
     "HonestWithInput",
     "RandomBitStrategy",
+    "ScheduledStrategy",
     "SpamStrategy",
 ]

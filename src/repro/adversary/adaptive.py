@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.adversary.base import AdversaryStrategy
-from repro.adversary.strategies import CrashStrategy
+from repro.adversary.strategies import CrashStrategy, ScheduledStrategy
 
 
 @dataclass(frozen=True)
@@ -93,15 +93,20 @@ class AdaptiveAdversary:
         return plan
 
     def strategies(self) -> Dict[int, AdversaryStrategy]:
-        """Instantiate one strategy per corrupted node (activation at t=0).
+        """Instantiate one strategy per corrupted node.
 
-        Time-delayed activation is handled by the runtime, which consults
-        :meth:`activation_times`.
+        Plans with a positive ``activation_time`` are wrapped in
+        :class:`~repro.adversary.strategies.ScheduledStrategy`, which behaves
+        honestly until the activation time is reached (the runtime injects
+        the simulated clock through the ``wants_time`` contract).
         """
         assignment: Dict[int, AdversaryStrategy] = {}
         for plan in self._plans:
             for node_id in plan.node_ids:
-                assignment[node_id] = plan.strategy_factory()
+                strategy = plan.strategy_factory()
+                if plan.activation_time > 0.0:
+                    strategy = ScheduledStrategy(strategy, plan.activation_time)
+                assignment[node_id] = strategy
         return assignment
 
     def activation_times(self) -> Dict[int, float]:

@@ -110,6 +110,46 @@ class RandomBitStrategy(AdversaryStrategy):
         return result
 
 
+class ScheduledStrategy(AdversaryStrategy):
+    """Adaptive corruption: behave honestly until ``activation_time``, then
+    hand control to ``inner``.
+
+    This realises the paper's *adaptive adversary* (who may corrupt nodes
+    mid-run, up to ``t`` in total).  The simulation runtime injects the
+    current event time into ``self.now`` before each dispatch (the
+    ``wants_time`` contract shared by both engines), so the switch happens at
+    a deterministic simulated time.  The node counts as Byzantine for the
+    whole run — a node that will eventually be corrupted never counts toward
+    honest termination, matching the standard treatment.
+    """
+
+    wants_time = True
+
+    def __init__(self, inner: AdversaryStrategy, activation_time: float) -> None:
+        self.inner = inner
+        self.activation_time = max(0.0, activation_time)
+        self.now = 0.0
+
+    def attach(self, node) -> None:
+        self.node = node
+        self.inner.attach(node)
+
+    @property
+    def active(self) -> bool:
+        """Whether the corruption has taken effect at the current time."""
+        return self.now >= self.activation_time
+
+    def on_start(self) -> List[Outbound]:
+        if self.active:
+            return self.inner.on_start()
+        return self.node.on_start()
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        if self.active:
+            return self.inner.on_message(sender, message)
+        return self.node.on_message(sender, message)
+
+
 class SpamStrategy(AdversaryStrategy):
     """Floods the network with junk messages for unrelated protocol tags.
 

@@ -43,3 +43,25 @@ class AnalysisError(ReproError):
 class EquivalenceError(SimulationError):
     """The fast and reference simulation engines produced different results
     for the same scenario — the fast path's correctness guarantee is broken."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant monitor observed a protocol-property violation
+    (agreement, validity, termination, or a per-protocol safety predicate).
+
+    Carries enough context for the fault-campaign harness to build a repro
+    bundle: which monitor fired, what it saw, and when.
+    """
+
+    def __init__(
+        self,
+        monitor: str,
+        detail: str,
+        time: float = 0.0,
+        node: int = -1,
+    ) -> None:
+        super().__init__(f"[{monitor}] {detail}")
+        self.monitor = monitor
+        self.detail = detail
+        self.time = time
+        self.node = node

@@ -37,6 +37,7 @@ from repro.analysis.range_analysis import analyse_ranges, validity_margin
 from repro.distributions.fitting import fit_distributions, histogram
 from repro.distributions.thin_tailed import NormalInputs
 from repro.errors import ConfigurationError
+from repro.faults.spec import fault_spec_of
 from repro.net.latency import UniformLatency
 from repro.net.network import AsynchronousNetwork, DeliveryPolicy
 from repro.runner import (
@@ -48,7 +49,7 @@ from repro.runner import (
     run_fin,
     run_hbbft,
 )
-from repro.sim.runtime import ComputeModel
+from repro.sim.runtime import ComputeModel, SimulationConfig
 from repro.testbed.aws import AwsTestbed
 from repro.testbed.cps import CpsTestbed
 from repro.workloads.bitcoin import BitcoinPriceFeed
@@ -103,22 +104,41 @@ def build_inputs(spec: ScenarioSpec) -> List[float]:
 
 
 def build_network(spec: ScenarioSpec) -> Tuple[Optional[AsynchronousNetwork], Optional[ComputeModel]]:
-    """The (network, compute) pair for the spec's testbed."""
+    """The (network, compute) pair for the spec's testbed.
+
+    When the spec embeds a fault plan (``extras['faults']`` with partition/
+    delay/loss windows, see :mod:`repro.faults.spec`), the plan is installed
+    on the network's delivery policy.
+    """
     if spec.testbed == "aws":
         testbed = AwsTestbed(
             num_nodes=spec.n, seed=spec.seed, adversarial_delay=spec.adversarial_delay
         )
-        return testbed.network(), testbed.compute()
-    if spec.testbed == "cps":
+        network, compute = testbed.network(), testbed.compute()
+    elif spec.testbed == "cps":
         testbed = CpsTestbed(
             num_nodes=spec.n, seed=spec.seed, adversarial_delay=spec.adversarial_delay
         )
-        return testbed.network(), testbed.compute()
-    if spec.testbed == "lan":
-        return lan_network(spec.n, seed=spec.seed, adversarial_delay=spec.adversarial_delay), None
-    if spec.testbed == "ideal":
-        return None, None
-    raise ConfigurationError(f"unknown testbed {spec.testbed!r}")
+        network, compute = testbed.network(), testbed.compute()
+    elif spec.testbed == "lan":
+        network, compute = (
+            lan_network(spec.n, seed=spec.seed, adversarial_delay=spec.adversarial_delay),
+            None,
+        )
+    elif spec.testbed == "ideal":
+        network, compute = None, None
+    else:
+        raise ConfigurationError(f"unknown testbed {spec.testbed!r}")
+
+    fault_spec = fault_spec_of(spec)
+    if fault_spec is not None and fault_spec.has_network_faults:
+        if network is None:
+            raise ConfigurationError(
+                "network fault windows require a concrete testbed "
+                "(aws/cps/lan), not 'ideal'"
+            )
+        network.policy.install_faults(fault_spec.network_plan())
+    return network, compute
 
 
 def _make_strategy(spec: ScenarioSpec, node_id: int) -> AdversaryStrategy:
@@ -136,7 +156,16 @@ def _make_strategy(spec: ScenarioSpec, node_id: int) -> AdversaryStrategy:
 
 
 def build_adversary(spec: ScenarioSpec) -> Optional[Dict[int, AdversaryStrategy]]:
-    """Per-node Byzantine strategies (the highest ``num_byzantine`` ids)."""
+    """Per-node Byzantine strategies.
+
+    A fault spec in ``extras['faults']`` takes precedence: its corruption
+    groups (with strategy mix and activation schedule) are built through the
+    fault-strategy registry.  Otherwise the plain ``adversary`` /
+    ``num_byzantine`` fields corrupt the highest node ids.
+    """
+    fault_spec = fault_spec_of(spec)
+    if fault_spec is not None and fault_spec.corruptions:
+        return fault_spec.build_strategies(spec.n, seed=spec.seed, scenario=spec)
     if spec.adversary == "none" or spec.num_byzantine == 0:
         return None
     corrupted = range(spec.n - spec.num_byzantine, spec.n)
@@ -148,10 +177,16 @@ def build_adversary(spec: ScenarioSpec) -> Optional[Dict[int, AdversaryStrategy]
 
 
 def _run_named_protocol(
-    spec: ScenarioSpec, inputs: List[float]
+    spec: ScenarioSpec,
+    inputs: List[float],
+    config: Optional[SimulationConfig] = None,
+    observers: Optional[List[Any]] = None,
+    extra_byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
 ) -> Tuple[ProtocolRunResult, Dict[str, Any]]:
     network, compute = build_network(spec)
     byzantine = build_adversary(spec)
+    if extra_byzantine:
+        byzantine = {**(byzantine or {}), **extra_byzantine}
     derived: Dict[str, Any] = {}
     if spec.protocol in ("delphi", "dora"):
         params = derive_parameters(
@@ -163,7 +198,15 @@ def _run_named_protocol(
         )
         derived = {"levels": params.level_count, "rounds": params.rounds}
         runner = run_delphi if spec.protocol == "delphi" else run_dora
-        result = runner(params, inputs, network=network, byzantine=byzantine, compute=compute)
+        result = runner(
+            params,
+            inputs,
+            network=network,
+            byzantine=byzantine,
+            compute=compute,
+            config=config,
+            observers=observers,
+        )
     elif spec.protocol in ("abraham", "dolev"):
         runner = run_abraham if spec.protocol == "abraham" else run_dolev
         result = runner(
@@ -175,10 +218,20 @@ def _run_named_protocol(
             network=network,
             byzantine=byzantine,
             compute=compute,
+            config=config,
+            observers=observers,
         )
     elif spec.protocol in ("fin", "hbbft"):
         runner = run_fin if spec.protocol == "fin" else run_hbbft
-        result = runner(spec.n, inputs, network=network, byzantine=byzantine, compute=compute)
+        result = runner(
+            spec.n,
+            inputs,
+            network=network,
+            byzantine=byzantine,
+            compute=compute,
+            config=config,
+            observers=observers,
+        )
     else:
         raise ConfigurationError(f"unknown protocol {spec.protocol!r}")
     return result, derived

@@ -1,6 +1,6 @@
 """Command-line interface for the experiment harness: ``python -m repro``.
 
-Four subcommands:
+Five subcommands:
 
 ``repro list-scenarios``
     Show every registered preset sweep with its description and cell count.
@@ -19,6 +19,12 @@ Four subcommands:
     byte-identical results asserted) and write a ``BENCH_<date>.json``
     artifact; ``--check`` gates against a committed baseline.
 
+``repro faults``
+    Run a fault-injection campaign (protocol × fault case × schedule × n) on
+    both engines with runtime invariant monitors attached, assert engine
+    equivalence under faults, and write a JSON verdict artifact.
+    ``--replay BUNDLE`` re-runs a violation repro bundle.
+
 Examples
 --------
 ::
@@ -28,6 +34,8 @@ Examples
     PYTHONPATH=src python -m repro sweep fig6a --dry-run
     PYTHONPATH=src python -m repro run --protocol delphi --n 7 --delta-max 16 --testbed aws
     PYTHONPATH=src python -m repro perf --quick --check benchmarks/perf_baseline.json
+    PYTHONPATH=src python -m repro faults --campaign smoke --output fault-artifacts
+    PYTHONPATH=src python -m repro faults --replay fault-artifacts/bundles/VIOLATION_xyz.json
 """
 
 from __future__ import annotations
@@ -156,6 +164,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare against a committed baseline file and exit 1 on regression",
     )
     perf.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="run a fault-injection campaign with runtime invariant monitors",
+    )
+    faults.add_argument(
+        "--campaign", default="smoke", help="campaign name (see --list)"
+    )
+    faults.add_argument(
+        "--list", action="store_true", help="list the registered campaigns"
+    )
+    faults.add_argument(
+        "--dry-run", action="store_true", help="print the expanded matrix, run nothing"
+    )
+    faults.add_argument(
+        "--output",
+        default=".",
+        help="directory for the FAULTS_<campaign>.json verdict artifact",
+    )
+    faults.add_argument(
+        "--no-artifact", action="store_true", help="print results without writing a file"
+    )
+    faults.add_argument(
+        "--replay",
+        dest="bundle_path",
+        help="re-run the cell recorded in a violation repro bundle",
+    )
+    faults.add_argument("--quiet", action="store_true", help="suppress progress lines")
     return parser
 
 
@@ -270,6 +306,61 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.faults.campaign import campaign, list_campaigns, replay_bundle, run_campaign
+
+    if args.list:
+        rows = list_campaigns()
+        width = max(len(name) for name, _d, _c in rows)
+        print(f"{'campaign'.ljust(width)}  cells  description")
+        for name, description, count in rows:
+            print(f"{name.ljust(width)}  {count:>5}  {description}")
+        return 0
+
+    if args.bundle_path:
+        verdict = replay_bundle(args.bundle_path)
+        print(json.dumps(verdict.as_dict(), indent=2, sort_keys=True))
+        if verdict.status == "violation":
+            print("violation reproduced", file=sys.stderr)
+        return 0 if verdict.status == "violation" else 1
+
+    selected = campaign(args.campaign)
+    cells = selected.cells()
+    if args.dry_run:
+        print(f"# campaign {selected.name}: {len(cells)} cells x 2 engines")
+        for index, spec in enumerate(cells):
+            print(
+                f"  [{index + 1:>3}] {spec.label:<16} protocol={spec.protocol} "
+                f"n={spec.n} seed={spec.seed} hash={spec.spec_hash()}"
+            )
+        return 0
+
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    bundle_dir = None if args.no_artifact else str(Path(args.output) / "bundles")
+    result = run_campaign(selected, bundle_dir=bundle_dir, progress=progress)
+    summary = result.summary
+    print(
+        f"# campaign {result.name}: {summary['cells']} cells x 2 engines — "
+        f"{summary['ok']} ok, {summary['stalled']} stalled (liveness waived), "
+        f"{summary['violations']} violations, "
+        f"{summary['engine_mismatches']} engine mismatches"
+    )
+    for verdict in result.verdicts:
+        if verdict.status in ("violation", "engine-mismatch"):
+            entry = verdict.as_dict()
+            print(f"!! {entry['label']} protocol={entry['protocol']} n={entry['n']}: {entry['status']}")
+            if "violation" in entry:
+                print(f"   {entry['violation']['monitor']}: {entry['violation']['detail']}")
+            if "bundle" in entry:
+                print(f"   repro bundle: {entry['bundle']}")
+    if not args.no_artifact:
+        path = result.write_json(str(Path(args.output) / f"FAULTS_{result.name}.json"))
+        print(f"wrote {path}")
+    return 0 if result.passed else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -283,6 +374,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "perf":
             return _cmd_perf(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
     except ReproError as error:
         # Covers configuration mistakes and designed runtime failures such
         # as the perf suite's EquivalenceError — clean message, no traceback.

@@ -1,0 +1,77 @@
+"""Fault-injection campaigns and runtime protocol-invariant monitors.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.spec` — declarative :class:`FaultSpec` (corruption
+  schedules + network-fault windows), JSON-safe and embeddable in
+  ``ScenarioSpec.extras['faults']``;
+* :mod:`repro.faults.monitors` — :class:`~repro.sim.observers.SimObserver`
+  subclasses that watch the paper's invariants during a run and fail fast;
+* :mod:`repro.faults.campaign` — :class:`FaultCampaign` matrices run on both
+  simulation engines with equivalence asserted, verdict artifacts and
+  violation repro bundles.
+"""
+
+from repro.faults.spec import (
+    FULL_BUDGET,
+    CorruptionSpec,
+    DelaySpec,
+    FaultSpec,
+    LossSpec,
+    PartitionSpec,
+    StrategyContext,
+    fault_spec_of,
+    register_strategy,
+    scenario_corrupted_ids,
+)
+from repro.faults.monitors import (
+    BinaryBASafetyMonitor,
+    EpsilonAgreementMonitor,
+    InvariantMonitor,
+    RbcSafetyMonitor,
+    TerminationMonitor,
+    ValidityMonitor,
+    build_monitors,
+)
+from repro.faults.campaign import (
+    CAMPAIGNS,
+    CampaignResult,
+    CellVerdict,
+    FaultCampaign,
+    FaultCase,
+    campaign,
+    list_campaigns,
+    replay_bundle,
+    run_campaign,
+    run_fault_cell,
+)
+
+__all__ = [
+    "BinaryBASafetyMonitor",
+    "CAMPAIGNS",
+    "CampaignResult",
+    "CellVerdict",
+    "CorruptionSpec",
+    "DelaySpec",
+    "EpsilonAgreementMonitor",
+    "FULL_BUDGET",
+    "FaultCampaign",
+    "FaultCase",
+    "FaultSpec",
+    "InvariantMonitor",
+    "LossSpec",
+    "PartitionSpec",
+    "RbcSafetyMonitor",
+    "StrategyContext",
+    "TerminationMonitor",
+    "ValidityMonitor",
+    "build_monitors",
+    "campaign",
+    "fault_spec_of",
+    "list_campaigns",
+    "register_strategy",
+    "replay_bundle",
+    "run_campaign",
+    "run_fault_cell",
+    "scenario_corrupted_ids",
+]

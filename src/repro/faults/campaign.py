@@ -1,0 +1,486 @@
+"""Fault campaigns: declarative fault matrices run on both engines.
+
+A :class:`FaultCampaign` is a grid — protocol × system size × fault case ×
+seed — expressed through the existing :class:`~repro.experiments.spec.SweepSpec`
+machinery (each fault case becomes a sweep *variant* whose
+:class:`~repro.faults.spec.FaultSpec` rides in ``extras['faults']``).
+
+Running a campaign executes every cell **twice**, once per simulation engine,
+with the runtime invariant monitors attached, then:
+
+* asserts the two engines produced identical results (the fast path must
+  stay byte-identical even under partitions, targeted delay, message loss
+  and adaptive corruption);
+* records a per-cell verdict (``ok`` / ``violation`` / ``stalled``);
+* on an invariant violation, writes a **repro bundle** — the cell's spec,
+  seed and the trace recorder's event tail — so the exact schedule can be
+  replayed (``python -m repro faults --replay BUNDLE``).
+
+The campaign verdict is written as a JSON artifact by the
+``python -m repro faults`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.experiments.spec import ScenarioSpec, SweepSpec
+from repro.faults.monitors import build_monitors
+from repro.faults.spec import (
+    CorruptionSpec,
+    DelaySpec,
+    FaultSpec,
+    LossSpec,
+    PartitionSpec,
+    fault_spec_of,
+    scenario_corrupted_ids,
+)
+from repro.sim.observers import TraceRecorder
+from repro.sim.runtime import SimulationConfig
+
+#: Schema tag written into every campaign verdict artifact.
+FAULTS_SCHEMA = "repro-faults/1"
+
+#: Schema tag written into every violation repro bundle.
+BUNDLE_SCHEMA = "repro-fault-bundle/1"
+
+#: Events kept in the repro bundle's trace tail.
+TRACE_TAIL_LIMIT = 200
+
+
+@dataclass(frozen=True)
+class FaultCase:
+    """One named fault configuration in a campaign matrix."""
+
+    label: str
+    spec: FaultSpec
+
+
+@dataclass
+class FaultCampaign:
+    """A full fault matrix: protocols × sizes × fault cases × seeds."""
+
+    name: str
+    base: ScenarioSpec
+    protocols: Sequence[str]
+    sizes: Sequence[int]
+    cases: Sequence[FaultCase]
+    seeds: Sequence[int] = (0,)
+    description: str = ""
+
+    def sweep(self) -> SweepSpec:
+        """The campaign expressed as a standard sweep grid."""
+        variants = [
+            {"name": case.label, "faults": case.spec.to_dict()} for case in self.cases
+        ]
+        return SweepSpec(
+            name=f"faults-{self.name}",
+            base=self.base,
+            axes={
+                "protocol": list(self.protocols),
+                "n": list(self.sizes),
+                "seed": list(self.seeds),
+            },
+            variants=variants,
+            description=self.description,
+            derive_seeds=False,
+        )
+
+    def cells(self) -> List[ScenarioSpec]:
+        return self.sweep().cells()
+
+    def __len__(self) -> int:
+        return len(self.cells())
+
+
+# ----------------------------------------------------------------------
+# Cell execution.
+
+
+def _projection(result) -> Dict[str, Any]:
+    """JSON-safe engine-comparison projection of a ProtocolRunResult."""
+    return {
+        "outputs": {
+            str(node): getattr(output, "value", output)
+            for node, output in sorted(result.outputs.items())
+        },
+        "runtime_seconds": result.runtime_seconds,
+        "events_processed": result.events_processed,
+        "message_count": result.message_count,
+        "megabytes": result.total_megabytes,
+        "decided": sorted(result.outputs),
+        "honest": list(result.honest_nodes),
+        "byzantine": list(result.byzantine_nodes),
+    }
+
+
+@dataclass
+class EngineOutcome:
+    """One engine's verdict for one cell."""
+
+    engine: str
+    status: str  # "ok" | "stalled" | "violation"
+    projection: Optional[Dict[str, Any]] = None
+    violation: Optional[Dict[str, Any]] = None
+    bundle: Optional[Dict[str, Any]] = None
+
+    def comparable(self) -> Tuple[str, Any]:
+        """What engine equivalence is asserted over."""
+        if self.violation is not None:
+            return (self.status, (self.violation["monitor"], self.violation["detail"]))
+        return (self.status, self.projection)
+
+
+def run_cell_engine(
+    spec: ScenarioSpec,
+    engine: str,
+    extra_byzantine: Optional[Dict[int, Any]] = None,
+) -> EngineOutcome:
+    """Run one fault cell on one engine with monitors + trace recorder.
+
+    ``extra_byzantine`` lets tests inject strategies directly (on top of the
+    spec's own fault plan) — e.g. deliberately invariant-breaking ones.
+    """
+    from repro.experiments.cells import _run_named_protocol, build_inputs
+
+    inputs = build_inputs(spec)
+    corrupted = set(scenario_corrupted_ids(spec)) | set(extra_byzantine or {})
+    honest_inputs = [
+        inputs[node] for node in range(spec.n) if node not in corrupted
+    ] or list(inputs)
+    fault_spec = fault_spec_of(spec) or FaultSpec()
+    expect_termination = fault_spec.terminating() and not extra_byzantine
+    recorder = TraceRecorder(limit=TRACE_TAIL_LIMIT)
+    monitors = build_monitors(
+        spec, honest_inputs, expect_termination=expect_termination
+    )
+    try:
+        result, _derived = _run_named_protocol(
+            spec,
+            inputs,
+            config=SimulationConfig(engine=engine),
+            observers=[recorder, *monitors],
+            extra_byzantine=extra_byzantine,
+        )
+    except InvariantViolation as violation:
+        detail = {
+            "monitor": violation.monitor,
+            "detail": violation.detail,
+            "time": violation.time,
+            "node": violation.node,
+        }
+        bundle = {
+            "schema": BUNDLE_SCHEMA,
+            "campaign_cell": spec.label,
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash(),
+            "seed": spec.seed,
+            "engine": engine,
+            "violation": detail,
+            "events_seen": recorder.events_seen,
+            "trace_tail": recorder.tail(),
+        }
+        return EngineOutcome(
+            engine=engine, status="violation", violation=detail, bundle=bundle
+        )
+    status = "ok" if result.all_decided else "stalled"
+    return EngineOutcome(engine=engine, status=status, projection=_projection(result))
+
+
+@dataclass
+class CellVerdict:
+    """The complete verdict for one campaign cell (both engines)."""
+
+    spec: ScenarioSpec
+    fast: EngineOutcome
+    reference: EngineOutcome
+    bundle_path: Optional[str] = None
+
+    @property
+    def equivalent(self) -> bool:
+        return self.fast.comparable() == self.reference.comparable()
+
+    @property
+    def status(self) -> str:
+        if not self.equivalent:
+            return "engine-mismatch"
+        return self.fast.status
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "label": self.spec.label,
+            "spec_hash": self.spec.spec_hash(),
+            "protocol": self.spec.protocol,
+            "n": self.spec.n,
+            "seed": self.spec.seed,
+            "status": self.status,
+            "equivalent": self.equivalent,
+            "expect_termination": (fault_spec_of(self.spec) or FaultSpec()).terminating(),
+        }
+        if self.fast.projection is not None:
+            projection = self.fast.projection
+            entry["decided"] = len(projection["decided"])
+            entry["honest"] = len(projection["honest"])
+            entry["events_processed"] = projection["events_processed"]
+            entry["runtime_seconds"] = projection["runtime_seconds"]
+        # Surface whichever engine observed a violation — a reference-only
+        # violation is exactly the fastpath-divergence case this subsystem
+        # exists to diagnose, so it must not vanish from the verdict.
+        violation = self.fast.violation or self.reference.violation
+        if violation is not None:
+            entry["violation"] = violation
+            entry["violation_engine"] = (
+                "fast" if self.fast.violation is not None else "reference"
+            )
+        if self.bundle_path is not None:
+            entry["bundle"] = self.bundle_path
+        return entry
+
+
+@dataclass
+class CampaignResult:
+    """All cell verdicts of one campaign run, plus summary counters."""
+
+    name: str
+    verdicts: List[CellVerdict] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def summary(self) -> Dict[str, int]:
+        counts = {"cells": len(self.verdicts), "ok": 0, "stalled": 0, "violations": 0, "engine_mismatches": 0}
+        for verdict in self.verdicts:
+            if verdict.status == "ok":
+                counts["ok"] += 1
+            elif verdict.status == "stalled":
+                counts["stalled"] += 1
+            elif verdict.status == "violation":
+                counts["violations"] += 1
+            elif verdict.status == "engine-mismatch":
+                counts["engine_mismatches"] += 1
+        return counts
+
+    @property
+    def passed(self) -> bool:
+        """A campaign passes when no invariant was violated and the engines
+        agreed everywhere.  ``stalled`` cells are acceptable: they only occur
+        when the fault spec voids the liveness guarantee (e.g. loss windows)
+        — a stall under guaranteed termination raises a violation instead."""
+        summary = self.summary
+        return summary["violations"] == 0 and summary["engine_mismatches"] == 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": FAULTS_SCHEMA,
+            "campaign": self.name,
+            "summary": self.summary,
+            "passed": self.passed,
+            "cells": [verdict.as_dict() for verdict in self.verdicts],
+        }
+
+    def write_json(self, path: str) -> Path:
+        """Write the verdict artifact and return its path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        return target
+
+
+def run_fault_cell(
+    spec: ScenarioSpec,
+    bundle_dir: Optional[str] = None,
+    extra_byzantine_factory: Optional[Callable[[], Dict[int, Any]]] = None,
+) -> CellVerdict:
+    """Run one cell on both engines, compare them, and persist any bundle.
+
+    ``extra_byzantine_factory`` builds a *fresh* strategy map per engine run
+    (strategies are stateful), used by tests to inject invariant-breaking
+    behaviour.
+    """
+    fast = run_cell_engine(
+        spec,
+        "fast",
+        extra_byzantine=extra_byzantine_factory() if extra_byzantine_factory else None,
+    )
+    reference = run_cell_engine(
+        spec,
+        "reference",
+        extra_byzantine=extra_byzantine_factory() if extra_byzantine_factory else None,
+    )
+    verdict = CellVerdict(spec=spec, fast=fast, reference=reference)
+    if bundle_dir is not None:
+        # Persist every engine's bundle: when only the reference engine
+        # violated (an engine divergence), its bundle is the sole repro.
+        for outcome in (fast, reference):
+            if outcome.bundle is None:
+                continue
+            directory = Path(bundle_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            bundle_path = directory / (
+                f"VIOLATION_{spec.spec_hash()}_{outcome.engine}.json"
+            )
+            bundle_path.write_text(
+                json.dumps(outcome.bundle, indent=2, sort_keys=True) + "\n"
+            )
+            if verdict.bundle_path is None:
+                verdict.bundle_path = str(bundle_path)
+    return verdict
+
+
+def run_campaign(
+    campaign: FaultCampaign,
+    bundle_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Execute every cell of ``campaign`` and return the aggregate result."""
+    say = progress or (lambda message: None)
+    cells = campaign.cells()
+    result = CampaignResult(name=campaign.name)
+    for index, spec in enumerate(cells):
+        say(
+            f"[faults] [{index + 1}/{len(cells)}] {spec.label} "
+            f"protocol={spec.protocol} n={spec.n} seed={spec.seed}"
+        )
+        verdict = run_fault_cell(spec, bundle_dir=bundle_dir)
+        if verdict.status != "ok":
+            say(f"[faults]   -> {verdict.status}")
+        result.verdicts.append(verdict)
+    return result
+
+
+def replay_bundle(path: str) -> CellVerdict:
+    """Re-run the cell recorded in a violation repro bundle.
+
+    Rebuilds the exact :class:`ScenarioSpec` (spec + seed are in the bundle)
+    and runs it on both engines with monitors attached — the violation, being
+    deterministic, reproduces.
+    """
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != BUNDLE_SCHEMA:
+        raise ConfigurationError(
+            f"{path} is not a fault repro bundle (schema {data.get('schema')!r})"
+        )
+    spec = ScenarioSpec.from_dict(data["spec"])
+    return run_fault_cell(spec)
+
+
+# ----------------------------------------------------------------------
+# Campaign presets.
+
+
+def _base_scenario() -> ScenarioSpec:
+    return ScenarioSpec(testbed="lan", workload="spread", delta=4.0, centre=100.0, max_rounds=4)
+
+
+def _common_cases() -> List[FaultCase]:
+    return [
+        FaultCase("baseline", FaultSpec()),
+        FaultCase(
+            "crash-static",
+            FaultSpec(corruptions=(CorruptionSpec("crash"),)),
+        ),
+        FaultCase(
+            "crash-adaptive",
+            FaultSpec(
+                corruptions=(CorruptionSpec("crash", activation_time=0.05),)
+            ),
+        ),
+        FaultCase(
+            "delay-holdback",
+            FaultSpec(corruptions=(CorruptionSpec("delay"),)),
+        ),
+        FaultCase(
+            "partition-heal",
+            FaultSpec(
+                partitions=(
+                    PartitionSpec(start=0.0, end=0.05, groups=((0,),)),
+                )
+            ),
+        ),
+        FaultCase(
+            "targeted-delay",
+            FaultSpec(
+                delays=(DelaySpec(start=0.0, end=0.2, extra=0.05, receivers=(0,)),)
+            ),
+        ),
+        FaultCase(
+            "loss-window",
+            FaultSpec(losses=(LossSpec(start=0.0, end=0.02, probability=0.2),)),
+        ),
+    ]
+
+
+def tiny_campaign() -> FaultCampaign:
+    """Two-cell-per-case campaign used by tests and ultra-fast CI checks."""
+    return FaultCampaign(
+        name="tiny",
+        base=_base_scenario(),
+        protocols=("delphi",),
+        sizes=(4,),
+        cases=[case for case in _common_cases() if case.label in ("baseline", "crash-static")],
+        seeds=(0,),
+        description="minimal matrix for tests: delphi n=4, baseline + crash",
+    )
+
+
+def smoke_campaign() -> FaultCampaign:
+    """The committed CI matrix: protocol × fault case × schedule × n."""
+    return FaultCampaign(
+        name="smoke",
+        base=_base_scenario(),
+        protocols=("delphi", "fin"),
+        sizes=(4, 7),
+        cases=_common_cases(),
+        seeds=(0,),
+        description="delphi+fin, n in {4,7}, all fault cases, both engines",
+    )
+
+
+def full_campaign() -> FaultCampaign:
+    """The larger overnight matrix (more protocols, sizes and seeds)."""
+    return FaultCampaign(
+        name="full",
+        base=_base_scenario(),
+        protocols=("delphi", "dora", "fin", "hbbft"),
+        sizes=(4, 7, 10),
+        cases=_common_cases(),
+        seeds=(0, 1, 2),
+        description="delphi/dora/fin/hbbft, n in {4,7,10}, 3 seeds per cell",
+    )
+
+
+#: Registry of named campaigns for the CLI.
+CAMPAIGNS: Dict[str, Tuple[Callable[[], FaultCampaign], str]] = {
+    "tiny": (tiny_campaign, "minimal matrix for tests (delphi n=4)"),
+    "smoke": (smoke_campaign, "CI matrix: delphi+fin x faults x {4,7}"),
+    "full": (full_campaign, "overnight matrix: 4 protocols x faults x sizes x seeds"),
+}
+
+
+def campaign(name: str) -> FaultCampaign:
+    """Look up a registered campaign by name."""
+    try:
+        factory, _description = CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise ConfigurationError(f"unknown campaign {name!r} (known: {known})")
+    return factory()
+
+
+def list_campaigns() -> List[Tuple[str, str, int]]:
+    """(name, description, cell count) rows for the CLI listing."""
+    return [
+        (name, description, len(factory()))
+        for name, (factory, description) in sorted(CAMPAIGNS.items())
+    ]

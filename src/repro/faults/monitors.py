@@ -1,0 +1,210 @@
+"""Runtime protocol-invariant monitors.
+
+Monitors are :class:`~repro.sim.observers.SimObserver` subclasses hooked into
+the simulation runtime (both engines call them identically).  Each watches
+one property the paper proves and **fails fast**: the moment a decided output
+breaks the property the monitor raises
+:class:`~repro.errors.InvariantViolation`, so the violating schedule is still
+in the trace recorder's tail and the campaign layer can emit a seed +
+event-trace repro bundle (see ``docs/TESTING.md``).
+
+Monitored properties:
+
+* **ε-agreement** (:class:`EpsilonAgreementMonitor`) — honest scalar outputs
+  stay within ``epsilon`` of each other (``epsilon = 0`` gives the exact
+  agreement required of the ACS baselines).
+* **validity** (:class:`ValidityMonitor`) — honest outputs stay inside the
+  honest-input hull, relaxed by ``rho`` (Definition II.1's ρ-relaxed min-max
+  validity).
+* **termination / totality** (:class:`TerminationMonitor`) — checked at run
+  end: every honest node decided (termination), and never *some but not all*
+  when termination is expected (totality).
+* **per-protocol safety** (:class:`RbcSafetyMonitor`,
+  :class:`BinaryBASafetyMonitor`) — the RBC and binary-BA predicates from
+  the protocol layer, evaluated on every new decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import InvariantViolation
+from repro.protocols.binary_ba import ba_safety_violation
+from repro.protocols.rbc import rbc_safety_violation
+from repro.sim.observers import SimObserver
+
+
+def _scalar(output: Any) -> Optional[float]:
+    """Unwrap an output to a float when possible (certificates and structured
+    outputs expose ``.value``; non-scalar outputs are skipped)."""
+    value = getattr(output, "value", output)
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+class InvariantMonitor(SimObserver):
+    """Base class: names the monitor and raises uniform violations."""
+
+    name = "invariant"
+
+    def violation(self, detail: str, time: float = 0.0, node: int = -1) -> None:
+        raise InvariantViolation(self.name, detail, time=time, node=node)
+
+
+class EpsilonAgreementMonitor(InvariantMonitor):
+    """Honest scalar outputs must stay within ``epsilon`` of each other."""
+
+    name = "epsilon-agreement"
+
+    def __init__(self, epsilon: float, tolerance: float = 1e-9) -> None:
+        self.epsilon = epsilon
+        self.tolerance = tolerance
+        self._decided: Dict[int, float] = {}
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        value = _scalar(output)
+        if value is None:
+            return
+        self._decided[node_id] = value
+        spread = max(self._decided.values()) - min(self._decided.values())
+        if spread > self.epsilon + self.tolerance:
+            pairs = ", ".join(
+                f"node {n} -> {v:.6g}" for n, v in sorted(self._decided.items())
+            )
+            self.violation(
+                f"output spread {spread:.6g} exceeds epsilon {self.epsilon:.6g} "
+                f"({pairs})",
+                time=time,
+                node=node_id,
+            )
+
+
+class ValidityMonitor(InvariantMonitor):
+    """Honest outputs must lie in the honest-input hull, relaxed by ``rho``."""
+
+    name = "validity"
+
+    def __init__(
+        self,
+        honest_inputs: Sequence[float],
+        relaxation: float = 0.0,
+        tolerance: float = 1e-9,
+    ) -> None:
+        if not honest_inputs:
+            raise InvariantViolation(self.name, "no honest inputs to validate against")
+        self.low = min(honest_inputs) - relaxation
+        self.high = max(honest_inputs) + relaxation
+        self.tolerance = tolerance
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        value = _scalar(output)
+        if value is None:
+            return
+        if not (self.low - self.tolerance <= value <= self.high + self.tolerance):
+            self.violation(
+                f"node {node_id} output {value:.6g} outside relaxed honest hull "
+                f"[{self.low:.6g}, {self.high:.6g}]",
+                time=time,
+                node=node_id,
+            )
+
+
+class TerminationMonitor(InvariantMonitor):
+    """End-of-run liveness: termination (all honest decided) and totality
+    (never some-but-not-all) when the fault spec guarantees them."""
+
+    name = "termination"
+
+    def __init__(self, expect_termination: bool = True) -> None:
+        self.expect_termination = expect_termination
+
+    def on_run_end(self, result: Any) -> None:
+        if not self.expect_termination:
+            return
+        decided = [n for n in result.honest_nodes if n in result.outputs]
+        missing = [n for n in result.honest_nodes if n not in result.outputs]
+        if missing:
+            kind = "totality" if decided else "termination"
+            self.violation(
+                f"{kind} violated: honest nodes {missing} never decided "
+                f"({len(decided)}/{len(result.honest_nodes)} decided, "
+                f"{result.events_processed} events processed)"
+            )
+
+
+class RbcSafetyMonitor(InvariantMonitor):
+    """RBC agreement/validity, evaluated on every new honest delivery."""
+
+    name = "rbc-safety"
+
+    def __init__(self, broadcaster_value: Any = None) -> None:
+        self.broadcaster_value = broadcaster_value
+        self._delivered: Dict[int, Any] = {}
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        self._delivered[node_id] = output
+        detail = rbc_safety_violation(self._delivered, self.broadcaster_value)
+        if detail is not None:
+            self.violation(detail, time=time, node=node_id)
+
+
+class BinaryBASafetyMonitor(InvariantMonitor):
+    """Binary-BA agreement + well-formed outputs, on every new decision."""
+
+    name = "binary-ba-safety"
+
+    def __init__(self) -> None:
+        self._decided: Dict[int, Any] = {}
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        self._decided[node_id] = output
+        detail = ba_safety_violation(self._decided)
+        if detail is not None:
+            self.violation(detail, time=time, node=node_id)
+
+
+#: Protocols whose agreement property is ε-agreement on scalars.
+APPROXIMATE_PROTOCOLS = ("delphi", "dora", "abraham", "dolev")
+
+#: Protocols whose agreement property is exact (common-subset medians).
+EXACT_PROTOCOLS = ("fin", "hbbft")
+
+
+def build_monitors(
+    scenario: Any,
+    honest_inputs: Sequence[float],
+    expect_termination: bool = True,
+) -> List[InvariantMonitor]:
+    """The monitor set for one experiment cell.
+
+    ``honest_inputs`` are the inputs of the nodes that stay honest for the
+    whole run.  The validity relaxation for the approximate protocols follows
+    the test-suite convention ``max(rho0, honest input range) + epsilon``
+    (Theorem IV.3's bound with Byzantine value injection); cells can override
+    it through ``extras['validity_relaxation']``.
+    """
+    monitors: List[InvariantMonitor] = []
+    protocol = scenario.protocol
+    if protocol in APPROXIMATE_PROTOCOLS:
+        monitors.append(EpsilonAgreementMonitor(scenario.epsilon))
+        input_range = (
+            max(honest_inputs) - min(honest_inputs) if honest_inputs else 0.0
+        )
+        rho0 = scenario.rho0 if scenario.rho0 is not None else scenario.epsilon
+        relaxation = float(
+            scenario.extras.get(
+                "validity_relaxation",
+                max(rho0, input_range) + scenario.epsilon,
+            )
+        )
+        monitors.append(ValidityMonitor(honest_inputs, relaxation=relaxation))
+    elif protocol in EXACT_PROTOCOLS:
+        monitors.append(EpsilonAgreementMonitor(0.0))
+        # ACS medians: with at most t Byzantine values in an agreed set of
+        # >= 2t+1, the median cannot leave the honest-input hull.
+        monitors.append(ValidityMonitor(honest_inputs, relaxation=0.0))
+    monitors.append(TerminationMonitor(expect_termination=expect_termination))
+    return monitors

@@ -1,0 +1,434 @@
+"""Declarative fault descriptions: corruption schedules + network faults.
+
+A :class:`FaultSpec` describes everything a fault campaign can do to one
+scenario, as plain JSON-safe data:
+
+* **corruptions** — which Byzantine strategies run, on how many nodes, and
+  *when* they activate (static from t=0, or adaptive mid-run via
+  :class:`~repro.adversary.strategies.ScheduledStrategy`);
+* **partitions / delays / losses** — network-fault windows compiled into a
+  :class:`~repro.net.network.NetworkFaultPlan` and installed on the
+  scenario's :class:`~repro.net.network.DeliveryPolicy`.
+
+Because the spec is JSON-safe it rides inside ``ScenarioSpec.extras["faults"]``
+and therefore composes with the existing :class:`~repro.experiments.spec.SweepSpec`
+grids: fault cells hash, cache and parallelise exactly like any other cell.
+
+Strategies are created through a registry (:data:`STRATEGY_FACTORIES`) so
+tests and downstream code can :func:`register_strategy` their own behaviours
+(including deliberately protocol-breaking ones used to prove the invariant
+monitors fire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.adversary.base import AdversaryStrategy
+from repro.adversary.strategies import (
+    CrashStrategy,
+    DelayedHonestStrategy,
+    EquivocatingStrategy,
+    RandomBitStrategy,
+    ScheduledStrategy,
+    SpamStrategy,
+)
+from repro.errors import ConfigurationError
+from repro.net.network import (
+    DelayWindow,
+    LossWindow,
+    NetworkFaultPlan,
+    PartitionWindow,
+)
+from repro.protocols.base import byzantine_bound
+
+#: ``CorruptionSpec.count`` value meaning "the full t = (n-1)//3 budget".
+FULL_BUDGET = -1
+
+
+@dataclass(frozen=True)
+class StrategyContext:
+    """Everything a strategy factory may need to build one strategy."""
+
+    node_id: int
+    n: int
+    t: int
+    seed: int
+    options: Mapping[str, Any]
+    scenario: Any = None  # the enclosing ScenarioSpec, when available
+
+
+StrategyFactory = Callable[[StrategyContext], AdversaryStrategy]
+
+#: Registry of corruption strategies available to fault specs, by name.
+STRATEGY_FACTORIES: Dict[str, StrategyFactory] = {
+    "crash": lambda ctx: CrashStrategy(),
+    "delay": lambda ctx: DelayedHonestStrategy(
+        hold_back=int(ctx.options.get("hold_back", 3))
+    ),
+    "equivocate": lambda ctx: EquivocatingStrategy(
+        flip_field=ctx.options.get("flip_field")
+    ),
+    "random-bit": lambda ctx: RandomBitStrategy(seed=ctx.seed + ctx.node_id),
+    "spam": lambda ctx: SpamStrategy(copies=int(ctx.options.get("copies", 2))),
+}
+
+
+def _validate_window(kind: str, start: float, end: float) -> None:
+    """Shared declaration-time checks for fault windows.
+
+    Catching nonsense here (rather than mid-run) matters: a negative delay,
+    for example, would schedule deliveries in the simulated past and produce
+    silently wrong campaign results instead of a clean error.
+    """
+    if start < 0:
+        raise ConfigurationError(f"{kind} window start must be >= 0, got {start}")
+    if end < start:
+        raise ConfigurationError(
+            f"{kind} window must have end >= start, got [{start}, {end})"
+        )
+
+
+def register_strategy(name: str, factory: StrategyFactory) -> None:
+    """Register (or replace) a corruption strategy factory under ``name``.
+
+    Tests use this to inject deliberately invariant-breaking behaviours and
+    check that the runtime monitors catch them.
+    """
+    STRATEGY_FACTORIES[name] = factory
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """One group of corrupted nodes sharing a strategy and a schedule.
+
+    ``count = FULL_BUDGET`` resolves to the cell's full ``(n-1)//3`` fault
+    budget, so one spec can ride a sweep across system sizes.
+    ``activation_time > 0`` makes the corruption *adaptive*: the nodes behave
+    honestly until that simulated time.
+    """
+
+    strategy: str = "crash"
+    count: int = FULL_BUDGET
+    activation_time: float = 0.0
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.activation_time < 0:
+            raise ConfigurationError(
+                f"activation_time must be >= 0, got {self.activation_time}"
+            )
+
+    def resolved_count(self, n: int) -> int:
+        if self.count == FULL_BUDGET:
+            return byzantine_bound(n)
+        if self.count < 0:
+            raise ConfigurationError(
+                f"corruption count must be non-negative or FULL_BUDGET, "
+                f"got {self.count}"
+            )
+        return self.count
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["options"] = dict(self.options)
+        return data
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """JSON-safe description of a :class:`~repro.net.network.PartitionWindow`."""
+
+    start: float
+    end: float
+    groups: Tuple[Tuple[int, ...], ...]
+    heal_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        _validate_window("partition", self.start, self.end)
+        if self.heal_delay < 0:
+            raise ConfigurationError(
+                f"heal_delay must be >= 0, got {self.heal_delay}"
+            )
+
+    def to_window(self) -> PartitionWindow:
+        return PartitionWindow(
+            start=self.start,
+            end=self.end,
+            groups=tuple(tuple(group) for group in self.groups),
+            heal_delay=self.heal_delay,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "groups": [list(group) for group in self.groups],
+            "heal_delay": self.heal_delay,
+        }
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """JSON-safe description of a :class:`~repro.net.network.DelayWindow`."""
+
+    start: float
+    end: float
+    extra: float
+    senders: Optional[Tuple[int, ...]] = None
+    receivers: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _validate_window("delay", self.start, self.end)
+        if self.extra < 0:
+            raise ConfigurationError(f"delay extra must be >= 0, got {self.extra}")
+
+    def to_window(self) -> DelayWindow:
+        return DelayWindow(
+            start=self.start,
+            end=self.end,
+            extra=self.extra,
+            senders=None if self.senders is None else tuple(self.senders),
+            receivers=None if self.receivers is None else tuple(self.receivers),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "extra": self.extra,
+            "senders": None if self.senders is None else list(self.senders),
+            "receivers": None if self.receivers is None else list(self.receivers),
+        }
+
+
+@dataclass(frozen=True)
+class LossSpec:
+    """JSON-safe description of a :class:`~repro.net.network.LossWindow`."""
+
+    start: float
+    end: float
+    probability: float
+    senders: Optional[Tuple[int, ...]] = None
+    receivers: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _validate_window("loss", self.start, self.end)
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1], got {self.probability}"
+            )
+
+    def to_window(self) -> LossWindow:
+        return LossWindow(
+            start=self.start,
+            end=self.end,
+            probability=self.probability,
+            senders=None if self.senders is None else tuple(self.senders),
+            receivers=None if self.receivers is None else tuple(self.receivers),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "probability": self.probability,
+            "senders": None if self.senders is None else list(self.senders),
+            "receivers": None if self.receivers is None else list(self.receivers),
+        }
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A complete fault configuration for one scenario cell.
+
+    Attributes
+    ----------
+    corruptions:
+        Corruption groups (strategy, node count, activation schedule).
+    partitions, delays, losses:
+        Network-fault windows compiled into the delivery policy's
+        :class:`~repro.net.network.NetworkFaultPlan`.
+    allow_over_budget:
+        Permit corrupting more than ``(n-1)//3`` nodes.  Off by default —
+        exceeding the budget voids the paper's guarantees, which is exactly
+        what monitor-demonstration tests use it for.
+    expect_termination:
+        Overrides the derived liveness expectation; ``None`` derives it
+        (termination is *not* expected when loss windows may drop messages,
+        or when the corruption budget is exceeded).
+    """
+
+    corruptions: Tuple[CorruptionSpec, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+    delays: Tuple[DelaySpec, ...] = ()
+    losses: Tuple[LossSpec, ...] = ()
+    allow_over_budget: bool = False
+    expect_termination: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def has_network_faults(self) -> bool:
+        return bool(self.partitions or self.delays or self.losses)
+
+    def network_plan(self) -> Optional[NetworkFaultPlan]:
+        """The runtime fault plan for the delivery policy (or ``None``)."""
+        if not self.has_network_faults:
+            return None
+        return NetworkFaultPlan(
+            partitions=tuple(spec.to_window() for spec in self.partitions),
+            delays=tuple(spec.to_window() for spec in self.delays),
+            losses=tuple(spec.to_window() for spec in self.losses),
+        )
+
+    def corrupted_ids(self, n: int) -> List[int]:
+        """Deterministic corrupted-node assignment: highest ids first,
+        one contiguous block per corruption group (matching the existing
+        ``num_byzantine`` convention of the experiment cells)."""
+        ids: List[int] = []
+        next_id = n - 1
+        for corruption in self.corruptions:
+            count = corruption.resolved_count(n)
+            for _ in range(count):
+                if next_id < 0:
+                    raise ConfigurationError(
+                        f"fault spec corrupts more than n={n} nodes"
+                    )
+                ids.append(next_id)
+                next_id -= 1
+        if not self.allow_over_budget and len(ids) > byzantine_bound(n):
+            raise ConfigurationError(
+                f"fault spec corrupts {len(ids)} nodes, exceeding the "
+                f"t={byzantine_bound(n)} budget for n={n} "
+                "(set allow_over_budget=True to explore beyond the model)"
+            )
+        return ids
+
+    def build_strategies(
+        self, n: int, seed: int = 0, scenario: Any = None
+    ) -> Dict[int, AdversaryStrategy]:
+        """Instantiate the per-node strategy map for the simulation runtime."""
+        t = byzantine_bound(n)
+        assignment: Dict[int, AdversaryStrategy] = {}
+        next_id = n - 1
+        for corruption in self.corruptions:
+            try:
+                factory = STRATEGY_FACTORIES[corruption.strategy]
+            except KeyError:
+                known = ", ".join(sorted(STRATEGY_FACTORIES))
+                raise ConfigurationError(
+                    f"unknown corruption strategy {corruption.strategy!r} "
+                    f"(known: {known})"
+                )
+            for _ in range(corruption.resolved_count(n)):
+                context = StrategyContext(
+                    node_id=next_id,
+                    n=n,
+                    t=t,
+                    seed=seed,
+                    options=dict(corruption.options),
+                    scenario=scenario,
+                )
+                strategy = factory(context)
+                if corruption.activation_time > 0.0:
+                    strategy = ScheduledStrategy(strategy, corruption.activation_time)
+                assignment[next_id] = strategy
+                next_id -= 1
+        # Reuse corrupted_ids for the budget/size validation.
+        self.corrupted_ids(n)
+        return assignment
+
+    def terminating(self) -> bool:
+        """Whether honest termination is guaranteed under this fault spec."""
+        if self.expect_termination is not None:
+            return self.expect_termination
+        return not self.losses
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form, embeddable in ``ScenarioSpec.extras['faults']``."""
+        return {
+            "corruptions": [spec.to_dict() for spec in self.corruptions],
+            "partitions": [spec.to_dict() for spec in self.partitions],
+            "delays": [spec.to_dict() for spec in self.delays],
+            "losses": [spec.to_dict() for spec in self.losses],
+            "allow_over_budget": self.allow_over_budget,
+            "expect_termination": self.expect_termination,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict` (tolerant of missing keys)."""
+
+        def _opt_tuple(value: Any) -> Optional[Tuple[int, ...]]:
+            return None if value is None else tuple(int(v) for v in value)
+
+        corruptions = tuple(
+            CorruptionSpec(
+                strategy=str(entry.get("strategy", "crash")),
+                count=int(entry.get("count", FULL_BUDGET)),
+                activation_time=float(entry.get("activation_time", 0.0)),
+                options=dict(entry.get("options", {})),
+            )
+            for entry in data.get("corruptions", ())
+        )
+        partitions = tuple(
+            PartitionSpec(
+                start=float(entry["start"]),
+                end=float(entry["end"]),
+                groups=tuple(tuple(int(n) for n in group) for group in entry["groups"]),
+                heal_delay=float(entry.get("heal_delay", 0.0)),
+            )
+            for entry in data.get("partitions", ())
+        )
+        delays = tuple(
+            DelaySpec(
+                start=float(entry["start"]),
+                end=float(entry["end"]),
+                extra=float(entry["extra"]),
+                senders=_opt_tuple(entry.get("senders")),
+                receivers=_opt_tuple(entry.get("receivers")),
+            )
+            for entry in data.get("delays", ())
+        )
+        losses = tuple(
+            LossSpec(
+                start=float(entry["start"]),
+                end=float(entry["end"]),
+                probability=float(entry["probability"]),
+                senders=_opt_tuple(entry.get("senders")),
+                receivers=_opt_tuple(entry.get("receivers")),
+            )
+            for entry in data.get("losses", ())
+        )
+        expect = data.get("expect_termination")
+        return cls(
+            corruptions=corruptions,
+            partitions=partitions,
+            delays=delays,
+            losses=losses,
+            allow_over_budget=bool(data.get("allow_over_budget", False)),
+            expect_termination=None if expect is None else bool(expect),
+        )
+
+
+def fault_spec_of(scenario: Any) -> Optional[FaultSpec]:
+    """The :class:`FaultSpec` embedded in a scenario's extras, if any."""
+    raw = getattr(scenario, "extras", {}).get("faults")
+    if not raw:
+        return None
+    if isinstance(raw, FaultSpec):
+        return raw
+    return FaultSpec.from_dict(raw)
+
+
+def scenario_corrupted_ids(scenario: Any) -> List[int]:
+    """Corrupted node ids for a scenario, from its fault spec or the plain
+    ``num_byzantine`` field (highest ids, the shared convention)."""
+    fault_spec = fault_spec_of(scenario)
+    if fault_spec is not None and fault_spec.corruptions:
+        return fault_spec.corrupted_ids(scenario.n)
+    if scenario.adversary != "none" and scenario.num_byzantine:
+        return list(range(scenario.n - scenario.num_byzantine, scenario.n))
+    return []

@@ -11,8 +11,9 @@ cannot drop them".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -24,9 +25,13 @@ from repro.net.message import Envelope, MessageTrace
 #: Number of policy random values drawn per vectorised block.
 POLICY_BLOCK = 1024
 
-#: Stream-domain tags for the policy's two independent streams.
+#: Stream-domain tags for the policy's independent streams.
 _DELAY_STREAM_TAG = 0x50
 _TIEBREAK_STREAM_TAG = 0x54
+_LOSS_STREAM_TAG = 0x4C
+
+#: Delivery time returned for messages dropped by a loss window.
+DROPPED = math.inf
 
 
 class _BlockUniform:
@@ -56,6 +61,97 @@ class _BlockUniform:
         return buf[idx]
 
 
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A network partition during ``[start, end)``.
+
+    ``groups`` lists the partition islands (tuples of node ids); a message is
+    severed when its endpoints lie in different islands, or when exactly one
+    endpoint lies in a listed island (nodes absent from every island form the
+    implicit remainder).  Severed messages are *not* dropped — the asynchrony
+    model forbids it — but held back until the partition heals: they arrive no
+    earlier than ``end + heal_delay`` plus their normal propagation.
+    """
+
+    start: float
+    end: float
+    groups: Tuple[Tuple[int, ...], ...]
+    heal_delay: float = 0.0
+
+    def _group_of(self, node: int) -> int:
+        for index, group in enumerate(self.groups):
+            if node in group:
+                return index
+        return -1
+
+    def severs(self, sender: int, destination: int) -> bool:
+        return self._group_of(sender) != self._group_of(destination)
+
+
+@dataclass(frozen=True)
+class _TargetedWindow:
+    """Shared ``[start, end)`` time window with sender/receiver filters.
+
+    ``senders``/``receivers`` restrict which messages match (``None`` = any).
+    Base of the delay and loss windows so the matching semantics cannot
+    diverge between the two fault kinds.
+    """
+
+    start: float
+    end: float
+    senders: Optional[Tuple[int, ...]] = None
+    receivers: Optional[Tuple[int, ...]] = None
+
+    def applies(self, sender: int, destination: int, time: float) -> bool:
+        if not self.start <= time < self.end:
+            return False
+        if self.senders is not None and sender not in self.senders:
+            return False
+        if self.receivers is not None and destination not in self.receivers:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class DelayWindow(_TargetedWindow):
+    """Targeted extra delay: ``extra`` seconds added to matching messages."""
+
+    extra: float = 0.0
+
+
+@dataclass(frozen=True)
+class LossWindow(_TargetedWindow):
+    """Probabilistic message loss during the window.
+
+    This deliberately steps *outside* the paper's adversary model (which may
+    delay but never drop): fault campaigns use loss windows to observe how
+    protocols degrade when the model's assumptions break.  Each matching
+    message is dropped independently with ``probability``, drawn from the
+    policy's dedicated seeded loss stream so runs stay deterministic.
+    """
+
+    probability: float = 0.0
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan:
+    """A schedule of network faults applied by the delivery policy.
+
+    Built from a declarative :class:`repro.faults.spec.FaultSpec`; the plan is
+    consulted once per cross-node message, judged at the message's departure
+    time, identically by both simulation engines (see ``docs/SIMULATOR.md``'s
+    determinism rules — the loss stream is consumed in global message order).
+    """
+
+    partitions: Tuple[PartitionWindow, ...] = ()
+    delays: Tuple[DelayWindow, ...] = ()
+    losses: Tuple[LossWindow, ...] = ()
+
+    @property
+    def active(self) -> bool:
+        return bool(self.partitions or self.delays or self.losses)
+
+
 @dataclass
 class DeliveryPolicy:
     """Adversarial control over message delivery between honest nodes.
@@ -77,14 +173,19 @@ class DeliveryPolicy:
         every message, 0.0 none.
     seed:
         Seed of the policy's private random streams.
+    faults:
+        Optional :class:`NetworkFaultPlan` with partition/delay/loss windows
+        (installed by the fault-campaign layer, see :mod:`repro.faults`).
     """
 
     max_extra_delay: float = 0.0
     reorder: bool = True
     target_fraction: float = 1.0
     seed: int = 0
+    faults: Optional[NetworkFaultPlan] = None
     _delay_stream: _BlockUniform = field(init=False, repr=False)
     _tie_stream: _BlockUniform = field(init=False, repr=False)
+    _loss_stream: _BlockUniform = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_extra_delay < 0:
@@ -93,6 +194,42 @@ class DeliveryPolicy:
             raise NetworkError("target_fraction must be in [0, 1]")
         self._delay_stream = _BlockUniform(_DELAY_STREAM_TAG, self.seed)
         self._tie_stream = _BlockUniform(_TIEBREAK_STREAM_TAG, self.seed)
+        self._loss_stream = _BlockUniform(_LOSS_STREAM_TAG, self.seed)
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether a non-empty fault plan is installed."""
+        return self.faults is not None and self.faults.active
+
+    def install_faults(self, plan: Optional[NetworkFaultPlan]) -> None:
+        """Install (or clear) the network fault plan on this policy."""
+        self.faults = plan
+
+    def fault_delay(self, sender: int, destination: int, time: float) -> float:
+        """Fault-plan adjustment for a message departing at ``time``.
+
+        Returns extra delay in seconds, or :data:`DROPPED` (``inf``) when a
+        loss window drops the message.  Called once per cross-node message by
+        both simulation engines, in the same global order, so the loss
+        stream's draws line up exactly (the engine-equivalence contract).
+        """
+        plan = self.faults
+        if plan is None:
+            return 0.0
+        extra = 0.0
+        for window in plan.delays:
+            if window.applies(sender, destination, time):
+                extra += window.extra
+        for window in plan.partitions:
+            if window.start <= time < window.end and window.severs(sender, destination):
+                hold = (window.end - time) + window.heal_delay
+                if hold > extra:
+                    extra = hold
+        for window in plan.losses:
+            if window.applies(sender, destination, time):
+                if self._loss_stream.next() < window.probability:
+                    return DROPPED
+        return extra
 
     def extra_delay(self, envelope: Envelope) -> float:
         """Adversarial delay (seconds) added to this envelope."""
@@ -152,11 +289,23 @@ class AsynchronousNetwork:
             )
 
     def delivery_time(self, envelope: Envelope, now: float) -> float:
-        """Absolute simulated time at which ``envelope`` reaches its destination."""
+        """Absolute simulated time at which ``envelope`` reaches its destination.
+
+        Returns :data:`DROPPED` (``inf``) when the policy's fault plan drops
+        the message; the runtime then simply never schedules the delivery.
+        Traffic is still accounted — the message did leave the sender.
+        """
         self.validate_destination(envelope.destination)
         departure = self.accountant.send(envelope, now)
         propagation = self.latency.delay(envelope.sender, envelope.destination)
         extra = self.policy.extra_delay(envelope)
+        if self.policy.faults_active:
+            fault = self.policy.fault_delay(
+                envelope.sender, envelope.destination, departure
+            )
+            if fault == DROPPED:
+                return DROPPED
+            extra += fault
         return departure + propagation + extra
 
     @property

@@ -36,6 +36,27 @@ DECIDE = "DECIDE"
 MAX_BA_ROUNDS = 64
 
 
+def ba_safety_violation(outputs: Dict[int, Any]) -> Optional[str]:
+    """Binary-BA safety predicate used by the runtime invariant monitors.
+
+    ``outputs`` maps honest node ids to decided values.  Returns a
+    description of the violated property (outputs must be bits, and all
+    honest outputs must be equal), or ``None`` when safety holds.
+    """
+    if not outputs:
+        return None
+    malformed = {
+        node: value for node, value in outputs.items() if value not in (0, 1, 0.0, 1.0)
+    }
+    if malformed:
+        pairs = ", ".join(f"node {n} -> {v!r}" for n, v in sorted(malformed.items()))
+        return f"binary BA output not a bit: {pairs}"
+    if len({int(value) for value in outputs.values()}) > 1:
+        pairs = ", ".join(f"node {n} -> {int(v)}" for n, v in sorted(outputs.items()))
+        return f"binary BA agreement violated: {pairs}"
+    return None
+
+
 class BinaryBAEngine:
     """One instance of randomised binary BA.
 

@@ -21,11 +21,42 @@ amplified at ``t + 1``), delivery at ``2t + 1`` ``READY``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.message import Message
 from repro.protocols.base import Outbound, ProtocolNode
+
+
+def rbc_safety_violation(
+    delivered: Mapping[int, Any], broadcaster_value: Any = None
+) -> Optional[str]:
+    """RBC safety predicate used by the runtime invariant monitors.
+
+    ``delivered`` maps honest node ids to the value each has delivered so
+    far.  Returns a human-readable description of the violated property, or
+    ``None`` when agreement (all delivered values equal) and — when the
+    broadcaster is honest and its value is given — validity both hold.
+    """
+    if not delivered:
+        return None
+    frozen = {node: _freeze(value) for node, value in delivered.items()}
+    distinct = set(frozen.values())
+    if len(distinct) > 1:
+        pairs = sorted(delivered.items())
+        return (
+            "RBC agreement violated: honest nodes delivered different values "
+            + ", ".join(f"node {node} -> {value!r}" for node, value in pairs)
+        )
+    if broadcaster_value is not None:
+        expected = _freeze(broadcaster_value)
+        if distinct != {expected}:
+            return (
+                "RBC validity violated: honest broadcaster sent "
+                f"{broadcaster_value!r} but honest nodes delivered "
+                f"{next(iter(delivered.values()))!r}"
+            )
+    return None
 
 #: Sub-messages exchanged by the engine: (message type, value).
 RbcSubMessage = Tuple[str, Any]

@@ -24,6 +24,7 @@ from repro.protocols.baselines.abraham_aaa import AbrahamAAANode
 from repro.protocols.baselines.dolev_aaa import DolevAAANode
 from repro.protocols.baselines.fin_acs import FinAcsNode
 from repro.protocols.baselines.hbbft_acs import HoneyBadgerAcsNode
+from repro.sim.observers import SimObserver
 from repro.sim.runtime import ComputeModel, SimulationConfig, SimulationResult, SimulationRuntime
 
 
@@ -73,6 +74,7 @@ def run_protocol(
     byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
     compute: Optional[ComputeModel] = None,
     config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[SimObserver]] = None,
 ) -> ProtocolRunResult:
     """Run an arbitrary set of protocol nodes through the simulator."""
     runtime = SimulationRuntime(
@@ -81,6 +83,7 @@ def run_protocol(
         byzantine=byzantine,
         compute=compute,
         config=config,
+        observers=observers,
     )
     result = runtime.run()
     return _wrap_result(protocol, result)
@@ -111,6 +114,7 @@ def run_delphi(
     byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
     compute: Optional[ComputeModel] = None,
     config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[SimObserver]] = None,
 ) -> ProtocolRunResult:
     """Run one Delphi instance with the given per-node input values."""
     _check_inputs(params.n, values)
@@ -118,7 +122,7 @@ def run_delphi(
         node_id: DelphiNode(node_id=node_id, params=params, value=float(values[node_id]))
         for node_id in range(params.n)
     }
-    return run_protocol("delphi", nodes, network, byzantine, compute, config)
+    return run_protocol("delphi", nodes, network, byzantine, compute, config, observers)
 
 
 def run_dora(
@@ -129,6 +133,7 @@ def run_dora(
     compute: Optional[ComputeModel] = None,
     config: Optional[SimulationConfig] = None,
     scheme: Optional[SignatureScheme] = None,
+    observers: Optional[Sequence[SimObserver]] = None,
 ) -> ProtocolRunResult:
     """Run Delphi plus the DORA attestation step."""
     _check_inputs(params.n, values)
@@ -139,7 +144,7 @@ def run_dora(
         )
         for node_id in range(params.n)
     }
-    return run_protocol("dora", nodes, network, byzantine, compute, config)
+    return run_protocol("dora", nodes, network, byzantine, compute, config, observers)
 
 
 def run_abraham(
@@ -153,6 +158,7 @@ def run_abraham(
     byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
     compute: Optional[ComputeModel] = None,
     config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[SimObserver]] = None,
 ) -> ProtocolRunResult:
     """Run the Abraham et al. approximate-agreement baseline."""
     _check_inputs(n, values)
@@ -170,7 +176,7 @@ def run_abraham(
         )
         for node_id in range(n)
     }
-    return run_protocol("abraham", nodes, network, byzantine, compute, config)
+    return run_protocol("abraham", nodes, network, byzantine, compute, config, observers)
 
 
 def run_dolev(
@@ -184,6 +190,7 @@ def run_dolev(
     byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
     compute: Optional[ComputeModel] = None,
     config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[SimObserver]] = None,
 ) -> ProtocolRunResult:
     """Run the Dolev et al. (n = 5t + 1) approximate-agreement baseline."""
     _check_inputs(n, values)
@@ -201,7 +208,7 @@ def run_dolev(
         )
         for node_id in range(n)
     }
-    return run_protocol("dolev", nodes, network, byzantine, compute, config)
+    return run_protocol("dolev", nodes, network, byzantine, compute, config, observers)
 
 
 def run_fin(
@@ -212,6 +219,7 @@ def run_fin(
     byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
     compute: Optional[ComputeModel] = None,
     config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[SimObserver]] = None,
 ) -> ProtocolRunResult:
     """Run the FIN-style ACS baseline (output = median of the agreed set)."""
     _check_inputs(n, values)
@@ -221,7 +229,7 @@ def run_fin(
         node_id: FinAcsNode(node_id=node_id, n=n, t=t, value=float(values[node_id]))
         for node_id in range(n)
     }
-    return run_protocol("fin", nodes, network, byzantine, compute, config)
+    return run_protocol("fin", nodes, network, byzantine, compute, config, observers)
 
 
 def run_hbbft(
@@ -232,6 +240,7 @@ def run_hbbft(
     byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
     compute: Optional[ComputeModel] = None,
     config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[SimObserver]] = None,
 ) -> ProtocolRunResult:
     """Run the HoneyBadger/BKR-style ACS baseline."""
     _check_inputs(n, values)
@@ -241,4 +250,4 @@ def run_hbbft(
         node_id: HoneyBadgerAcsNode(node_id=node_id, n=n, t=t, value=float(values[node_id]))
         for node_id in range(n)
     }
-    return run_protocol("hbbft", nodes, network, byzantine, compute, config)
+    return run_protocol("hbbft", nodes, network, byzantine, compute, config, observers)

@@ -35,6 +35,7 @@ times in the same per-stream order by both engines.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
+from math import inf as _INF
 from typing import Dict, List, Optional
 
 from repro.errors import NetworkError, SimulationError
@@ -92,6 +93,15 @@ def run_fast(runtime) -> "SimulationResult":
     tiebreak = policy.tiebreak
     extra_raw = policy.extra_delay_raw
     has_extra = policy.max_extra_delay > 0.0
+    faults_active = policy.faults_active
+    fault_delay = policy.fault_delay
+
+    # Observer hooks and schedule-driven corruption (cold paths: a single
+    # hoisted boolean guards each so fault-free runs pay one branch).
+    observers = runtime.observers
+    has_obs = bool(observers)
+    timed = [h if getattr(h, "wants_time", False) else None for h in handlers]
+    any_timed = any(t is not None for t in timed)
 
     # Flat traffic/bandwidth accumulators, merged into the trace at the end.
     message_count = 0
@@ -148,6 +158,10 @@ def run_fast(runtime) -> "SimulationResult":
             )
 
         node_id = event[4]
+        if any_timed:
+            timed_handler = timed[node_id]
+            if timed_handler is not None:
+                timed_handler.now = event_time
         ready_at = busy[node_id]
         if ready_at < event_time:
             ready_at = event_time
@@ -168,10 +182,20 @@ def run_fast(runtime) -> "SimulationResult":
         )
         busy[node_id] = finished_at
 
+        newly_decided = False
         if honest[node_id] and decision_time[node_id] is None:
             if node_list[node_id].has_output:
                 decision_time[node_id] = finished_at
                 undecided -= 1
+                newly_decided = True
+
+        if has_obs:
+            for obs in observers:
+                obs.on_event(event_time, event[3], node_id, event[5], event[6])
+            if newly_decided:
+                output = node_list[node_id].output
+                for obs in observers:
+                    obs.on_decide(node_id, output, finished_at)
 
         if not outbound:
             continue
@@ -219,6 +243,14 @@ def run_fast(runtime) -> "SimulationResult":
                 deliver_at = departure + sampler()
                 if has_extra:
                     deliver_at += extra_raw()
+                if faults_active:
+                    fault = fault_delay(node_id, target, departure)
+                    if fault:
+                        if fault == _INF:
+                            # Dropped by a loss window: accounted, never
+                            # delivered (matches the reference engine).
+                            continue
+                        deliver_at += fault
                 sequence += 1
                 new_event = (
                     deliver_at, tiebreak(), sequence,

@@ -1,0 +1,90 @@
+"""Runtime observer hooks for the simulation engines.
+
+Both engines (reference and fast) call the same three hooks on every
+registered observer, in the same order, so an observer sees an identical
+stream of callbacks regardless of the engine:
+
+* :meth:`SimObserver.on_event` — after each processed event (START or
+  DELIVER), with the event's integer kind (:data:`~repro.sim.events.START_EVENT`
+  / :data:`~repro.sim.events.DELIVER_EVENT`);
+* :meth:`SimObserver.on_decide` — the first time an *honest* node produces an
+  output, with the node's CPU-finish time (the value recorded in
+  ``decision_times``);
+* :meth:`SimObserver.on_run_end` — once, with the final
+  :class:`~repro.sim.runtime.SimulationResult`.
+
+Observers must not mutate protocol or network state and must not consume any
+random stream — the engine-equivalence contract (``docs/SIMULATOR.md``)
+depends on observers being pure listeners.  The fault-campaign invariant
+monitors (:mod:`repro.faults.monitors`) are built on this interface and
+*raise* :class:`~repro.errors.InvariantViolation` from a hook to fail fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.net.message import Message
+from repro.sim.events import DELIVER_EVENT, START_EVENT
+
+
+class SimObserver:
+    """Base class for simulation observers; every hook defaults to a no-op."""
+
+    def on_event(
+        self,
+        time: float,
+        kind: int,
+        node_id: int,
+        sender: int,
+        message: Optional[Message],
+    ) -> None:
+        """Called after each processed event (``sender``/``message`` are
+        ``-1``/``None`` for START events)."""
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        """Called when an honest node first produces an output."""
+
+    def on_run_end(self, result: Any) -> None:
+        """Called once with the final :class:`SimulationResult`."""
+
+
+class TraceRecorder(SimObserver):
+    """Keeps a bounded tail of processed events for violation repro bundles.
+
+    Each entry is a JSON-safe dict (time, kind, node, sender, protocol,
+    message type, round) — enough to see *what the schedule looked like* just
+    before an invariant broke, without retaining payloads.
+    """
+
+    def __init__(self, limit: int = 200) -> None:
+        self.limit = limit
+        self._tail: Deque[Dict[str, Any]] = deque(maxlen=limit)
+        self.events_seen = 0
+
+    def on_event(
+        self,
+        time: float,
+        kind: int,
+        node_id: int,
+        sender: int,
+        message: Optional[Message],
+    ) -> None:
+        self.events_seen += 1
+        entry: Dict[str, Any] = {
+            "time": time,
+            "kind": "start" if kind == START_EVENT else "deliver",
+            "node": node_id,
+        }
+        if kind == DELIVER_EVENT and message is not None:
+            entry["sender"] = sender
+            entry["protocol"] = message.protocol
+            entry["mtype"] = message.mtype
+            if message.round is not None:
+                entry["round"] = message.round
+        self._tail.append(entry)
+
+    def tail(self) -> List[Dict[str, Any]]:
+        """The recorded event tail, oldest first (JSON-safe)."""
+        return list(self._tail)

@@ -14,15 +14,17 @@ complete traffic trace — everything the paper's figures are derived from.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.adversary.base import AdversaryStrategy
 from repro.net.message import Envelope, Message, MessageTrace
 from repro.net.network import AsynchronousNetwork
 from repro.protocols.base import BROADCAST, Outbound, ProtocolNode
-from repro.sim.events import Event, EventKind
+from repro.sim.events import DELIVER_EVENT, START_EVENT, Event, EventKind
+from repro.sim.observers import SimObserver
 from repro.sim.scheduler import EventScheduler
 
 
@@ -156,6 +158,7 @@ class SimulationRuntime:
         byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
         compute: Optional[ComputeModel] = None,
         config: Optional[SimulationConfig] = None,
+        observers: Optional[Sequence[SimObserver]] = None,
     ) -> None:
         if not nodes:
             raise SimulationError("at least one node is required")
@@ -174,6 +177,14 @@ class SimulationRuntime:
             if node_id not in self.nodes:
                 raise SimulationError(f"cannot corrupt unknown node {node_id}")
             strategy.attach(self.nodes[node_id])
+        self.observers: tuple = tuple(observers or ())
+        # Strategies with ``wants_time = True`` (schedule-driven corruption)
+        # get the current event time injected before each dispatch.
+        self._timed: Dict[int, AdversaryStrategy] = {
+            node_id: strategy
+            for node_id, strategy in self.byzantine.items()
+            if getattr(strategy, "wants_time", False)
+        }
 
         self.scheduler = EventScheduler(horizon=self.config.max_time)
         self._busy_until: Dict[int, float] = {node_id: 0.0 for node_id in nodes}
@@ -216,6 +227,10 @@ class SimulationRuntime:
                     continue
                 envelope = Envelope(sender=sender, destination=target, message=message)
                 deliver_at = self.network.delivery_time(envelope, now)
+                if math.isinf(deliver_at):
+                    # Dropped by a fault-plan loss window: accounted as sent,
+                    # never delivered.
+                    continue
                 self._schedule_delivery(sender, target, message, deliver_at, envelope)
 
     def _schedule_delivery(
@@ -253,8 +268,12 @@ class SimulationRuntime:
         if self.config.engine == "fast" and self._fast_supported():
             from repro.sim.fastpath import run_fast
 
-            return run_fast(self)
-        return self._run_reference()
+            result = run_fast(self)
+        else:
+            result = self._run_reference()
+        for observer in self.observers:
+            observer.on_run_end(result)
+        return result
 
     def _fast_supported(self) -> bool:
         """The fast engine assumes node ids are exactly ``0..n-1``."""
@@ -306,35 +325,48 @@ class SimulationRuntime:
     def _process(self, event: Event) -> None:
         node_id = event.node
         handler = self._handler(node_id)
+        if node_id in self._timed:
+            handler.now = event.time
         ready_at = max(event.time, self._busy_until.get(node_id, 0.0))
 
         if event.kind is EventKind.START:
             outbound = handler.on_start()
             cpu = self.compute.processing_delay(0, 0.0)
+            sender, message = -1, None
         else:
             assert event.envelope is not None
             message = event.envelope.message
+            sender = event.envelope.sender
             crypto_units = (
                 self._crypto_units(node_id, message)
                 if node_id not in self.byzantine
                 else 0.0
             )
             cpu = self.compute.processing_delay(message.size_bytes(), crypto_units)
-            outbound = handler.on_message(event.envelope.sender, message)
+            outbound = handler.on_message(sender, message)
 
         finished_at = ready_at + cpu
         self._busy_until[node_id] = finished_at
 
         node = self.nodes[node_id]
-        if (
+        newly_decided = (
             node_id not in self.byzantine
             and node.has_output
             and node_id not in self._decision_times
-        ):
+        )
+        if newly_decided:
             self._decision_times[node_id] = finished_at
 
         if outbound:
             self._schedule_outbound(node_id, outbound, finished_at)
+
+        if self.observers:
+            kind = START_EVENT if event.kind is EventKind.START else DELIVER_EVENT
+            for observer in self.observers:
+                observer.on_event(event.time, kind, node_id, sender, message)
+            if newly_decided:
+                for observer in self.observers:
+                    observer.on_decide(node_id, node.output, finished_at)
 
     def _all_honest_decided(self) -> bool:
         return all(self.nodes[node_id].has_output for node_id in self.honest_nodes)

@@ -38,6 +38,7 @@ def run_nodes(
     byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
     adversarial_delay: float = 0.0,
     max_events: int = 2_000_000,
+    observers: Optional[Sequence] = None,
 ) -> SimulationResult:
     """Run a set of protocol nodes through the simulator and return the result."""
     runtime = SimulationRuntime(
@@ -45,6 +46,7 @@ def run_nodes(
         network=small_network(len(nodes), seed=seed, adversarial_delay=adversarial_delay),
         byzantine=byzantine,
         config=SimulationConfig(max_events=max_events),
+        observers=observers,
     )
     return runtime.run()
 

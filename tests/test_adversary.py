@@ -8,6 +8,7 @@ from repro.adversary.strategies import (
     DelayedHonestStrategy,
     EquivocatingStrategy,
     RandomBitStrategy,
+    ScheduledStrategy,
     SpamStrategy,
 )
 from repro.errors import ConfigurationError
@@ -110,8 +111,17 @@ class TestAdaptiveAdversary:
             CorruptionPlan(node_ids=(2,), strategy_factory=CrashStrategy, activation_time=1.5)
         )
         strategies = adversary.strategies()
-        assert isinstance(strategies[2], CrashStrategy)
+        # Delayed activation wraps the strategy so it behaves honestly until
+        # the activation time (the runtime injects the simulated clock).
+        assert isinstance(strategies[2], ScheduledStrategy)
+        assert isinstance(strategies[2].inner, CrashStrategy)
+        assert strategies[2].activation_time == 1.5
         assert adversary.activation_times()[2] == 1.5
+
+    def test_immediate_corruption_not_wrapped(self):
+        adversary = AdaptiveAdversary(n=4, t=1)
+        adversary.corrupt(CorruptionPlan(node_ids=(3,), strategy_factory=CrashStrategy))
+        assert isinstance(adversary.strategies()[3], CrashStrategy)
 
     def test_unknown_node_rejected(self):
         adversary = AdaptiveAdversary(n=4, t=1)

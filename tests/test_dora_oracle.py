@@ -11,24 +11,31 @@ from repro.errors import ConfigurationError
 from repro.oracle.network import OracleNetwork
 from repro.oracle.smr import SMRChannel
 
-from helpers import run_nodes, small_delphi_params
+from helpers import run_nodes
 
 
-def _run_dora(values, params=None, byzantine=None, seed=0):
-    params = params or small_delphi_params(n=len(values))
-    scheme = SignatureScheme(num_nodes=params.n)
-    nodes = {
-        i: DoraNode(node_id=i, params=params, value=values[i], scheme=scheme)
-        for i in range(params.n)
-    }
-    result = run_nodes(nodes, byzantine=byzantine, seed=seed)
-    return nodes, result, params, scheme
+@pytest.fixture
+def run_dora(make_delphi_params):
+    """Build and run one DORA instance; parameters come from the shared
+    ``make_delphi_params`` factory fixture (see ``tests/conftest.py``)."""
+
+    def _run(values, params=None, byzantine=None, seed=0):
+        params = params or make_delphi_params(n=len(values))
+        scheme = SignatureScheme(num_nodes=params.n)
+        nodes = {
+            i: DoraNode(node_id=i, params=params, value=values[i], scheme=scheme)
+            for i in range(params.n)
+        }
+        result = run_nodes(nodes, byzantine=byzantine, seed=seed)
+        return nodes, result, params, scheme
+
+    return _run
 
 
 class TestDoraNode:
-    def test_all_nodes_produce_certificates(self):
+    def test_all_nodes_produce_certificates(self, run_dora):
         values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
-        nodes, result, params, scheme = _run_dora(values)
+        nodes, result, params, scheme = run_dora(values)
         assert result.all_honest_decided
         for node in nodes.values():
             certificate = node.certificate
@@ -38,37 +45,37 @@ class TestDoraNode:
                 certificate.value, certificate.aggregate, threshold=params.t + 1
             )
 
-    def test_certified_values_on_adjacent_epsilon_multiples(self):
+    def test_certified_values_on_adjacent_epsilon_multiples(self, run_dora):
         values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
-        nodes, _, params, _ = _run_dora(values)
+        nodes, _, params, _ = run_dora(values)
         certified = {node.certificate.value for node in nodes.values()}
         assert len(certified) <= 2
         for value in certified:
             assert value / params.epsilon == pytest.approx(round(value / params.epsilon))
 
-    def test_rounded_outputs_near_honest_inputs(self):
+    def test_rounded_outputs_near_honest_inputs(self, run_dora):
         values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
-        nodes, _, params, _ = _run_dora(values)
+        nodes, _, params, _ = run_dora(values)
         delta = max(values) - min(values)
         slack = max(params.rho0, delta) + params.epsilon
         for node in nodes.values():
             assert min(values) - slack <= node.certificate.value <= max(values) + slack
 
-    def test_crash_faults_tolerated(self):
+    def test_crash_faults_tolerated(self, run_dora):
         values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
         byz = {6: CrashStrategy()}
-        nodes, result, params, _ = _run_dora(values, byzantine=byz)
+        nodes, result, params, _ = run_dora(values, byzantine=byz)
         assert result.all_honest_decided
         certified = {nodes[i].certificate.value for i in range(6)}
         assert len(certified) <= 2
 
-    def test_scheme_size_mismatch_rejected(self):
-        params = small_delphi_params(n=4)
+    def test_scheme_size_mismatch_rejected(self, make_delphi_params):
+        params = make_delphi_params(n=4)
         with pytest.raises(ConfigurationError):
             DoraNode(0, params, value=1.0, scheme=SignatureScheme(num_nodes=5))
 
-    def test_report_verification_cost_is_symmetric(self):
-        params = small_delphi_params(n=4)
+    def test_report_verification_cost_is_symmetric(self, make_delphi_params):
+        params = make_delphi_params(n=4)
         node = DoraNode(0, params, value=1.0, scheme=SignatureScheme(num_nodes=4))
         from repro.net.message import Message
 
@@ -106,8 +113,8 @@ class TestSMRChannel:
 
 
 class TestOracleNetwork:
-    def test_end_to_end_report_round(self):
-        params = small_delphi_params(n=4, epsilon=1.0, delta_max=16.0)
+    def test_end_to_end_report_round(self, make_delphi_params):
+        params = make_delphi_params(n=4, epsilon=1.0, delta_max=16.0)
         network = OracleNetwork(params)
         report = network.report_round([10.2, 10.6, 10.9, 10.4])
         assert report.certificate.signer_count >= params.t + 1
@@ -116,8 +123,8 @@ class TestOracleNetwork:
         assert report.total_megabytes > 0
         assert report.output_spread <= params.epsilon + 1e-9
 
-    def test_at_most_two_distinct_report_values_reach_the_chain(self):
-        params = small_delphi_params(n=4, epsilon=1.0, delta_max=16.0)
+    def test_at_most_two_distinct_report_values_reach_the_chain(self, make_delphi_params):
+        params = make_delphi_params(n=4, epsilon=1.0, delta_max=16.0)
         network = OracleNetwork(params)
         network.report_round([10.2, 10.6, 10.9, 10.4])
         values = {
@@ -125,14 +132,14 @@ class TestOracleNetwork:
         }
         assert len(values) <= 2
 
-    def test_measurement_count_checked(self):
-        params = small_delphi_params(n=4)
+    def test_measurement_count_checked(self, make_delphi_params):
+        params = make_delphi_params(n=4)
         network = OracleNetwork(params)
         with pytest.raises(ConfigurationError):
             network.report_round([1.0, 2.0])
 
-    def test_crash_fault_round(self):
-        params = small_delphi_params(n=7, epsilon=1.0, delta_max=16.0)
+    def test_crash_fault_round(self, make_delphi_params):
+        params = make_delphi_params(n=7, epsilon=1.0, delta_max=16.0)
         network = OracleNetwork(params)
         report = network.report_round(
             [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0],

@@ -1,0 +1,47 @@
+"""Seed-corpus regression test: replay known-tricky seeds against the
+runtime invariant monitors.
+
+The corpus (``tests/data/fault_corpus.json``) commits the scenario specs —
+including the PR 2 FIN ACS early-vote stall seeds — that historically
+exposed liveness bugs.  Every entry is replayed on **both** simulation
+engines with monitors attached; a stall or invariant violation here means a
+fixed bug silently regressed.  See ``docs/TESTING.md`` for how to add an
+entry.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.spec import ScenarioSpec
+from repro.faults.campaign import run_fault_cell
+
+CORPUS_PATH = Path(__file__).parent / "data" / "fault_corpus.json"
+CORPUS = json.loads(CORPUS_PATH.read_text())
+
+
+def corpus_entries():
+    return [pytest.param(entry, id=entry["id"]) for entry in CORPUS["entries"]]
+
+
+def test_corpus_schema():
+    assert CORPUS["schema"] == "repro-fault-corpus/1"
+    identifiers = [entry["id"] for entry in CORPUS["entries"]]
+    assert len(identifiers) == len(set(identifiers)), "duplicate corpus ids"
+    assert any("fin-early-vote-stall" in i for i in identifiers), (
+        "the PR 2 FIN ACS stall seeds must stay in the corpus"
+    )
+
+
+@pytest.mark.parametrize("entry", corpus_entries())
+def test_corpus_seed_stays_green(entry):
+    spec = ScenarioSpec.from_dict(entry["spec"])
+    verdict = run_fault_cell(spec)
+    assert verdict.equivalent, (
+        f"{entry['id']}: fast and reference engines diverged"
+    )
+    assert verdict.status == "ok", (
+        f"{entry['id']} regressed ({verdict.status}): {entry['description']} "
+        f"violation={verdict.fast.violation}"
+    )

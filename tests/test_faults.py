@@ -1,0 +1,413 @@
+"""Tests for the fault-injection campaign subsystem: declarative fault
+specs, network-fault injection, schedule-driven corruption, runtime
+invariant monitors (including a deliberately broken invariant caught with a
+seed repro bundle) and engine equivalence under faults."""
+
+import json
+
+import pytest
+
+from repro.adversary.base import AdversaryStrategy, HonestWithInput
+from repro.analysis.parameters import derive_parameters
+from repro.core.delphi import DelphiNode
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.experiments.cli import main as cli_main
+from repro.experiments.spec import ScenarioSpec
+from repro.faults import (
+    CorruptionSpec,
+    DelaySpec,
+    FaultSpec,
+    LossSpec,
+    PartitionSpec,
+    register_strategy,
+    run_fault_cell,
+    scenario_corrupted_ids,
+)
+from repro.faults.campaign import replay_bundle, run_campaign, tiny_campaign
+from repro.faults.monitors import (
+    BinaryBASafetyMonitor,
+    EpsilonAgreementMonitor,
+    RbcSafetyMonitor,
+    TerminationMonitor,
+    ValidityMonitor,
+    build_monitors,
+)
+from repro.net.message import Message
+from repro.net.network import DROPPED, DeliveryPolicy
+from repro.protocols.rbc import ReliableBroadcastNode
+from repro.sim.observers import TraceRecorder
+from repro.sim.runtime import SimulationConfig, SimulationRuntime
+
+from helpers import run_nodes, small_network
+
+
+def fault_cell(protocol="delphi", n=4, fault=None, seed=0, **overrides):
+    """A lan scenario cell with ``fault`` embedded in the extras."""
+    spec = ScenarioSpec(
+        protocol=protocol,
+        n=n,
+        seed=seed,
+        testbed="lan",
+        delta=0.5,
+        centre=5.0,
+        max_rounds=4,
+        **overrides,
+    )
+    if fault is not None:
+        spec = spec.replace(faults=fault.to_dict())
+    return spec
+
+
+class TestFaultSpec:
+    def test_roundtrip_through_dict(self):
+        spec = FaultSpec(
+            corruptions=(CorruptionSpec("crash", count=1, activation_time=0.5),),
+            partitions=(PartitionSpec(start=0.0, end=1.0, groups=((0, 1),)),),
+            delays=(DelaySpec(start=0.0, end=1.0, extra=0.1, receivers=(2,)),),
+            losses=(LossSpec(start=0.0, end=0.5, probability=0.3),),
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        # Embeddable in a ScenarioSpec's extras (hashing requires JSON-safe).
+        cell = fault_cell(fault=spec)
+        assert ScenarioSpec.from_dict(cell.to_dict()).spec_hash() == cell.spec_hash()
+
+    def test_full_budget_resolves_per_n(self):
+        spec = FaultSpec(corruptions=(CorruptionSpec("crash"),))
+        assert spec.corrupted_ids(4) == [3]
+        assert spec.corrupted_ids(7) == [6, 5]
+        assert spec.corrupted_ids(10) == [9, 8, 7]
+
+    def test_over_budget_rejected_unless_allowed(self):
+        spec = FaultSpec(corruptions=(CorruptionSpec("crash", count=2),))
+        with pytest.raises(ConfigurationError):
+            spec.corrupted_ids(4)
+        allowed = FaultSpec(
+            corruptions=(CorruptionSpec("crash", count=2),), allow_over_budget=True
+        )
+        assert allowed.corrupted_ids(4) == [3, 2]
+
+    def test_unknown_strategy_rejected(self):
+        spec = FaultSpec(corruptions=(CorruptionSpec("no-such-strategy", count=1),))
+        with pytest.raises(ConfigurationError):
+            spec.build_strategies(4)
+
+    def test_window_specs_validated_at_declaration(self):
+        with pytest.raises(ConfigurationError):
+            DelaySpec(start=0.0, end=1.0, extra=-0.5)
+        with pytest.raises(ConfigurationError):
+            LossSpec(start=0.0, end=1.0, probability=1.5)
+        with pytest.raises(ConfigurationError):
+            PartitionSpec(start=1.0, end=0.5, groups=((0,),))
+        with pytest.raises(ConfigurationError):
+            LossSpec(start=-1.0, end=1.0, probability=0.5)
+        with pytest.raises(ConfigurationError):
+            CorruptionSpec("crash", activation_time=-1.0)
+
+    def test_termination_expectation_derived_from_losses(self):
+        assert FaultSpec().terminating()
+        assert not FaultSpec(
+            losses=(LossSpec(start=0.0, end=1.0, probability=0.5),)
+        ).terminating()
+        assert FaultSpec(
+            losses=(LossSpec(start=0.0, end=1.0, probability=0.5),),
+            expect_termination=True,
+        ).terminating()
+
+    def test_scenario_corrupted_ids_covers_both_conventions(self):
+        plain = fault_cell(adversary="crash", num_byzantine=1)
+        assert scenario_corrupted_ids(plain) == [3]
+        fault = fault_cell(fault=FaultSpec(corruptions=(CorruptionSpec("crash", count=1),)))
+        assert scenario_corrupted_ids(fault) == [3]
+        assert scenario_corrupted_ids(fault_cell()) == []
+
+
+class TestNetworkFaultInjection:
+    def test_partition_holds_messages_until_heal(self):
+        plan = FaultSpec(
+            partitions=(PartitionSpec(start=0.0, end=1.0, groups=((0,),), heal_delay=0.5),)
+        ).network_plan()
+        policy = DeliveryPolicy(faults=plan)
+        # Crossing the cut at t=0.2: held until end (1.0) + heal (0.5).
+        assert policy.fault_delay(0, 1, 0.2) == pytest.approx(1.3)
+        # Inside the remainder group: unaffected.
+        assert policy.fault_delay(1, 2, 0.2) == 0.0
+        # After the window: unaffected.
+        assert policy.fault_delay(0, 1, 1.5) == 0.0
+
+    def test_targeted_delay_window(self):
+        plan = FaultSpec(
+            delays=(DelaySpec(start=0.0, end=1.0, extra=0.25, receivers=(2,)),)
+        ).network_plan()
+        policy = DeliveryPolicy(faults=plan)
+        assert policy.fault_delay(0, 2, 0.5) == pytest.approx(0.25)
+        assert policy.fault_delay(0, 1, 0.5) == 0.0
+        assert policy.fault_delay(0, 2, 2.0) == 0.0
+
+    def test_loss_window_is_seeded_and_deterministic(self):
+        plan = FaultSpec(
+            losses=(LossSpec(start=0.0, end=1.0, probability=0.5),)
+        ).network_plan()
+        draws_a = [DeliveryPolicy(seed=7, faults=plan).fault_delay(0, 1, 0.1) for _ in range(1)]
+        first = [DeliveryPolicy(seed=7, faults=plan) for _ in range(2)]
+        seq_a = [first[0].fault_delay(0, 1, 0.1) for _ in range(50)]
+        seq_b = [first[1].fault_delay(0, 1, 0.1) for _ in range(50)]
+        assert seq_a == seq_b
+        assert DROPPED in seq_a and 0.0 in seq_a  # both outcomes occur
+        assert draws_a[0] == seq_a[0]
+
+    def test_benign_policy_has_no_faults(self):
+        assert not DeliveryPolicy().faults_active
+
+
+class TestScheduledCorruption:
+    def test_late_activation_is_honest_until_then(self):
+        # Corruption activating long after the protocol finishes must be
+        # indistinguishable from a fully honest run.
+        clean = run_fault_cell(fault_cell())
+        late = run_fault_cell(
+            fault_cell(
+                fault=FaultSpec(
+                    corruptions=(
+                        CorruptionSpec("crash", count=1, activation_time=1e6),
+                    ),
+                    # The to-be-corrupted node never counts as honest, so
+                    # termination is judged on the remaining three nodes.
+                )
+            )
+        )
+        assert clean.ok and late.ok
+        # Honest nodes 0..2 computed identical outputs in both runs.
+        clean_outputs = clean.fast.projection["outputs"]
+        late_outputs = late.fast.projection["outputs"]
+        for node in ("0", "1", "2"):
+            assert clean_outputs[node] == late_outputs[node]
+
+    def test_midrun_crash_still_terminates(self):
+        verdict = run_fault_cell(
+            fault_cell(
+                protocol="fin",
+                fault=FaultSpec(
+                    corruptions=(CorruptionSpec("crash", count=1, activation_time=0.02),)
+                ),
+            )
+        )
+        assert verdict.ok
+        assert verdict.equivalent
+
+
+class TestEngineEquivalenceUnderFaults:
+    @pytest.mark.parametrize("protocol", ["delphi", "fin"])
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            FaultSpec(partitions=(PartitionSpec(start=0.0, end=0.05, groups=((0,),)),)),
+            FaultSpec(delays=(DelaySpec(start=0.0, end=0.2, extra=0.05, senders=(1,)),)),
+            FaultSpec(losses=(LossSpec(start=0.0, end=0.03, probability=0.25),)),
+            FaultSpec(
+                corruptions=(CorruptionSpec("crash", count=1, activation_time=0.01),),
+                losses=(LossSpec(start=0.01, end=0.02, probability=0.5),),
+            ),
+        ],
+        ids=["partition", "targeted-delay", "loss", "adaptive+loss"],
+    )
+    def test_fast_and_reference_identical(self, protocol, fault):
+        verdict = run_fault_cell(fault_cell(protocol=protocol, n=5, fault=fault, seed=11))
+        assert verdict.equivalent, (
+            f"engines diverged: fast={verdict.fast.comparable()} "
+            f"reference={verdict.reference.comparable()}"
+        )
+
+
+class TestMonitors:
+    def test_epsilon_agreement_monitor_fires(self):
+        monitor = EpsilonAgreementMonitor(epsilon=0.5)
+        monitor.on_decide(0, 1.0, time=0.1)
+        with pytest.raises(InvariantViolation) as exc:
+            monitor.on_decide(1, 2.0, time=0.2)
+        assert exc.value.monitor == "epsilon-agreement"
+
+    def test_validity_monitor_fires(self):
+        monitor = ValidityMonitor([1.0, 2.0], relaxation=0.5)
+        monitor.on_decide(0, 2.4, time=0.0)  # inside the relaxed hull
+        with pytest.raises(InvariantViolation):
+            monitor.on_decide(1, 3.0, time=0.0)
+
+    def test_termination_monitor_totality(self):
+        class _Result:
+            honest_nodes = [0, 1, 2]
+            outputs = {0: 1.0}
+            events_processed = 42
+
+        with pytest.raises(InvariantViolation) as exc:
+            TerminationMonitor(expect_termination=True).on_run_end(_Result())
+        assert "totality" in exc.value.detail
+        TerminationMonitor(expect_termination=False).on_run_end(_Result())
+
+    def test_binary_ba_monitor_rejects_non_bits_and_disagreement(self):
+        monitor = BinaryBASafetyMonitor()
+        monitor.on_decide(0, 1, time=0.0)
+        with pytest.raises(InvariantViolation):
+            monitor.on_decide(1, 0, time=0.0)
+        bad = BinaryBASafetyMonitor()
+        with pytest.raises(InvariantViolation):
+            bad.on_decide(0, 0.5, time=0.0)
+
+    def test_build_monitors_selects_per_protocol(self):
+        approx = build_monitors(fault_cell(protocol="delphi"), [1.0, 2.0])
+        names = [type(m).__name__ for m in approx]
+        assert "EpsilonAgreementMonitor" in names and "ValidityMonitor" in names
+        exact = build_monitors(fault_cell(protocol="fin"), [1.0, 2.0])
+        assert exact[0].epsilon == 0.0
+
+
+class _TwoFacedBroadcaster(AdversaryStrategy):
+    """Test-only RBC attack: SEND/ECHO/READY value A to even nodes, B to odd.
+
+    With an accomplice this exceeds the t=1 budget at n=4 and makes honest
+    nodes deliver different values — which the safety monitor must catch.
+    """
+
+    def _half(self, mtype):
+        out = []
+        for node_id in range(self.node.n):
+            value = "A" if node_id % 2 == 0 else "B"
+            out.append((node_id, Message("rbc", mtype, None, [mtype, value])))
+        return out
+
+    def on_start(self):
+        return self._half("SEND") + self._half("ECHO") + self._half("READY")
+
+
+class _Accomplice(_TwoFacedBroadcaster):
+    def on_start(self):
+        return self._half("ECHO") + self._half("READY")
+
+
+class TestRbcSafetyMonitor:
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_two_faced_broadcast_caught(self, engine):
+        n, t = 4, 1
+        nodes = {
+            i: ReliableBroadcastNode(i, n, t, broadcaster=0, value="A" if i == 0 else None)
+            for i in range(n)
+        }
+        runtime = SimulationRuntime(
+            nodes=nodes,
+            network=small_network(n, seed=3),
+            byzantine={0: _TwoFacedBroadcaster(), 1: _Accomplice()},
+            config=SimulationConfig(engine=engine),
+            observers=[RbcSafetyMonitor()],
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            runtime.run()
+        assert exc.value.monitor == "rbc-safety"
+        assert "delivered different values" in exc.value.detail
+
+    def test_honest_broadcast_passes(self):
+        n, t = 4, 1
+        nodes = {
+            i: ReliableBroadcastNode(i, n, t, broadcaster=0, value="A" if i == 0 else None)
+            for i in range(n)
+        }
+        monitor = RbcSafetyMonitor(broadcaster_value="A")
+        result = run_nodes(nodes, observers=[monitor])
+        assert result.all_honest_decided
+
+
+class TestBrokenInvariantRepro:
+    """The acceptance scenario: a test-only strategy breaks validity; the
+    monitors catch it and the campaign layer emits a seed repro bundle."""
+
+    @pytest.fixture(autouse=True)
+    def _register(self):
+        def hull_breaker(ctx):
+            params = derive_parameters(
+                n=ctx.scenario.n,
+                epsilon=ctx.scenario.epsilon,
+                rho0=ctx.scenario.rho0,
+                delta_max=ctx.scenario.delta_max,
+                max_rounds=ctx.scenario.max_rounds,
+            )
+            poison = float(ctx.options.get("poison", 12.5))
+            return HonestWithInput(DelphiNode(ctx.node_id, params, value=poison))
+
+        register_strategy("test-hull-breaker", hull_breaker)
+        yield
+        # Unregister so other tests see the pristine strategy registry
+        # regardless of execution order.
+        from repro.faults.spec import STRATEGY_FACTORIES
+
+        STRATEGY_FACTORIES.pop("test-hull-breaker", None)
+
+    def _spec(self):
+        return fault_cell(
+            fault=FaultSpec(
+                corruptions=(CorruptionSpec("test-hull-breaker", count=3),),
+                allow_over_budget=True,
+                expect_termination=False,
+            ),
+            seed=3,
+        )
+
+    def test_violation_caught_with_bundle(self, tmp_path):
+        verdict = run_fault_cell(self._spec(), bundle_dir=str(tmp_path))
+        assert verdict.status == "violation"
+        assert verdict.equivalent  # both engines observe the same violation
+        assert verdict.fast.violation["monitor"] == "validity"
+        bundle = json.loads(open(verdict.bundle_path).read())
+        assert bundle["schema"] == "repro-fault-bundle/1"
+        assert bundle["seed"] == 3
+        assert bundle["spec"]["protocol"] == "delphi"
+        assert bundle["trace_tail"], "bundle must carry the violating schedule"
+        assert bundle["violation"]["monitor"] == "validity"
+
+    def test_bundle_replay_reproduces_violation(self, tmp_path):
+        verdict = run_fault_cell(self._spec(), bundle_dir=str(tmp_path))
+        replayed = replay_bundle(verdict.bundle_path)
+        assert replayed.status == "violation"
+        assert replayed.fast.violation == verdict.fast.violation
+
+
+class TestCampaign:
+    def test_tiny_campaign_passes_and_writes_artifact(self, tmp_path):
+        result = run_campaign(tiny_campaign())
+        assert result.passed
+        assert len(result) == 2
+        path = result.write_json(str(tmp_path / "FAULTS_tiny.json"))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-faults/1"
+        assert payload["summary"]["cells"] == 2
+        assert all(cell["equivalent"] for cell in payload["cells"])
+
+    def test_cli_faults_tiny(self, tmp_path, capsys):
+        code = cli_main(
+            ["faults", "--campaign", "tiny", "--quiet", "--output", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "FAULTS_tiny.json").exists()
+
+    def test_cli_faults_list_and_dry_run(self, capsys):
+        assert cli_main(["faults", "--list"]) == 0
+        assert "smoke" in capsys.readouterr().out
+        assert cli_main(["faults", "--campaign", "smoke", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "28 cells" in out
+
+    def test_observers_see_identical_streams_on_both_engines(self):
+        streams = {}
+        for engine in ("fast", "reference"):
+            recorder = TraceRecorder(limit=10_000)
+            nodes = {
+                i: ReliableBroadcastNode(i, 4, 1, broadcaster=0, value=7 if i == 0 else None)
+                for i in range(4)
+            }
+            runtime = SimulationRuntime(
+                nodes=nodes,
+                network=small_network(4, seed=5),
+                config=SimulationConfig(engine=engine),
+                observers=[recorder],
+            )
+            runtime.run()
+            streams[engine] = recorder.tail()
+        assert streams["fast"] == streams["reference"]
+        assert streams["fast"], "observer saw no events"

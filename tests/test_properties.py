@@ -6,13 +6,26 @@ the cross-level weight differencing (Theorem IV.1's lower bound), level
 aggregation (weighted averages stay in the convex hull of checkpoints),
 trimmed means (validity of the baselines), the shift codec, the size
 accounting and the BinAA engine run in a synchronous lockstep harness
-(range halving and convex validity for arbitrary binary input vectors).
+(range halving and convex validity for arbitrary binary input vectors) —
+plus the adversary strategies themselves: whatever garbage they are fed,
+every strategy must emit *well-formed* outbound instructions (valid
+recipients, serialisable payloads), because the simulation engines and the
+traffic accounting rely on that shape.
 """
 
+import json
 from typing import List
 
 from hypothesis import given, settings, strategies as st
 
+from repro.adversary.strategies import (
+    CrashStrategy,
+    DelayedHonestStrategy,
+    EquivocatingStrategy,
+    RandomBitStrategy,
+    ScheduledStrategy,
+    SpamStrategy,
+)
 from repro.core.aggregation import (
     aggregate_level,
     cross_level_output,
@@ -21,6 +34,7 @@ from repro.core.aggregation import (
     LevelAggregate,
 )
 from repro.net.message import Message, estimate_size_bits
+from repro.protocols.base import BROADCAST, Outbound, ProtocolNode
 from repro.protocols.baselines.abraham_aaa import trimmed_mean
 from repro.protocols.binaa import BinAAEngine
 from repro.protocols.fifo import ShiftCodec
@@ -151,6 +165,115 @@ class TestSizeAccountingProperties:
         smaller = Message("p", "T", round_number, None).size_bits()
         larger = Message("p", "T", round_number * 2, None).size_bits()
         assert larger >= smaller
+
+
+class _ChattyNode(ProtocolNode):
+    """Honest stand-in whose hooks emit one broadcast per delivery, so the
+    wrapping/delaying strategies have real traffic to transform."""
+
+    def __init__(self, node_id: int = 2, n: int = 4, t: int = 1) -> None:
+        super().__init__(node_id, n, t)
+
+    def on_start(self) -> List[Outbound]:
+        return [self.broadcast(Message("chatty", "START", None, 1))]
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        return [self.broadcast(message), self.send(sender, message)]
+
+
+#: One factory per strategy in ``repro.adversary.strategies`` (plus the
+#: schedule wrapper in both phases).
+STRATEGY_FACTORIES = [
+    lambda: CrashStrategy(),
+    lambda: DelayedHonestStrategy(hold_back=2),
+    lambda: EquivocatingStrategy(),
+    lambda: EquivocatingStrategy(flip_field="value"),
+    lambda: RandomBitStrategy(seed=5),
+    lambda: SpamStrategy(copies=2, protocols=("junk", "noise")),
+    lambda: ScheduledStrategy(CrashStrategy(), activation_time=0.0),
+    lambda: ScheduledStrategy(EquivocatingStrategy(), activation_time=1e9),
+]
+
+_payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=-1000, max_value=1000),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=8),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.sampled_from(["value", "round", "x"]), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+_messages = st.builds(
+    Message,
+    protocol=st.sampled_from(["delphi", "binaa", "rbc", "bba", "junk"]),
+    mtype=st.sampled_from(["BUNDLE", "ECHO", "READY", "BVAL", "AUX", "SPAM"]),
+    round=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+    payload=_payloads,
+)
+
+
+class TestAdversaryStrategyWellFormedness:
+    """Every strategy must emit well-formed ``Outbound`` pairs — recipients
+    in ``{BROADCAST} ∪ [0, n)``, ``Message`` instances, payloads the size
+    accounting and JSON artifacts can digest — for arbitrary inbound
+    traffic."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        factory_index=st.integers(min_value=0, max_value=len(STRATEGY_FACTORIES) - 1),
+        inbound=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), _messages), max_size=8
+        ),
+    )
+    def test_outbound_well_formed(self, factory_index, inbound):
+        strategy = STRATEGY_FACTORIES[factory_index]()
+        node = _ChattyNode()
+        strategy.attach(node)
+        outbound = list(strategy.on_start())
+        for sender, message in inbound:
+            outbound.extend(strategy.on_message(sender, message))
+        for destination, message in outbound:
+            assert destination == BROADCAST or 0 <= destination < node.n
+            assert isinstance(message, Message)
+            assert isinstance(message.protocol, str) and message.protocol
+            assert isinstance(message.mtype, str) and message.mtype
+            assert message.round is None or message.round >= 0
+            # The wire-size estimate and the JSON artifact writers must both
+            # accept whatever payload the strategy produced.
+            assert message.size_bits() > 0
+            assert estimate_size_bits(message.payload) >= 0
+            json.dumps(message.payload, default=str)
+
+    @settings(max_examples=15, deadline=None)
+    @given(inbound=st.lists(st.tuples(st.integers(0, 3), _messages), max_size=6))
+    def test_scheduled_strategy_is_honest_before_activation(self, inbound):
+        """Before its activation time a ScheduledStrategy must forward the
+        honest node's messages verbatim."""
+        wrapped = ScheduledStrategy(CrashStrategy(), activation_time=1e9)
+        wrapped.attach(_ChattyNode())
+        honest = _ChattyNode()
+        assert wrapped.on_start() == honest.on_start()
+        for sender, message in inbound:
+            assert wrapped.on_message(sender, message) == honest.on_message(
+                sender, message
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(inbound=st.lists(st.tuples(st.integers(0, 3), _messages), max_size=6))
+    def test_scheduled_strategy_defers_to_inner_after_activation(self, inbound):
+        wrapped = ScheduledStrategy(CrashStrategy(), activation_time=0.5)
+        wrapped.attach(_ChattyNode())
+        wrapped.now = 1.0
+        assert wrapped.on_start() == []
+        for sender, message in inbound:
+            assert wrapped.on_message(sender, message) == []
 
 
 def _lockstep_binaa(inputs: List[int], t: int, rounds: int) -> List[float]:

@@ -10,7 +10,6 @@ from repro.testbed.aws import AwsTestbed
 from repro.testbed.cps import CpsTestbed
 from repro.testbed.metrics import ExperimentRecord, MetricsCollector
 
-from helpers import small_delphi_params
 
 
 class TestAwsTestbed:
@@ -97,8 +96,8 @@ class TestMetricsCollector:
 
 
 class TestRunnerHelpers:
-    def test_run_delphi_under_aws_model(self):
-        params = small_delphi_params(n=4, epsilon=1.0, delta_max=8.0, max_rounds=4)
+    def test_run_delphi_under_aws_model(self, make_delphi_params):
+        params = make_delphi_params(n=4, epsilon=1.0, delta_max=8.0, max_rounds=4)
         testbed = AwsTestbed(num_nodes=4)
         result = run_delphi(
             params,
@@ -118,13 +117,13 @@ class TestRunnerHelpers:
         )
         assert costly.runtime_seconds > plain.runtime_seconds
 
-    def test_input_length_checked(self):
-        params = small_delphi_params(n=4)
+    def test_input_length_checked(self, make_delphi_params):
+        params = make_delphi_params(n=4)
         with pytest.raises(ConfigurationError):
             run_delphi(params, [1.0, 2.0])
 
-    def test_output_values_and_spread(self):
-        params = small_delphi_params(n=4, epsilon=1.0, delta_max=8.0, max_rounds=4)
+    def test_output_values_and_spread(self, make_delphi_params):
+        params = make_delphi_params(n=4, epsilon=1.0, delta_max=8.0, max_rounds=4)
         result = run_delphi(params, [5.0, 5.3, 5.6, 5.1])
         assert len(result.output_values) == 4
         assert result.output_spread <= params.epsilon + 1e-9
