@@ -17,25 +17,86 @@ Because the explicit set only ever contains checkpoints near some node's
 input (at most ``min(2 delta / rho_l + 2, 2n)`` per level), the encoded
 bundle stays small and the measured per-round communication reproduces the
 paper's ``O(n^2 min(delta / rho_0, n l_max))`` bits.
+
+Codec hot-path design.  A bundle is encoded once per processing step and
+decoded once per physical message (the decode is memoised on the message),
+but with ~n^2 messages per round the codec used to dominate after the event
+loop got cheap.  The wire payload is therefore *flat tuples* instead of
+nested lists:
+
+* sub-message triples are already tuples — encoding reuses them zero-copy,
+  and encoded sub-sequences are interned per content key, so the recurring
+  fragments (a level's default block, one checkpoint's echoes) are shared
+  objects across bundles with their size computed exactly once;
+* :func:`encode_bundle_sized` returns the payload *and* its wire size in
+  bits, accumulated from the interned fragment sizes, so the enclosing
+  :class:`~repro.net.message.Message` never walks the payload at all (the
+  number it produces is exactly ``estimate_size_bits(payload)``);
+* :func:`decode_bundle` normalises as it parses — levels and explicit
+  checkpoints come out iteration-sorted, the union of ``exclude`` and
+  explicit keys (``divergent``) and the exclude membership set are
+  precomputed — so the n receivers of a broadcast share one sorted
+  structure instead of re-sorting per delivery.
+
+Tuples and lists are charged identically by
+:func:`~repro.net.message.estimate_size_bits` (8 bits of framing plus the
+items), so the flat-tuple payload is byte-identical to the old nested-list
+payload for wire-size accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ProtocolError
+from repro.net.message import int_size_bits, submessage_payload_bits
 from repro.protocols.binaa import SubMessage
+
+#: Interned encoded sub-message sequences: content key -> (payload fragment,
+#: fragment size in bits).  Honest runs produce few distinct sequences
+#: (mtypes x rounds x dyadic values), so the memo stays tiny; the cap only
+#: guards against adversarial floods of unique triples.
+_SUBS_INTERN: Dict[Tuple[SubMessage, ...], Tuple[Tuple[SubMessage, ...], int]] = {}
+_SUBS_INTERN_CAP = 65536
+
+
+def _encode_subs(subs: Sequence[SubMessage]) -> Tuple[Tuple[SubMessage, ...], int]:
+    """Encode a sub-message sequence, returning ``(fragment, size_bits)``.
+
+    The fragment is interned per content so repeated sequences share one
+    tuple object and one size computation.
+    """
+    key = tuple(subs)
+    entry = _SUBS_INTERN.get(key)
+    if entry is None:
+        if len(_SUBS_INTERN) >= _SUBS_INTERN_CAP:
+            _SUBS_INTERN.clear()
+        bits = 8
+        for sub in key:
+            bits += submessage_payload_bits(sub)
+        entry = _SUBS_INTERN[key] = (key, bits)
+    return entry
 
 
 @dataclass
 class LevelBundle:
-    """One level's share of a bundled Delphi message."""
+    """One level's share of a bundled Delphi message.
+
+    ``divergent`` and ``exclude_set`` are receiver-independent projections
+    precomputed by :func:`decode_bundle` (the sorted union of ``exclude``
+    and the explicit keys, and the exclude membership set); they are unset
+    on locally built outgoing bundles.
+    """
 
     level: int
     exclude: Tuple[int, ...] = ()
     default: List[SubMessage] = field(default_factory=list)
     explicit: Dict[int, List[SubMessage]] = field(default_factory=dict)
+    divergent: Tuple[int, ...] = ()
+    divergent_set: frozenset = frozenset()
+    exclude_set: frozenset = frozenset()
+    explicit_pairs: Tuple[Tuple[int, SubMessage], ...] = ()
 
     @property
     def empty(self) -> bool:
@@ -51,12 +112,16 @@ class Bundle:
 
     def level(self, level: int, exclude: Sequence[int]) -> LevelBundle:
         """Get (or create) the bundle entry for ``level`` with the sender's
-        current explicit set ``exclude``."""
+        current explicit set ``exclude``.
+
+        A tuple ``exclude`` is trusted to be pre-sorted (the level-state
+        cache hands those out); any other sequence is sorted defensively.
+        """
         entry = self.levels.get(level)
         if entry is None:
-            entry = self.levels[level] = LevelBundle(
-                level=level, exclude=tuple(sorted(exclude))
-            )
+            if type(exclude) is not tuple:
+                exclude = tuple(sorted(exclude))
+            entry = self.levels[level] = LevelBundle(level=level, exclude=exclude)
         return entry
 
     def add_default(self, level: int, exclude: Sequence[int], subs: Sequence[SubMessage]) -> None:
@@ -68,7 +133,11 @@ class Bundle:
     ) -> None:
         """Append explicit sub-messages for checkpoint ``index`` at ``level``."""
         entry = self.level(level, exclude)
-        entry.explicit.setdefault(index, []).extend(subs)
+        existing = entry.explicit.get(index)
+        if existing is None:
+            entry.explicit[index] = list(subs)
+        else:
+            existing.extend(subs)
 
     @property
     def empty(self) -> bool:
@@ -76,46 +145,76 @@ class Bundle:
         return all(entry.empty for entry in self.levels.values())
 
 
-def _encode_subs(subs: Sequence[SubMessage]) -> List[List]:
-    return [[mtype, round_number, value] for mtype, round_number, value in subs]
+def encode_bundle_sized(bundle: Bundle) -> Tuple[Tuple, int]:
+    """Encode ``bundle`` and return ``(payload, payload_size_bits)``.
+
+    Layout (all tuples): ``((level, (exclude...), (default subs...),
+    ((index, (subs...)), ...)), ...)``.  The size is accumulated from the
+    interned fragment sizes and equals ``estimate_size_bits(payload)``
+    exactly — so the carrying message can be constructed pre-sized.
+    """
+    payload: List[Tuple] = []
+    bits = 8  # outer container framing
+    levels = bundle.levels
+    for level in sorted(levels):
+        entry = levels[level]
+        explicit = entry.explicit
+        if not entry.default and not explicit:
+            continue
+        default_fragment, default_bits = _encode_subs(entry.default)
+        explicit_items: List[Tuple[int, Tuple[SubMessage, ...]]] = []
+        explicit_bits = 8  # explicit-list framing
+        for index in sorted(explicit):
+            subs_fragment, subs_bits = _encode_subs(explicit[index])
+            explicit_items.append((index, subs_fragment))
+            explicit_bits += 8 + int_size_bits(index) + subs_bits
+        exclude = entry.exclude
+        exclude_bits = 8
+        for index in exclude:
+            exclude_bits += int_size_bits(index)
+        payload.append((level, exclude, default_fragment, tuple(explicit_items)))
+        bits += (
+            8  # level-entry framing
+            + int_size_bits(level)
+            + exclude_bits
+            + default_bits
+            + explicit_bits
+        )
+    return tuple(payload), bits
+
+
+def encode_bundle(bundle: Bundle) -> Tuple:
+    """Encode a bundle into the flat-tuple payload carried by one message."""
+    return encode_bundle_sized(bundle)[0]
 
 
 def _decode_subs(raw: Sequence) -> List[SubMessage]:
     subs: List[SubMessage] = []
+    append = subs.append
     for item in raw:
+        # Fast path: honest senders transmit exact (str, int, float) tuples,
+        # which are reused zero-copy.
+        if (
+            type(item) is tuple
+            and len(item) == 3
+            and type(item[0]) is str
+            and type(item[1]) is int
+            and type(item[2]) is float
+        ):
+            append(item)
+            continue
         if not isinstance(item, (list, tuple)) or len(item) != 3:
             raise ProtocolError(f"malformed sub-message {item!r}")
-        subs.append((str(item[0]), int(item[1]), float(item[2])))
+        append((str(item[0]), int(item[1]), float(item[2])))
     return subs
-
-
-def encode_bundle(bundle: Bundle) -> List[List]:
-    """Encode a bundle into the JSON-like payload carried by one message.
-
-    Layout: ``[[level, [exclude...], [default subs...],
-    [[index, [subs...]], ...]], ...]``.
-    """
-    payload: List[List] = []
-    for level in sorted(bundle.levels):
-        entry = bundle.levels[level]
-        if entry.empty:
-            continue
-        payload.append(
-            [
-                level,
-                list(entry.exclude),
-                _encode_subs(entry.default),
-                [
-                    [index, _encode_subs(subs)]
-                    for index, subs in sorted(entry.explicit.items())
-                ],
-            ]
-        )
-    return payload
 
 
 def decode_bundle(payload: Sequence) -> Bundle:
     """Decode a bundle payload produced by :func:`encode_bundle`.
+
+    The decoded bundle is normalised for the receive hot path: levels and
+    explicit checkpoints iterate in sorted order, and each level carries its
+    precomputed ``divergent`` union and ``exclude_set``.
 
     Raises
     ------
@@ -126,16 +225,41 @@ def decode_bundle(payload: Sequence) -> Bundle:
     if not isinstance(payload, (list, tuple)):
         raise ProtocolError("bundle payload must be a list")
     bundle = Bundle()
+    levels = bundle.levels
     for raw_level in payload:
         if not isinstance(raw_level, (list, tuple)) or len(raw_level) != 4:
             raise ProtocolError(f"malformed level entry {raw_level!r}")
         level = int(raw_level[0])
-        exclude = tuple(int(i) for i in raw_level[1])
+        # Sort defensively: honest senders always transmit sorted excludes,
+        # but the old codec normalised Byzantine ones too.
+        exclude = tuple(sorted(int(i) for i in raw_level[1]))
         entry = bundle.level(level, exclude)
         entry.default.extend(_decode_subs(raw_level[2]))
+        explicit = entry.explicit
         for raw_explicit in raw_level[3]:
             if not isinstance(raw_explicit, (list, tuple)) or len(raw_explicit) != 2:
                 raise ProtocolError(f"malformed explicit entry {raw_explicit!r}")
             index = int(raw_explicit[0])
-            entry.explicit.setdefault(index, []).extend(_decode_subs(raw_explicit[1]))
+            decoded = _decode_subs(raw_explicit[1])
+            existing = explicit.get(index)
+            if existing is None:
+                explicit[index] = decoded
+            else:
+                existing.extend(decoded)
+    # Normalise for the per-delivery hot path: a broadcast is decoded once
+    # and processed by n receivers, so sort and project here, not there.
+    if len(levels) > 1 and list(levels) != sorted(levels):
+        bundle.levels = {level: levels[level] for level in sorted(levels)}
+    for entry in bundle.levels.values():
+        explicit = entry.explicit
+        if len(explicit) > 1 and list(explicit) != sorted(explicit):
+            entry.explicit = {index: explicit[index] for index in sorted(explicit)}
+        entry.exclude_set = frozenset(entry.exclude)
+        entry.divergent_set = entry.exclude_set.union(entry.explicit)
+        entry.divergent = tuple(sorted(entry.divergent_set))
+        entry.explicit_pairs = tuple(
+            (index, sub)
+            for index, subs in entry.explicit.items()
+            for sub in subs
+        )
     return bundle

@@ -21,12 +21,18 @@ module implements the state-level counterpart of that optimisation:
   a specific checkpoint arrives, that checkpoint is *split*: the default
   engine is cloned (carrying the full shared history) and becomes the
   checkpoint's explicit engine.
+
+The explicit set changes only on splits (rare) but is consulted on every
+delivered bundle (hot), so the sorted projections the receive path needs —
+the exclude tuple and the index-sorted engine list — are cached here and
+invalidated on mutation, and termination is memoised once reached (engines
+never lose their output).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.protocols.binaa import BinAAEngine, SubMessage
@@ -51,7 +57,8 @@ class LevelState:
         state (all honest inputs 0).
     explicit:
         Engines for checkpoints with explicit state, keyed by checkpoint
-        index.
+        index.  Mutate only through :meth:`register_explicit` /
+        :meth:`split` so the sorted-projection caches stay coherent.
     own_checkpoints:
         The indices this node input 1 to.
     """
@@ -61,15 +68,56 @@ class LevelState:
     default_engine: BinAAEngine
     explicit: Dict[int, BinAAEngine] = field(default_factory=dict)
     own_checkpoints: Tuple[int, ...] = ()
+    _exclude_cache: Optional[Tuple[int, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+    _sorted_engines_cache: Optional[List[Tuple[int, BinAAEngine]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _terminated_memo: bool = field(default=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def is_explicit(self, index: int) -> bool:
         """Whether checkpoint ``index`` has its own engine at this node."""
         return index in self.explicit
 
+    def exclude_key(self) -> Tuple[int, ...]:
+        """Sorted tuple of explicit checkpoint indices (cached)."""
+        key = self._exclude_cache
+        if key is None:
+            key = self._exclude_cache = tuple(sorted(self.explicit))
+        return key
+
     def explicit_indices(self) -> List[int]:
         """Sorted list of explicit checkpoint indices."""
-        return sorted(self.explicit)
+        return list(self.exclude_key())
+
+    def sorted_engines(self) -> List[Tuple[int, BinAAEngine]]:
+        """The explicit engines as index-sorted ``(index, engine)`` pairs
+        (cached; the receive path walks this once per default block)."""
+        pairs = self._sorted_engines_cache
+        if pairs is None:
+            explicit = self.explicit
+            pairs = self._sorted_engines_cache = [
+                (index, explicit[index]) for index in self.exclude_key()
+            ]
+        return pairs
+
+    def _invalidate(self) -> None:
+        self._exclude_cache = None
+        self._sorted_engines_cache = None
+
+    def register_explicit(self, index: int, engine: BinAAEngine) -> BinAAEngine:
+        """Install a pre-built explicit engine for checkpoint ``index``."""
+        if index in self.explicit:
+            raise ProtocolError(
+                f"checkpoint {index} at level {self.level} is already explicit"
+            )
+        self.explicit[index] = engine
+        self._invalidate()
+        if engine.output is None:
+            self._terminated_memo = False
+        return engine
 
     def split(self, index: int) -> BinAAEngine:
         """Split checkpoint ``index`` out of the default block.
@@ -79,35 +127,37 @@ class LevelState:
         default block up to this point.  Splitting an already explicit
         checkpoint is an error (callers check first).
         """
-        if index in self.explicit:
-            raise ProtocolError(
-                f"checkpoint {index} at level {self.level} is already explicit"
-            )
-        engine = self.default_engine.clone()
-        self.explicit[index] = engine
-        return engine
+        return self.register_explicit(index, self.default_engine.clone())
 
     def ensure_explicit(self, index: int) -> BinAAEngine:
         """Return the explicit engine for ``index``, splitting it if needed."""
-        if index in self.explicit:
-            return self.explicit[index]
+        engine = self.explicit.get(index)
+        if engine is not None:
+            return engine
         return self.split(index)
 
     # ------------------------------------------------------------------
     def all_engines(self) -> Iterable[BinAAEngine]:
         """Every engine at this level (default first, then explicit)."""
         yield self.default_engine
-        for index in sorted(self.explicit):
-            yield self.explicit[index]
+        for _index, engine in self.sorted_engines():
+            yield engine
 
     @property
     def terminated(self) -> bool:
-        """Whether every engine at this level has completed all rounds."""
+        """Whether every engine at this level has completed all rounds.
+
+        Memoised once true: engines never lose their output, so the scan
+        runs at most once per termination (not once per event).
+        """
+        if self._terminated_memo:
+            return True
         if self.default_engine.output is None:
             return False
         for engine in self.explicit.values():
             if engine.output is None:
                 return False
+        self._terminated_memo = True
         return True
 
     def checkpoint_weights(self) -> Dict[int, float]:

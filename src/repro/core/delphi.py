@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError, ProtocolError
 from repro.analysis.parameters import DelphiParameters
 from repro.core.aggregation import LevelAggregate, aggregate_level, cross_level_output
-from repro.core.bundling import Bundle, decode_bundle, encode_bundle
+from repro.core.bundling import Bundle, decode_bundle, encode_bundle_sized
 from repro.core.checkpoints import LevelState
 from repro.net.message import Message
 from repro.protocols.base import Outbound, ProtocolNode
@@ -81,12 +81,23 @@ class DelphiNode(ProtocolNode):
         self._levels: Dict[int, LevelState] = {}
         self._started = False
         self._round_trips = 0
+        # Engines still running across all levels; decremented whenever a
+        # handled sub-message completes an engine, so the per-event "has
+        # everything terminated?" check is a single integer comparison.
+        self._pending_engines = 0
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
     def _new_engine(self) -> BinAAEngine:
-        return BinAAEngine(n=self.n, t=self.t, rounds=self.params.rounds)
+        engine = BinAAEngine(n=self.n, t=self.t, rounds=self.params.rounds)
+        # Completion feeds the pending-engine counter (split clones inherit
+        # the callback), so termination checks never rescan collections.
+        engine.on_complete = self._engine_completed
+        return engine
+
+    def _engine_completed(self) -> None:
+        self._pending_engines -= 1
 
     def _setup_levels(self) -> Bundle:
         bundle = Bundle()
@@ -100,10 +111,12 @@ class DelphiNode(ProtocolNode):
                 own_checkpoints=own,
             )
             self._levels[level] = state
+            self._pending_engines += 1  # the default engine
             # Own checkpoints are explicit from the start with input 1.
             for index in own:
-                state.explicit[index] = self._new_engine()
-            exclude = state.explicit_indices()
+                state.register_explicit(index, self._new_engine())
+                self._pending_engines += 1
+            exclude = state.exclude_key()
             for index in own:
                 subs = state.explicit[index].start(1)
                 bundle.add_explicit(level, exclude, index, subs)
@@ -124,7 +137,7 @@ class DelphiNode(ProtocolNode):
     def on_message(self, sender: int, message: Message) -> List[Outbound]:
         if message.protocol != PROTOCOL or message.mtype != BUNDLE:
             return []
-        if not self._started or self.has_output:
+        if not self._started or self._has_output:
             return []
         # A broadcast bundle is delivered to all n nodes; decode it once and
         # memoise the result on the (immutable) message.  Receivers only read
@@ -141,65 +154,96 @@ class DelphiNode(ProtocolNode):
             # Malformed (Byzantine) bundle: discard entirely.
             return []
         outgoing = self._process_bundle(sender, incoming)
-        self._maybe_decide()
+        if not self._pending_engines and not self._has_output:
+            self._maybe_decide()
+        if outgoing is None:
+            return []
         return self._emit(outgoing)
 
     # ------------------------------------------------------------------
     # Bundle processing
     # ------------------------------------------------------------------
-    def _process_bundle(self, sender: int, incoming: Bundle) -> Bundle:
-        outgoing = Bundle()
-        for level, entry in sorted(incoming.levels.items()):
-            state = self._levels.get(level)
+    def _process_bundle(self, sender: int, incoming: Bundle) -> Optional[Bundle]:
+        # Decoded bundles iterate levels and explicit checkpoints in sorted
+        # order and carry their precomputed divergent/exclude projections
+        # (see decode_bundle), so this path performs no per-delivery sorts.
+        # The outgoing bundle is allocated lazily: the overwhelming majority
+        # of deliveries emit nothing (``None`` is returned instead).
+        outgoing: Optional[Bundle] = None
+        levels = self._levels
+        for entry in incoming.levels.values():
+            level = entry.level
+            state = levels.get(level)
             if state is None:
                 continue
+            explicit_map = state.explicit
 
             # 1. Split every checkpoint the sender no longer covers with its
             #    default block, so our shared block's history stays uniform.
-            divergent = set(entry.exclude) | set(entry.explicit)
-            for index in sorted(divergent):
-                if not state.is_explicit(index):
-                    state.split(index)
+            #    One C-level subset test skips the whole scan in the common
+            #    case where every divergent checkpoint is already explicit.
+            if not entry.divergent_set <= explicit_map.keys():
+                for index in entry.divergent:
+                    if index not in explicit_map:
+                        engine = state.split(index)
+                        if engine.output is None:
+                            self._pending_engines += 1
 
-            exclude_now = state.explicit_indices()
+            exclude_now = state.exclude_key()
 
-            # 2. Explicit sub-messages go to their dedicated engines.
-            for index, subs in sorted(entry.explicit.items()):
-                engine = state.explicit[index]
-                for sub in subs:
-                    emitted = engine.handle(sender, sub)
-                    if emitted:
-                        outgoing.add_explicit(level, exclude_now, index, emitted)
+            # 2. Explicit sub-messages go to their dedicated engines (the
+            #    decoder pre-flattened them into index-sorted pairs).
+            for index, sub in entry.explicit_pairs:
+                emitted = explicit_map[index].handle(sender, sub)
+                if emitted:
+                    if outgoing is None:
+                        outgoing = Bundle()
+                    outgoing.add_explicit(level, exclude_now, index, emitted)
 
             # 3. Default sub-messages go to our default engine and to every
             #    explicit engine the sender still covers with its default.
-            if entry.default:
-                excluded_by_sender = set(entry.exclude)
-                for sub in entry.default:
-                    emitted = state.default_engine.handle(sender, sub)
+            default_subs = entry.default
+            if default_subs:
+                default_engine = state.default_engine
+                for sub in default_subs:
+                    emitted = default_engine.handle(sender, sub)
                     if emitted:
+                        if outgoing is None:
+                            outgoing = Bundle()
                         outgoing.add_default(level, exclude_now, emitted)
-                for index, engine in sorted(state.explicit.items()):
+                excluded_by_sender = entry.exclude_set
+                for index, engine in state.sorted_engines():
                     if index in excluded_by_sender:
                         continue
-                    for sub in entry.default:
+                    for sub in default_subs:
                         emitted = engine.handle(sender, sub)
                         if emitted:
+                            if outgoing is None:
+                                outgoing = Bundle()
                             outgoing.add_explicit(level, exclude_now, index, emitted)
         return outgoing
 
     def _emit(self, bundle: Bundle) -> List[Outbound]:
-        if bundle.empty:
+        if not bundle.levels:
+            # The common mid-round case: nothing to say this step.
+            return []
+        payload, payload_bits = encode_bundle_sized(bundle)
+        if not payload:
             return []
         self._round_trips += 1
-        payload = encode_bundle(bundle)
-        return [self.broadcast(Message(PROTOCOL, BUNDLE, None, payload))]
+        # The codec accumulated the payload's exact wire size while
+        # encoding, so the message is constructed pre-sized.
+        return [
+            self.broadcast(Message.sized(PROTOCOL, BUNDLE, None, payload, payload_bits))
+        ]
 
     # ------------------------------------------------------------------
     # Aggregation (Algorithm 2, lines 13-24)
     # ------------------------------------------------------------------
     def _maybe_decide(self) -> None:
-        if self.has_output:
+        # O(1) incremental check; the full terminated scan below runs once,
+        # as a belt-and-braces guard on the counter bookkeeping.
+        if self._pending_engines or self._has_output:
             return
         if not all(state.terminated for state in self._levels.values()):
             return

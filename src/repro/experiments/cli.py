@@ -17,7 +17,10 @@ Five subcommands:
 ``repro perf``
     Run the perf basket (fast engine timed against the reference engine,
     byte-identical results asserted) and write a ``BENCH_<date>.json``
-    artifact; ``--check`` gates against a committed baseline.
+    artifact; ``--check`` gates against a committed baseline, ``--compare``
+    renders a per-scenario delta table vs an older artifact (exit 1 on
+    regression or fingerprint mismatch), ``--profile`` embeds a per-layer
+    cProfile attribution in the artifact.
 
 ``repro faults``
     Run a fault-injection campaign (protocol × fault case × schedule × n) on
@@ -34,6 +37,7 @@ Examples
     PYTHONPATH=src python -m repro sweep fig6a --dry-run
     PYTHONPATH=src python -m repro run --protocol delphi --n 7 --delta-max 16 --testbed aws
     PYTHONPATH=src python -m repro perf --quick --check benchmarks/perf_baseline.json
+    PYTHONPATH=src python -m repro perf --profile --compare BENCH_2026-07-25.json
     PYTHONPATH=src python -m repro faults --campaign smoke --output fault-artifacts
     PYTHONPATH=src python -m repro faults --replay fault-artifacts/bundles/VIOLATION_xyz.json
 """
@@ -94,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("name", help="preset name (see list-scenarios)")
     sweep.add_argument("--scale", choices=SCALES, default="quick")
     sweep.add_argument("--workers", type=int, default=None, help="worker process count")
+    sweep.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help=(
+            "cells per worker submission (default: auto from the grid size; "
+            "1 = one submission per cell)"
+        ),
+    )
     sweep.add_argument(
         "--serial", action="store_true", help="run in-process instead of the worker pool"
     )
@@ -163,6 +176,40 @@ def build_parser() -> argparse.ArgumentParser:
         dest="baseline_path",
         help="compare against a committed baseline file and exit 1 on regression",
     )
+    perf.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run each scenario once more under cProfile and embed the "
+            "per-layer time attribution in the BENCH artifact"
+        ),
+    )
+    perf.add_argument(
+        "--compare",
+        dest="compare_path",
+        help=(
+            "render a per-scenario delta table (events/sec, speedup, "
+            "fingerprint match) against an older BENCH artifact or baseline "
+            "file; exits 1 on regression or fingerprint mismatch"
+        ),
+    )
+    perf.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=None,
+        help=(
+            "tolerated fractional throughput drop for --compare "
+            "(default 0.20 = fail below 80%% of the old throughput)"
+        ),
+    )
+    perf.add_argument(
+        "--summary",
+        dest="summary_path",
+        help=(
+            "append the --compare markdown table to this file "
+            "(CI passes $GITHUB_STEP_SUMMARY)"
+        ),
+    )
     perf.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     faults = subparsers.add_parser(
@@ -223,6 +270,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         max_workers=args.workers,
         parallel=False if args.serial else None,
+        chunk_size=args.chunk,
     )
     if args.quiet:
         executor.progress = lambda message: None
@@ -266,14 +314,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
-    from repro.perf import compare_to_baseline, load_baseline, run_suite, write_bench
+    from repro.perf import (
+        DEFAULT_REGRESSION_THRESHOLD,
+        compare_results,
+        compare_to_baseline,
+        comparison_failed,
+        load_baseline,
+        load_comparable,
+        render_markdown_table,
+        run_suite,
+        write_bench,
+    )
+    from repro.perf.profiling import render_attribution
 
     progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    # Validate comparison inputs before the (slow) suite so bad paths fail fast.
     baseline = load_baseline(args.baseline_path) if args.baseline_path else None
+    old = load_comparable(args.compare_path) if args.compare_path else None
+    threshold = (
+        args.regression_threshold
+        if args.regression_threshold is not None
+        else DEFAULT_REGRESSION_THRESHOLD
+    )
+    if not 0.0 <= threshold < 1.0:
+        raise ConfigurationError(
+            f"--regression-threshold must be in [0, 1), got {threshold}"
+        )
     results = run_suite(
         quick=args.quick,
         names=args.scenarios,
         verify=not args.skip_reference,
+        profile=args.profile,
         progress=progress,
     )
     for result in results:
@@ -291,9 +362,26 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 f"identical={result.equivalent}"
             )
         print(line)
+        if result.profile is not None:
+            print(render_attribution(result.name, result.profile))
     if not args.no_artifact:
         path = write_bench(results, output_dir=args.output, quick=args.quick)
         print(f"wrote {path}")
+    exit_code = 0
+    if old is not None:
+        rows = compare_results(results, old, threshold=threshold)
+        table = render_markdown_table(rows)
+        print(table)
+        if args.summary_path:
+            with open(args.summary_path, "a", encoding="utf-8") as handle:
+                handle.write(f"### perf delta vs {args.compare_path}\n\n{table}\n")
+        if comparison_failed(rows):
+            print(
+                "perf comparison failed (regression beyond "
+                f"{threshold:.0%} or fingerprint mismatch)",
+                file=sys.stderr,
+            )
+            exit_code = 1
     if baseline is not None:
         checks = compare_to_baseline(results, baseline)
         failed = False
@@ -302,8 +390,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             failed = failed or not check.ok
         if failed:
             print("perf regression detected (see above)", file=sys.stderr)
-            return 1
-    return 0
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:

@@ -39,6 +39,13 @@ from repro.experiments.spec import ScenarioSpec, SweepSpec
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+#: Environment variable overriding the per-submission chunk size.
+CHUNK_ENV = "REPRO_SWEEP_CHUNK"
+
+#: Cap on automatically chosen chunk sizes (keeps progress responsive and
+#: stragglers bounded even for very large grids).
+MAX_AUTO_CHUNK = 16
+
 ProgressFn = Callable[[str], None]
 
 
@@ -67,6 +74,19 @@ def execute_cell(spec: ScenarioSpec) -> Tuple[str, Dict[str, Any], float]:
     return spec.spec_hash(), metrics, time.perf_counter() - started
 
 
+def execute_cells(
+    specs: Sequence[ScenarioSpec],
+) -> List[Tuple[str, Dict[str, Any], float]]:
+    """Worker entry point for a chunk of cells (one IPC round-trip).
+
+    Grids of sub-second cells used to pay one process-pool submission —
+    pickling, queueing, result transfer — per cell, which dominated the
+    wall clock.  Chunked submission amortises that overhead; each cell is
+    still timed individually.
+    """
+    return [execute_cell(spec) for spec in specs]
+
+
 class SweepExecutor:
     """Executes sweeps: cache lookup, parallel fan-out, progress, artifacts.
 
@@ -82,6 +102,12 @@ class SweepExecutor:
         ``True`` forces the process pool, ``False`` forces in-process serial
         execution, ``None`` (default) picks parallel only when it can help
         (more than one pending cell and more than one worker available).
+    chunk_size:
+        Cells per worker submission.  ``None`` (default) picks automatically
+        from the pending-cell count (one submission per cell for small
+        grids, bounded chunks for large ones) so ProcessPoolExecutor IPC no
+        longer dominates grids of sub-second cells.  ``1`` restores
+        per-cell submission.  ``REPRO_SWEEP_CHUNK`` overrides the default.
     progress:
         Callable receiving one human-readable line per completed cell
         (default: stderr).  Pass ``None`` to silence.
@@ -92,6 +118,7 @@ class SweepExecutor:
         cache_dir: Optional[str] = None,
         max_workers: Optional[int] = None,
         parallel: Optional[bool] = None,
+        chunk_size: Optional[int] = None,
         progress: Optional[ProgressFn] = _default_progress,
     ) -> None:
         self.cache_dir = cache_dir
@@ -105,7 +132,33 @@ class SweepExecutor:
                 )
         self.max_workers = max_workers or os.cpu_count() or 1
         self.parallel = parallel
+        env_chunk = os.environ.get(CHUNK_ENV)
+        if chunk_size is None and env_chunk:
+            try:
+                chunk_size = int(env_chunk)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{CHUNK_ENV} must be an integer, got {env_chunk!r}"
+                )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be a positive integer, got {chunk_size}"
+            )
+        self.chunk_size = chunk_size
         self.progress = progress or (lambda message: None)
+
+    def _effective_chunk(self, pending: int, workers: int) -> int:
+        """Cells per submission for this run (auto unless configured).
+
+        Auto mode targets ~4 submissions per worker — enough slack for load
+        balancing across uneven cells — capped at :data:`MAX_AUTO_CHUNK`.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if workers <= 0:
+            return 1
+        auto = pending // (workers * 4)
+        return max(1, min(MAX_AUTO_CHUNK, auto))
 
     # ------------------------------------------------------------------
     def _cache_path(self, spec_hash: str) -> Optional[str]:
@@ -175,22 +228,27 @@ class SweepExecutor:
         )
 
         if pending and use_pool:
+            chunk = self._effective_chunk(len(pending), workers)
+            chunks = [pending[i : i + chunk] for i in range(0, len(pending), chunk)]
             with concurrent.futures.ProcessPoolExecutor(max_workers=max(1, workers)) as pool:
                 futures = {
-                    pool.submit(execute_cell, specs[index]): index for index in pending
+                    pool.submit(execute_cells, [specs[index] for index in indices]): indices
+                    for indices in chunks
                 }
                 for future in concurrent.futures.as_completed(futures):
-                    index = futures[future]
-                    spec_hash, metrics, elapsed = future.result()
-                    slots[index] = CellResult(
-                        spec=specs[index],
-                        spec_hash=spec_hash,
-                        metrics=metrics,
-                        elapsed_seconds=elapsed,
-                    )
-                    self._store(slots[index])
-                    completed += 1
-                    self.progress(self._line(index, total, slots[index], completed))
+                    indices = futures[future]
+                    for index, (spec_hash, metrics, elapsed) in zip(
+                        indices, future.result()
+                    ):
+                        slots[index] = CellResult(
+                            spec=specs[index],
+                            spec_hash=spec_hash,
+                            metrics=metrics,
+                            elapsed_seconds=elapsed,
+                        )
+                        self._store(slots[index])
+                        completed += 1
+                        self.progress(self._line(index, total, slots[index], completed))
         else:
             for index in pending:
                 spec_hash, metrics, elapsed = execute_cell(specs[index])

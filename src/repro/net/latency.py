@@ -46,10 +46,11 @@ class PairStream:
 
     ``fill`` maps a :class:`numpy.random.Generator` to the next block of
     delays (a plain Python list, so the hot loop pays no numpy scalar
-    boxing); :meth:`next` hands them out one at a time.
+    boxing); :meth:`next` hands them out one at a time through a list
+    iterator (one C-level call per draw instead of index bookkeeping).
     """
 
-    __slots__ = ("_rng", "_fill", "_buf", "_idx")
+    __slots__ = ("_rng", "_fill", "_it")
 
     def __init__(
         self,
@@ -62,18 +63,15 @@ class PairStream:
             [_LATENCY_STREAM_TAG, seed & 0xFFFFFFFF, sender, destination]
         )
         self._fill = fill
-        self._buf: List[float] = []
-        self._idx = 0
+        self._it = iter(())
 
     def next(self) -> float:
         """The next delay in this pair's stream."""
-        idx = self._idx
-        buf = self._buf
-        if idx >= len(buf):
-            buf = self._buf = self._fill(self._rng)
-            idx = 0
-        self._idx = idx + 1
-        return buf[idx]
+        value = next(self._it, None)
+        if value is None:
+            self._it = iter(self._fill(self._rng))
+            value = next(self._it)
+        return value
 
 #: The eight AWS regions used in the paper's geo-distributed testbed.
 AWS_REGIONS: Tuple[str, ...] = (

@@ -10,6 +10,25 @@ Because the paper's evaluation reports *communication complexity in bits*
 estimate intentionally mirrors the paper's accounting: a value of ``l`` bits,
 plus a constant per-field framing overhead, plus an HMAC tag when transported
 over an authenticated channel.
+
+Hot-path design (the protocol layer sends one message per node per event, so
+message construction and sizing dominate a naive profile):
+
+* :class:`Message` is a ``__slots__`` class, not a dataclass — no instance
+  dict, no generated ``__init__`` indirection;
+* the ``(protocol, mtype)`` pair is *interned*: every message constructed
+  with the same pair shares the same two string objects and a precomputed
+  header size (:data:`HEADER_BITS` plus the encoded names), so the header
+  arithmetic happens once per distinct pair per process, not per message;
+* the total size is memoised per instance, split into a payload-independent
+  part (header + round varint) and the payload walk.  The payload-independent
+  part survives :meth:`Message.with_payload`, so re-payloading a message
+  (adversarial equivocation, re-broadcast wrappers) never re-derives the
+  header, and ``with_payload`` with the identical payload object returns
+  ``self`` — the full memo survives;
+* BinAA sub-messages are fixed-shape ``(mtype, round, value)`` triples;
+  :func:`submessage_payload_bits` sizes them by formula (memoised per
+  distinct triple) instead of the generic recursive walk.
 """
 
 from __future__ import annotations
@@ -72,9 +91,71 @@ def estimate_size_bits(payload: Any) -> int:
         return 8 * len(repr(payload))
 
 
-@dataclass(frozen=True)
+def int_size_bits(value: int) -> int:
+    """:func:`estimate_size_bits` for a plain ``int`` (the 8-bit floor)."""
+    return max(8, value.bit_length())
+
+
+#: Interned ``(protocol, mtype)`` pairs -> (protocol, mtype, header bits).
+#: The stored strings are the canonical objects every Message shares, so
+#: hot-path tag comparisons hit CPython's identity fast path.
+_HEADER_INTERN: Dict[Tuple[str, str], Tuple[str, str, int]] = {}
+
+#: Memoised round-field varint widths (the paper's ``log log`` term).
+_ROUND_BITS: Dict[int, int] = {}
+
+#: Memoised payload sizes of fixed-shape BinAA sub-message triples.
+_SUB_BITS: Dict[Tuple[str, int, float], int] = {}
+
+#: Soft cap on the sub-message size memo (distinct triples are bounded by
+#: mtypes x rounds x dyadic values in honest runs; the cap only matters for
+#: adversarial floods of unique triples).
+_SUB_BITS_CAP = 65536
+
+
+def _intern_header(protocol: str, mtype: str) -> Tuple[str, str, int]:
+    key = (protocol, mtype)
+    entry = _HEADER_INTERN.get(key)
+    if entry is None:
+        entry = _HEADER_INTERN[key] = (
+            protocol,
+            mtype,
+            HEADER_BITS + 8 * len(protocol) + 8 * len(mtype),
+        )
+    return entry
+
+
+def round_field_bits(round_number: int) -> int:
+    """Width of the variable-length round field, in bits (memoised)."""
+    bits = _ROUND_BITS.get(round_number)
+    if bits is None:
+        bits = _ROUND_BITS[round_number] = max(
+            4, int(math.ceil(math.log2(round_number + 2)))
+        )
+    return bits
+
+
+def submessage_payload_bits(sub: Tuple[str, int, float]) -> int:
+    """Payload size of one ``(mtype, round, value)`` BinAA sub-message.
+
+    Fixed-shape fast path for the triples BinAA and the Delphi bundle codec
+    move around: container framing + 8 bits per mtype character + the
+    integer round + a :data:`VALUE_BITS` float.  Exactly equal to
+    ``estimate_size_bits(tuple(sub))``, memoised per distinct triple.
+    """
+    bits = _SUB_BITS.get(sub)
+    if bits is None:
+        if len(_SUB_BITS) >= _SUB_BITS_CAP:
+            _SUB_BITS.clear()
+        mtype, round_number, _value = sub
+        bits = _SUB_BITS[sub] = (
+            8 + 8 * len(mtype) + int_size_bits(round_number) + VALUE_BITS
+        )
+    return bits
+
+
 class Message:
-    """A single protocol message.
+    """A single protocol message (immutable).
 
     Attributes
     ----------
@@ -89,51 +170,137 @@ class Message:
         Arbitrary, JSON-like payload.
     """
 
-    protocol: str
-    mtype: str
-    round: Optional[int] = None
-    payload: Any = None
+    __slots__ = ("protocol", "mtype", "round", "payload", "_hr_bits", "_size", "_bundle_memo")
 
+    def __init__(
+        self,
+        protocol: str,
+        mtype: str,
+        round: Optional[int] = None,
+        payload: Any = None,
+    ) -> None:
+        interned = _intern_header(protocol, mtype)
+        hr_bits = interned[2]
+        if round is not None:
+            hr_bits += round_field_bits(round)
+        set_slot = object.__setattr__
+        set_slot(self, "protocol", interned[0])
+        set_slot(self, "mtype", interned[1])
+        set_slot(self, "round", round)
+        set_slot(self, "payload", payload)
+        set_slot(self, "_hr_bits", hr_bits)
+        set_slot(self, "_size", None)
+
+    @classmethod
+    def sized(
+        cls,
+        protocol: str,
+        mtype: str,
+        round: Optional[int],
+        payload: Any,
+        payload_bits: int,
+    ) -> "Message":
+        """Construct a message whose payload size is already known.
+
+        The bundle codec computes the payload's size while encoding it, so
+        the message never walks its (large, nested) payload at all.  The
+        caller guarantees ``payload_bits == estimate_size_bits(payload)``.
+        """
+        message = cls(protocol, mtype, round, payload)
+        object.__setattr__(message, "_size", message._hr_bits + payload_bits)
+        return message
+
+    # ------------------------------------------------------------------
+    # Immutability
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Message is immutable (cannot set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Message is immutable (cannot delete {name!r})")
+
+    def __reduce__(self):
+        # Memo slots are per-process caches; rebuild from the four fields.
+        return (Message, (self.protocol, self.mtype, self.round, self.payload))
+
+    # ------------------------------------------------------------------
+    # Value semantics (mirrors the former frozen-dataclass behaviour)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: Any):
+        if self is other:
+            return True
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.protocol == other.protocol
+            and self.mtype == other.mtype
+            and self.round == other.round
+            and self.payload == other.payload
+        )
+
+    def __ne__(self, other: Any):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self.protocol, self.mtype, self.round, self.payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(protocol={self.protocol!r}, mtype={self.mtype!r}, "
+            f"round={self.round!r}, payload={self.payload!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Wire-size accounting
+    # ------------------------------------------------------------------
     def size_bits(self) -> int:
-        """Serialised size of this message, in bits, excluding the HMAC tag."""
-        bits = HEADER_BITS
-        bits += 8 * len(self.protocol) + 8 * len(self.mtype)
-        if self.round is not None:
-            # Round numbers are encoded with a variable-length integer; the
-            # paper's ``log log`` term comes from this field.
-            bits += max(4, int(math.ceil(math.log2(self.round + 2))))
-        bits += estimate_size_bits(self.payload)
-        return bits
+        """Serialised size of this message, in bits, excluding the HMAC tag.
+
+        Memoised per instance: the header + round part was precomputed at
+        construction, the payload walk runs at most once.
+        """
+        size = self._size
+        if size is None:
+            size = self._hr_bits + estimate_size_bits(self.payload)
+            object.__setattr__(self, "_size", size)
+        return size
 
     def size_bytes(self) -> int:
         """Serialised size of this message, rounded up to whole bytes."""
         return (self.size_bits() + 7) // 8
 
     def with_payload(self, payload: Any) -> "Message":
-        """Return a copy of this message carrying a different payload."""
-        return Message(self.protocol, self.mtype, self.round, payload)
+        """Return a copy of this message carrying a different payload.
+
+        The payload-independent part of the size memo (interned header +
+        round varint) survives the copy; passing the identical payload
+        object returns ``self`` so the full memo survives too.
+        """
+        if payload is self.payload:
+            return self
+        clone = Message.__new__(Message)
+        set_slot = object.__setattr__
+        set_slot(clone, "protocol", self.protocol)
+        set_slot(clone, "mtype", self.mtype)
+        set_slot(clone, "round", self.round)
+        set_slot(clone, "payload", payload)
+        set_slot(clone, "_hr_bits", self._hr_bits)
+        set_slot(clone, "_size", None)
+        return clone
 
 
 def cached_size_bits(message: Message) -> int:
-    """:meth:`Message.size_bits`, memoised on the message instance.
+    """:meth:`Message.size_bits` (kept for API compatibility).
 
-    A broadcast serialises the same (immutable) message once per
-    destination, and the runtime needs the size again for bandwidth
-    accounting and CPU cost — so the payload walk in
-    :func:`estimate_size_bits` dominates a naive hot loop.  The fast
-    simulation engine uses this helper to compute each message's size at
-    most once.  Messages are frozen dataclasses, so the memo is stashed via
-    ``object.__setattr__``; payloads are never mutated after sending (the
-    protocol-node contract), which keeps the cache sound.
+    The memo now lives in a ``__slots__`` field on the message itself, so
+    this is a plain alias; both simulation engines share the same memo.
     """
-    bits = getattr(message, "_size_bits_memo", None)
-    if bits is None:
-        bits = message.size_bits()
-        object.__setattr__(message, "_size_bits_memo", bits)
-    return bits
+    return message.size_bits()
 
 
-@dataclass(frozen=True)
 class Envelope:
     """A message in flight: sender, destination, message and authentication.
 
@@ -142,11 +309,59 @@ class Envelope:
     which case its wire size includes an HMAC tag.
     """
 
-    sender: int
-    destination: int
-    message: Message
-    authenticated: bool = True
-    tag: Optional[bytes] = None
+    __slots__ = ("sender", "destination", "message", "authenticated", "tag")
+
+    def __init__(
+        self,
+        sender: int,
+        destination: int,
+        message: Message,
+        authenticated: bool = True,
+        tag: Optional[bytes] = None,
+    ) -> None:
+        set_slot = object.__setattr__
+        set_slot(self, "sender", sender)
+        set_slot(self, "destination", destination)
+        set_slot(self, "message", message)
+        set_slot(self, "authenticated", authenticated)
+        set_slot(self, "tag", tag)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Envelope is immutable (cannot set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Envelope is immutable (cannot delete {name!r})")
+
+    def __reduce__(self):
+        return (
+            Envelope,
+            (self.sender, self.destination, self.message, self.authenticated, self.tag),
+        )
+
+    def __eq__(self, other: Any):
+        if self is other:
+            return True
+        if not isinstance(other, Envelope):
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.destination == other.destination
+            and self.message == other.message
+            and self.authenticated == other.authenticated
+            and self.tag == other.tag
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.sender, self.destination, self.message, self.authenticated, self.tag)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope(sender={self.sender!r}, destination={self.destination!r}, "
+            f"message={self.message!r}, authenticated={self.authenticated!r}, "
+            f"tag={self.tag!r})"
+        )
 
     def size_bits(self) -> int:
         """Wire size of the envelope in bits (message plus HMAC tag)."""

@@ -44,21 +44,18 @@ class _BlockUniform:
     and reference simulation engines rely on for exact equivalence.
     """
 
-    __slots__ = ("_rng", "_buf", "_idx")
+    __slots__ = ("_rng", "_it")
 
     def __init__(self, tag: int, seed: int) -> None:
         self._rng = np.random.default_rng([tag, seed & 0xFFFFFFFF])
-        self._buf: List[float] = []
-        self._idx = 0
+        self._it = iter(())
 
     def next(self) -> float:
-        idx = self._idx
-        buf = self._buf
-        if idx >= len(buf):
-            buf = self._buf = self._rng.random(POLICY_BLOCK).tolist()
-            idx = 0
-        self._idx = idx + 1
-        return buf[idx]
+        value = next(self._it, None)
+        if value is None:
+            self._it = iter(self._rng.random(POLICY_BLOCK).tolist())
+            value = next(self._it)
+        return value
 
 
 @dataclass(frozen=True)

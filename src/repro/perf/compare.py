@@ -1,0 +1,181 @@
+"""Per-scenario delta tables: compare a perf run against an older artifact.
+
+``python -m repro perf --compare OLD.json`` renders, for every scenario the
+current run and the old artifact share, the throughput delta (events/sec and
+speedup), whether the result fingerprint still matches, and a pass/fail
+verdict against a configurable regression threshold.  The command exits
+non-zero when any scenario regressed beyond the threshold or changed its
+fingerprint — a fingerprint change means the *results* differ, which is
+never acceptable for a pure performance change.
+
+``OLD.json`` may be either
+
+* a BENCH artifact (``repro-perf/1`` — what ``python -m repro perf``
+  writes), or
+* a committed baseline file (``repro-perf-baseline/1`` —
+  ``benchmarks/perf_baseline.json``), whose optional ``fingerprints`` table
+  enables the fingerprint column.
+
+The rendered table is GitHub-flavoured markdown so CI can append it to
+``$GITHUB_STEP_SUMMARY`` verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.perf.baseline import BASELINE_SCHEMA
+from repro.perf.suite import BENCH_SCHEMA
+
+#: Default tolerated fractional throughput drop (0.20 = fail below 80% of old).
+DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One scenario's old-vs-new comparison."""
+
+    name: str
+    old_events_per_sec: float
+    new_events_per_sec: Optional[float]
+    old_fingerprint: Optional[str]
+    new_fingerprint: str
+    threshold: float
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """new / old throughput (1.0 = unchanged, > 1 = faster)."""
+        if self.new_events_per_sec is None or self.old_events_per_sec <= 0:
+            return None
+        return self.new_events_per_sec / self.old_events_per_sec
+
+    @property
+    def fingerprint_match(self) -> Optional[bool]:
+        """Whether results are byte-identical (``None`` if the old artifact
+        recorded no fingerprint for this scenario)."""
+        if self.old_fingerprint is None:
+            return None
+        return self.old_fingerprint == self.new_fingerprint
+
+    @property
+    def regressed(self) -> bool:
+        """Whether throughput dropped beyond the tolerated threshold."""
+        speedup = self.speedup
+        return speedup is None or speedup < 1.0 - self.threshold
+
+    @property
+    def ok(self) -> bool:
+        """Row verdict: within threshold and results unchanged."""
+        return not self.regressed and self.fingerprint_match is not False
+
+
+def load_comparable(path: str) -> Dict[str, Dict[str, Any]]:
+    """Load a BENCH artifact or baseline file into ``name -> {events_per_sec,
+    fingerprint}`` form."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ConfigurationError(f"comparison file not found: {path}")
+    try:
+        payload = json.loads(file_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"comparison file {path} is not valid JSON: {error}")
+    schema = payload.get("schema")
+    table: Dict[str, Dict[str, Any]] = {}
+    if schema == BENCH_SCHEMA:
+        for scenario in payload.get("scenarios", []):
+            events_per_sec = scenario.get("fast_events_per_sec")
+            if events_per_sec is None:
+                continue
+            table[scenario["name"]] = {
+                "events_per_sec": float(events_per_sec),
+                "fingerprint": scenario.get("fingerprint"),
+            }
+    elif schema == BASELINE_SCHEMA:
+        fingerprints = payload.get("fingerprints", {})
+        for name, events_per_sec in payload.get("events_per_sec", {}).items():
+            table[name] = {
+                "events_per_sec": float(events_per_sec),
+                "fingerprint": fingerprints.get(name),
+            }
+    else:
+        raise ConfigurationError(
+            f"comparison file {path} has schema {schema!r}, expected "
+            f"{BENCH_SCHEMA!r} or {BASELINE_SCHEMA!r}"
+        )
+    if not table:
+        raise ConfigurationError(f"comparison file {path} contains no scenarios")
+    return table
+
+
+def compare_results(
+    results: Sequence,
+    old: Dict[str, Dict[str, Any]],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> List[ComparisonRow]:
+    """Build comparison rows for every scenario present in both sides.
+
+    ``results`` are :class:`~repro.perf.suite.ScenarioResult` objects.
+    Scenarios only on one side are skipped — new scenarios can land before
+    their first artifact, and ``--quick`` runs a subset.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ConfigurationError(
+            f"regression threshold must be in [0, 1), got {threshold}"
+        )
+    rows: List[ComparisonRow] = []
+    for result in results:
+        recorded = old.get(result.name)
+        if recorded is None:
+            continue
+        entry = result.as_dict()
+        rows.append(
+            ComparisonRow(
+                name=result.name,
+                old_events_per_sec=recorded["events_per_sec"],
+                new_events_per_sec=entry.get("fast_events_per_sec"),
+                old_fingerprint=recorded.get("fingerprint"),
+                new_fingerprint=entry["fingerprint"],
+                threshold=threshold,
+            )
+        )
+    return rows
+
+
+def render_markdown_table(rows: Sequence[ComparisonRow]) -> str:
+    """The delta table as GitHub-flavoured markdown."""
+    lines = [
+        "| scenario | old events/sec | new events/sec | speedup | fingerprint | verdict |",
+        "|---|---:|---:|---:|---|---|",
+    ]
+    for row in rows:
+        speedup = row.speedup
+        match = row.fingerprint_match
+        lines.append(
+            "| {name} | {old:,.0f} | {new} | {speedup} | {fingerprint} | {verdict} |".format(
+                name=row.name,
+                old=row.old_events_per_sec,
+                new=(
+                    f"{row.new_events_per_sec:,.0f}"
+                    if row.new_events_per_sec is not None
+                    else "n/a"
+                ),
+                speedup=f"{speedup:.2f}x" if speedup is not None else "n/a",
+                fingerprint=(
+                    "match" if match else "MISMATCH" if match is False else "n/a"
+                ),
+                verdict="ok" if row.ok else "FAIL",
+            )
+        )
+    return "\n".join(lines)
+
+
+def comparison_failed(rows: Sequence[ComparisonRow]) -> bool:
+    """Whether any row fails (regression beyond threshold or fingerprint
+    mismatch); an empty comparison is also a failure (nothing was gated)."""
+    if not rows:
+        return True
+    return any(not row.ok for row in rows)

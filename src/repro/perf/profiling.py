@@ -1,0 +1,145 @@
+"""Profile-attributed perf runs: where does the simulated second go?
+
+``python -m repro perf --profile`` executes each basket scenario's fast-path
+run once more under :mod:`cProfile` and folds the flat self-time (tottime)
+of every recorded function into a small set of *layers*:
+
+========== ==========================================================
+layer       meaning
+========== ==========================================================
+scheduler   the event loop and scheduler (``repro/sim/``)
+network     latency, bandwidth and delivery policy (``repro/net/``,
+            except the message module)
+message     message construction and wire-size accounting
+            (``repro/net/message.py``)
+protocol    the protocol layer (``repro/core/``, ``repro/protocols/``,
+            ``repro/oracle/``)
+crypto      hashing, signatures, HMAC, coin (``repro/crypto/``)
+builtin     C builtins (heap ops, dict/set methods, ``len`` ...) —
+            charged where the interpreter spends them, callers are
+            spread across all layers
+other       everything else (harness, numpy internals, workloads)
+========== ==========================================================
+
+Self-time is used (not cumulative) so the layer shares are disjoint and sum
+to the profiled wall time: "protocol 40%" means the bytecode of protocol
+modules consumed 40% of the run, no double counting.  The attribution is
+embedded per scenario in the BENCH artifact, which makes every optimisation
+PR auditable: the artifact shows not just *how fast* but *where the
+remaining time sits*.
+
+Profiled runs are slower than plain runs (cProfile instruments every call),
+so the attribution run is separate from the timed run and its wall time is
+reported separately (``profiled_seconds``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Dict, List, Tuple
+
+#: Layer names in reporting order.
+LAYERS: Tuple[str, ...] = (
+    "scheduler",
+    "network",
+    "message",
+    "protocol",
+    "crypto",
+    "builtin",
+    "other",
+)
+
+#: Path fragments (posix-style) mapped to layers, first match wins.
+_PATH_RULES: Tuple[Tuple[str, str], ...] = (
+    ("repro/net/message", "message"),
+    ("repro/net/", "network"),
+    ("repro/sim/", "scheduler"),
+    ("repro/core/", "protocol"),
+    ("repro/protocols/", "protocol"),
+    ("repro/oracle/", "protocol"),
+    ("repro/crypto/", "crypto"),
+)
+
+
+def classify_entry(filename: str) -> str:
+    """Map one profile entry's filename to its layer."""
+    if filename.startswith("~") or filename.startswith("<"):
+        # pstats marks C builtins with a "~" pseudo-filename; "<string>"
+        # and friends are eval frames.
+        return "builtin"
+    path = filename.replace("\\", "/")
+    for fragment, layer in _PATH_RULES:
+        if fragment in path:
+            return layer
+    return "other"
+
+
+def attribute_stats(stats: pstats.Stats, top: int = 12) -> Dict[str, Any]:
+    """Fold a :class:`pstats.Stats` into the per-layer attribution dict."""
+    layer_seconds: Dict[str, float] = {layer: 0.0 for layer in LAYERS}
+    rows: List[Tuple[float, str]] = []
+    total = 0.0
+    for (filename, lineno, function), (
+        _cc,
+        _nc,
+        tottime,
+        _cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        layer = classify_entry(filename)
+        layer_seconds[layer] += tottime
+        total += tottime
+        if tottime > 0.0:
+            if filename.startswith("~") or filename.startswith("<"):
+                where = function
+            else:
+                short = filename.replace("\\", "/").rsplit("/repro/", 1)[-1]
+                where = f"{short}:{lineno}:{function}"
+            rows.append((tottime, where))
+    rows.sort(reverse=True)
+    layers = {
+        layer: {
+            "seconds": round(seconds, 6),
+            "share": round(seconds / total, 4) if total else 0.0,
+        }
+        for layer, seconds in layer_seconds.items()
+    }
+    return {
+        "profiled_seconds": round(total, 6),
+        "layers": layers,
+        "top": [
+            {"seconds": round(seconds, 6), "function": where}
+            for seconds, where in rows[:top]
+        ],
+    }
+
+
+def profile_scenario(scenario, engine: str = "fast", top: int = 12) -> Dict[str, Any]:
+    """Run ``scenario`` once under cProfile and return its attribution.
+
+    ``scenario`` is a :class:`repro.perf.suite.PerfScenario`; the profiled
+    run is an extra execution on top of the timed one, so timing numbers in
+    the BENCH artifact are never polluted by profiler overhead.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        scenario.run(engine)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    attribution = attribute_stats(stats, top=top)
+    attribution["engine"] = engine
+    return attribution
+
+
+def render_attribution(name: str, attribution: Dict[str, Any]) -> str:
+    """One human-readable line per layer (used by the CLI)."""
+    layers = attribution["layers"]
+    parts = [
+        f"{layer} {layers[layer]['share'] * 100.0:.1f}%"
+        for layer in LAYERS
+        if layers.get(layer, {}).get("seconds", 0.0) > 0.0
+    ]
+    return f"[profile] {name}: " + ", ".join(parts)

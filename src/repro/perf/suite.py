@@ -207,7 +207,11 @@ SCENARIOS: Tuple[PerfScenario, ...] = (
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """Timing and equivalence outcome for one scenario."""
+    """Timing and equivalence outcome for one scenario.
+
+    ``profile`` carries the optional per-layer attribution of a separate
+    cProfile run (see :mod:`repro.perf.profiling`).
+    """
 
     name: str
     description: str
@@ -215,6 +219,7 @@ class ScenarioResult:
     fast: RunOutcome
     reference: Optional[RunOutcome]
     equivalent: Optional[bool]
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -243,6 +248,8 @@ class ScenarioResult:
                 else None
             )
             entry["speedup"] = self.speedup
+        if self.profile is not None:
+            entry["profile"] = self.profile
         return entry
 
 
@@ -261,10 +268,15 @@ def _run_engine(scenario: PerfScenario, engine: str) -> RunOutcome:
 def run_scenario(
     scenario: PerfScenario,
     verify: bool = True,
+    profile: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ScenarioResult:
     """Run one scenario on the fast engine (and the reference when
     ``verify``), asserting byte-identical results.
+
+    With ``profile``, an extra run executes under cProfile and the
+    per-layer attribution is attached to the result (timed runs are never
+    instrumented).
 
     Raises
     ------
@@ -290,6 +302,12 @@ def run_scenario(
             )
         if not events:
             events = reference.events
+    attribution: Optional[Dict[str, Any]] = None
+    if profile:
+        from repro.perf.profiling import profile_scenario
+
+        say(f"[perf] {scenario.name}: profiled run (layer attribution) ...")
+        attribution = profile_scenario(scenario)
     return ScenarioResult(
         name=scenario.name,
         description=scenario.description,
@@ -297,6 +315,7 @@ def run_scenario(
         fast=fast,
         reference=reference,
         equivalent=equivalent,
+        profile=attribution,
     )
 
 
@@ -323,11 +342,12 @@ def run_suite(
     quick: bool = False,
     names: Optional[Sequence[str]] = None,
     verify: bool = True,
+    profile: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[ScenarioResult]:
     """Run the selected basket and return per-scenario results."""
     return [
-        run_scenario(scenario, verify=verify, progress=progress)
+        run_scenario(scenario, verify=verify, profile=profile, progress=progress)
         for scenario in select_scenarios(quick=quick, names=names)
     ]
 

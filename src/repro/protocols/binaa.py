@@ -25,17 +25,26 @@ run, tested and benchmarked on its own.
 State values are dyadic rationals (0, 1, and repeated midpoints), which are
 exactly representable as Python floats for any practical ``r_max``, so
 cross-node equality checks on values are exact.
+
+Hot-path design.  :meth:`BinAAEngine.handle` is the single most-called
+protocol function (one call per sub-message per engine per delivery), and
+its state can only change when the touched value's support count crosses a
+threshold — ``t + 1`` (amplification) or ``n - t`` (quorum).  Counts grow
+by exactly one per recorded echo, so :meth:`handle` re-evaluates the full
+progress conditions only when the new count *equals* a threshold (or the
+echo was buffered for a future round, which re-evaluates on round entry);
+every other echo provably leaves the engine at its previous fixpoint and
+returns immediately.  This turns the per-event collection scans into an
+incremental counter check without changing a single emitted sub-message.
 """
 
 from __future__ import annotations
 
-import copy
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
-from repro.net.message import Message
+from repro.net.message import Message, submessage_payload_bits
 from repro.protocols.base import Outbound, ProtocolNode
 
 #: A sub-protocol message: (message type, round, state value).
@@ -55,19 +64,31 @@ def rounds_for_epsilon(epsilon: float) -> int:
     return max(1, min(MAX_ROUNDS, int(math.ceil(math.log2(1.0 / epsilon)))))
 
 
-@dataclass
 class _RoundState:
     """Per-iteration bookkeeping for one BinAA engine."""
 
-    echo1: Dict[float, Set[int]]
-    echo2: Dict[float, Set[int]]
-    amplified: Set[float]
-    echo2_sent: bool
-    completed: bool
+    __slots__ = ("echo1", "echo2", "amplified", "echo2_sent", "completed")
+
+    def __init__(self) -> None:
+        self.echo1: Dict[float, Set[int]] = {}
+        self.echo2: Dict[float, Set[int]] = {}
+        self.amplified: Set[float] = set()
+        self.echo2_sent = False
+        self.completed = False
 
     @staticmethod
     def fresh() -> "_RoundState":
-        return _RoundState(echo1={}, echo2={}, amplified=set(), echo2_sent=False, completed=False)
+        return _RoundState()
+
+    def copy(self) -> "_RoundState":
+        """Independent copy (shared immutable float/str values, fresh sets)."""
+        clone = _RoundState.__new__(_RoundState)
+        clone.echo1 = {value: set(senders) for value, senders in self.echo1.items()}
+        clone.echo2 = {value: set(senders) for value, senders in self.echo2.items()}
+        clone.amplified = set(self.amplified)
+        clone.echo2_sent = self.echo2_sent
+        clone.completed = self.completed
+        return clone
 
 
 class BinAAEngine:
@@ -86,6 +107,22 @@ class BinAAEngine:
         Number of iterations ``r_max`` to run.
     """
 
+    __slots__ = (
+        "n",
+        "t",
+        "rounds",
+        "quorum",
+        "amplify_at",
+        "value",
+        "current_round",
+        "output",
+        "started",
+        "_round_state",
+        "_cur_state",
+        "bv_outputs",
+        "on_complete",
+    )
+
     def __init__(self, n: int, t: int, rounds: int) -> None:
         if n <= 3 * t:
             raise ConfigurationError(f"BinAA requires n > 3t, got n={n}, t={t}")
@@ -97,12 +134,19 @@ class BinAAEngine:
         self.t = t
         self.rounds = rounds
         self.quorum = n - t
+        self.amplify_at = t + 1
         self.value: Optional[float] = None
         self.current_round = 0
         self.output: Optional[float] = None
         self.started = False
         self._round_state: Dict[int, _RoundState] = {}
+        self._cur_state: Optional[_RoundState] = None
         self.bv_outputs: Dict[int, Tuple[float, ...]] = {}
+        #: Optional zero-argument callback fired exactly once, when the
+        #: engine completes its final round.  The embedding Delphi node uses
+        #: it to keep an incremental count of still-running engines instead
+        #: of rescanning engine collections per event.
+        self.on_complete: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -111,14 +155,41 @@ class BinAAEngine:
         return self.output is not None
 
     def clone(self) -> "BinAAEngine":
-        """Deep copy of the engine (used when a default checkpoint is split
-        into an explicit one by the Delphi bundling layer)."""
-        return copy.deepcopy(self)
+        """Copy of the engine (used when a default checkpoint is split into
+        an explicit one by the Delphi bundling layer).
+
+        Hand-rolled instead of :func:`copy.deepcopy`: the mutable state is
+        exactly the per-round sets and the ``bv_outputs`` dict, everything
+        else is immutable scalars/tuples.
+        """
+        clone = BinAAEngine.__new__(BinAAEngine)
+        clone.n = self.n
+        clone.t = self.t
+        clone.rounds = self.rounds
+        clone.quorum = self.quorum
+        clone.amplify_at = self.amplify_at
+        clone.value = self.value
+        clone.current_round = self.current_round
+        clone.output = self.output
+        clone.started = self.started
+        clone._round_state = {
+            round_number: state.copy()
+            for round_number, state in self._round_state.items()
+        }
+        clone._cur_state = clone._round_state.get(clone.current_round)
+        clone.bv_outputs = dict(self.bv_outputs)
+        # A split clone belongs to the same embedding node, so it reports
+        # its own (future) completion to the same counter.
+        clone.on_complete = self.on_complete
+        return clone
 
     def _state(self, round_number: int) -> _RoundState:
-        if round_number not in self._round_state:
-            self._round_state[round_number] = _RoundState.fresh()
-        return self._round_state[round_number]
+        state = self._round_state.get(round_number)
+        if state is None:
+            state = self._round_state[round_number] = _RoundState()
+        if round_number == self.current_round:
+            self._cur_state = state
+        return state
 
     # ------------------------------------------------------------------
     def start(self, value: int) -> List[SubMessage]:
@@ -133,26 +204,61 @@ class BinAAEngine:
 
     def handle(self, sender: int, sub: SubMessage) -> List[SubMessage]:
         """Process one delivered sub-message from ``sender``."""
-        if not self.started or self.has_output:
+        if not self.started or self.output is not None:
             # Late traffic after completion cannot change the output; earlier
             # rounds' echoes were already broadcast, so peers do not need a
             # response either.
             return []
         mtype, round_number, value = sub
+        if round_number == self.current_round:
+            # Hot path: an echo for the round we are in.
+            state = self._cur_state
+            if mtype == ECHO1:
+                table = state.echo1
+                amplify_at = self.amplify_at
+            elif mtype == ECHO2:
+                table = state.echo2
+                amplify_at = -1  # ECHO2 only feeds the quorum condition
+            else:
+                return []
+            senders = table.get(value)
+            if senders is None:
+                table[value] = {sender}
+                count = 1
+            else:
+                count = len(senders)
+                senders.add(sender)
+                if len(senders) == count:
+                    # Duplicate echo: no state change, the previous
+                    # fixpoint still holds.
+                    return []
+                count += 1
+            # Incremental threshold check: support counts grow by one, so
+            # the progress conditions can only newly fire when the count
+            # lands exactly on a threshold.
+            if count != self.quorum and count != amplify_at:
+                return []
+            return self._progress()
+        # Cold path: buffered traffic for another round.  Future rounds are
+        # consulted when we get there; past rounds are already completed
+        # locally.
         if round_number < 1 or round_number > self.rounds:
             return []
-        state = self._state(round_number)
+        state = self._round_state.get(round_number)
+        if state is None:
+            state = self._round_state[round_number] = _RoundState()
         if mtype == ECHO1:
-            state.echo1.setdefault(value, set()).add(sender)
+            table = state.echo1
         elif mtype == ECHO2:
-            state.echo2.setdefault(value, set()).add(sender)
+            table = state.echo2
         else:
             return []
-        if round_number != self.current_round:
-            # Buffered: future rounds are consulted when we get there; past
-            # rounds are already completed locally.
-            return []
-        return self._progress()
+        senders = table.get(value)
+        if senders is None:
+            table[value] = {sender}
+        else:
+            senders.add(sender)
+        return []
 
     # ------------------------------------------------------------------
     def _enter_round(self, round_number: int) -> List[SubMessage]:
@@ -175,7 +281,7 @@ class BinAAEngine:
 
             # Bracha amplification at t+1 support (mutates only
             # ``state.amplified``, so iterating the live dict is safe).
-            amplify_at = self.t + 1
+            amplify_at = self.amplify_at
             for value, senders in state.echo1.items():
                 if len(senders) >= amplify_at and value not in state.amplified:
                     state.amplified.add(value)
@@ -223,6 +329,9 @@ class BinAAEngine:
             self.value = next_value
             if round_number >= self.rounds:
                 self.output = self.value
+                callback = self.on_complete
+                if callback is not None:
+                    callback()
                 return out
             out.extend(self._enter_round_inline(round_number + 1))
 
@@ -287,7 +396,13 @@ class BinAANode(ProtocolNode):
         return out
 
     def _wrap(self, subs: List[SubMessage]) -> List[Outbound]:
+        # Sub-messages are fixed-shape triples, so the payload size is known
+        # by formula — the message never walks its payload.
         return [
-            self.broadcast(Message("binaa", sub[0], sub[1], list(sub)))
+            self.broadcast(
+                Message.sized(
+                    "binaa", sub[0], sub[1], list(sub), submessage_payload_bits(sub)
+                )
+            )
             for sub in subs
         ]

@@ -34,6 +34,7 @@ times in the same per-stream order by both engines.
 
 from __future__ import annotations
 
+import gc
 from heapq import heapify, heappop, heappush
 from math import inf as _INF
 from typing import Dict, List, Optional
@@ -52,8 +53,28 @@ def run_fast(runtime) -> "SimulationResult":
     ``runtime`` is a fully constructed
     :class:`~repro.sim.runtime.SimulationRuntime`; node ids must be exactly
     ``0..n-1`` (checked by the caller via ``_fast_supported``).
+
+    The cyclic garbage collector is paused for the duration of the loop
+    (and restored afterwards): the event heap holds millions of live
+    tuples at large ``n``, so every generational collection rescans them
+    for nothing — the loop itself allocates no reference cycles, and the
+    few the protocol setup creates (e.g. engine completion callbacks) are
+    reclaimed by the ``gc.collect`` at exit.
     """
     from repro.sim.runtime import SimulationResult
+
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _run_fast_loop(runtime, SimulationResult)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect(1)
+
+
+def _run_fast_loop(runtime, SimulationResult) -> "SimulationResult":
 
     config = runtime.config
     network = runtime.network
@@ -90,7 +111,9 @@ def run_fast(runtime) -> "SimulationResult":
     # geo model's per-pair stream does its region lookups exactly once).
     pair_sampler = latency.pair_sampler
     samplers: List[List[object]] = [[None] * n for _ in range(n)]
-    tiebreak = policy.tiebreak
+    # ``tiebreak()`` consumes the tie stream only when reordering; bind the
+    # stream's ``next`` directly so the (hot) per-event draw skips a frame.
+    tiebreak = policy._tie_stream.next if policy.reorder else policy.tiebreak
     extra_raw = policy.extra_delay_raw
     has_extra = policy.max_extra_delay > 0.0
     faults_active = policy.faults_active
@@ -174,7 +197,10 @@ def run_fast(runtime) -> "SimulationResult":
             message = event[6]
             hook = cost_hooks[node_id]
             crypto_units = float(hook(message)) if hook is not None else 0.0
-            message_bytes = (cached_size_bits(message) + 7) // 8
+            size_bits = message._size
+            if size_bits is None:
+                size_bits = message.size_bits()
+            message_bytes = (size_bits + 7) // 8
             outbound = on_message[node_id](event[5], message)
 
         finished_at = ready_at + (
@@ -184,7 +210,7 @@ def run_fast(runtime) -> "SimulationResult":
 
         newly_decided = False
         if honest[node_id] and decision_time[node_id] is None:
-            if node_list[node_id].has_output:
+            if node_list[node_id]._has_output:
                 decision_time[node_id] = finished_at
                 undecided -= 1
                 newly_decided = True
@@ -201,11 +227,23 @@ def run_fast(runtime) -> "SimulationResult":
             continue
         for destination, message in outbound:
             if destination == BROADCAST:
+                wire_bits = message._size
+                if wire_bits is None:
+                    wire_bits = message.size_bits()
+                wire_bits += HMAC_TAG_BITS
+                # Bulk traffic accounting: every target except the sender
+                # receives one wire copy (targets from range(n) need no
+                # bounds check, and dropped copies are accounted too —
+                # both exactly as the per-target reference loop does it).
+                message_count += n - 1
+                bulk = wire_bits * (n - 1)
+                total_bits += bulk
+                sender_bits[node_id] += bulk
                 targets = all_targets
-                wire_bits = cached_size_bits(message) + HMAC_TAG_BITS
             else:
                 targets = (destination,)
                 wire_bits = None  # computed lazily below (single target)
+            row = samplers[node_id]
             for target in targets:
                 if target == node_id:
                     # Local self-delivery: no network resources, no trace.
@@ -219,15 +257,15 @@ def run_fast(runtime) -> "SimulationResult":
                     else:
                         heappush(heap, new_event)
                     continue
-                if not 0 <= target < n:
-                    raise NetworkError(
-                        f"destination {target} outside [0, {n})"
-                    )
                 if wire_bits is None:
+                    if not 0 <= target < n:
+                        raise NetworkError(
+                            f"destination {target} outside [0, {n})"
+                        )
                     wire_bits = cached_size_bits(message) + HMAC_TAG_BITS
-                message_count += 1
-                total_bits += wire_bits
-                sender_bits[node_id] += wire_bits
+                    message_count += 1
+                    total_bits += wire_bits
+                    sender_bits[node_id] += wire_bits
                 if unlimited:
                     departure = finished_at
                 else:
@@ -236,7 +274,6 @@ def run_fast(runtime) -> "SimulationResult":
                         start = finished_at
                     departure = start + wire_bits / rate
                     uplink_free[node_id] = departure
-                row = samplers[node_id]
                 sampler = row[target]
                 if sampler is None:
                     sampler = row[target] = pair_sampler(node_id, target)

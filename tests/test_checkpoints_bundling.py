@@ -1,11 +1,130 @@
 """Tests for Delphi's checkpoint/level state and the bundled message codec."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.core.bundling import Bundle, decode_bundle, encode_bundle
+from repro.core.bundling import (
+    Bundle,
+    decode_bundle,
+    encode_bundle,
+    encode_bundle_sized,
+)
 from repro.core.checkpoints import LevelState
 from repro.errors import ProtocolError
+from repro.net.message import estimate_size_bits
 from repro.protocols.binaa import BinAAEngine
+
+
+def legacy_encode_bundle(bundle):
+    """The pre-tuple (nested-list, "dict-shaped") bundle encoding, kept as
+    the equivalence oracle for the flat-tuple codec."""
+    payload = []
+    for level in sorted(bundle.levels):
+        entry = bundle.levels[level]
+        if entry.empty:
+            continue
+        payload.append(
+            [
+                level,
+                list(entry.exclude),
+                [[m, r, v] for m, r, v in entry.default],
+                [
+                    [index, [[m, r, v] for m, r, v in subs]]
+                    for index, subs in sorted(entry.explicit.items())
+                ],
+            ]
+        )
+    return payload
+
+
+#: Strategy for honest sub-messages: BinAA echo triples.
+_subs = st.lists(
+    st.tuples(
+        st.sampled_from(["ECHO1", "ECHO2"]),
+        st.integers(min_value=1, max_value=8),
+        st.sampled_from([0.0, 1.0, 0.5, 0.25, 0.75]),
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+@st.composite
+def bundles(draw):
+    bundle = Bundle()
+    for level in draw(st.lists(st.integers(0, 5), unique=True, max_size=3)):
+        exclude = draw(st.lists(st.integers(-64, 64), unique=True, max_size=5))
+        default = draw(_subs)
+        if default:
+            bundle.add_default(level, exclude, default)
+        for index in draw(st.lists(st.integers(-64, 64), unique=True, max_size=4)):
+            subs = draw(_subs)
+            if subs:
+                bundle.add_explicit(level, exclude, index, subs)
+    return bundle
+
+
+class TestTupleCodecEquivalence:
+    """The flat-tuple codec must be observationally identical to the old
+    nested-list codec: same decoded bundles, same wire-size accounting."""
+
+    @given(bundle=bundles())
+    def test_roundtrip_matches_legacy_codec(self, bundle):
+        new_payload = encode_bundle(bundle)
+        old_payload = legacy_encode_bundle(bundle)
+        from_new = decode_bundle(new_payload)
+        from_old = decode_bundle(old_payload)
+        assert set(from_new.levels) == set(from_old.levels)
+        for level, entry in from_new.levels.items():
+            legacy = from_old.levels[level]
+            assert entry.exclude == legacy.exclude
+            assert entry.default == legacy.default
+            assert entry.explicit == legacy.explicit
+            assert entry.divergent == legacy.divergent
+
+    @given(bundle=bundles())
+    def test_wire_size_identical_to_legacy_and_precomputed(self, bundle):
+        payload, bits = encode_bundle_sized(bundle)
+        assert bits == estimate_size_bits(payload)
+        assert bits == estimate_size_bits(legacy_encode_bundle(bundle))
+
+    @given(bundle=bundles())
+    def test_decode_normalises_iteration_order(self, bundle):
+        decoded = decode_bundle(encode_bundle(bundle))
+        assert list(decoded.levels) == sorted(decoded.levels)
+        for entry in decoded.levels.values():
+            assert list(entry.explicit) == sorted(entry.explicit)
+            assert entry.divergent == tuple(
+                sorted(set(entry.exclude) | set(entry.explicit))
+            )
+            assert entry.exclude_set == frozenset(entry.exclude)
+            assert tuple(entry.explicit_pairs) == tuple(
+                (index, sub)
+                for index, subs in entry.explicit.items()
+                for sub in subs
+            )
+
+    def test_decode_accepts_unsorted_byzantine_levels(self):
+        # Byzantine senders may scramble level and exclude order; the decoder
+        # normalises exactly as the old per-delivery sorts did.
+        payload = [
+            [3, [9, 1], [["ECHO1", 1, 0.0]], []],
+            [0, [], [], [[7, [["ECHO2", 2, 1.0]]], [2, [["ECHO1", 1, 0.5]]]]],
+        ]
+        decoded = decode_bundle(payload)
+        assert list(decoded.levels) == [0, 3]
+        assert decoded.levels[3].exclude == (1, 9)
+        assert list(decoded.levels[0].explicit) == [2, 7]
+
+    def test_decode_reuses_honest_sub_tuples(self):
+        bundle = Bundle()
+        bundle.add_explicit(0, [], 4, [("ECHO1", 1, 1.0)])
+        payload = encode_bundle(bundle)
+        wire_sub = payload[0][3][0][1][0]  # level 0 -> explicit -> (4, subs)
+        decoded = decode_bundle(payload)
+        # Honest (str, int, float) triples are reused zero-copy by decode.
+        assert decoded.levels[0].explicit[4][0] is wire_sub
 
 
 def _level_state(level=0, separator=1.0, rounds=3, n=4, t=1):
@@ -90,13 +209,13 @@ class TestBundleCodec:
         assert decoded.levels[3].default == [("ECHO2", 2, 0.0)]
 
     def test_empty_bundle_encodes_to_empty_payload(self):
-        assert encode_bundle(Bundle()) == []
+        assert encode_bundle(Bundle()) == ()
         assert Bundle().empty
 
     def test_empty_levels_are_skipped(self):
         bundle = Bundle()
         bundle.level(2, [1])  # created but never filled
-        assert encode_bundle(bundle) == []
+        assert encode_bundle(bundle) == ()
 
     def test_malformed_payload_rejected(self):
         with pytest.raises(ProtocolError):

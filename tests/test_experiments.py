@@ -163,6 +163,65 @@ class TestExecutor:
         assert "delphi" in lines[0] and TINY.spec_hash() in lines[0]
 
 
+class TestExecutorChunking:
+    def test_chunked_parallel_equals_serial(self):
+        sweep = tiny_sweep()
+        serial = SweepExecutor(parallel=False, progress=None).run(sweep)
+        chunked = SweepExecutor(
+            parallel=True, max_workers=2, chunk_size=3, progress=None
+        ).run(sweep)
+        assert len(chunked) == len(serial) == 4
+        assert chunked.metrics_by_hash() == serial.metrics_by_hash()
+
+    def test_chunk_larger_than_grid(self):
+        sweep = tiny_sweep()
+        serial = SweepExecutor(parallel=False, progress=None).run(sweep)
+        one_shot = SweepExecutor(
+            parallel=True, max_workers=2, chunk_size=100, progress=None
+        ).run(sweep)
+        assert one_shot.metrics_by_hash() == serial.metrics_by_hash()
+
+    def test_chunked_results_stay_in_grid_order(self):
+        executor = SweepExecutor(
+            parallel=True, max_workers=2, chunk_size=2, progress=None
+        )
+        result = executor.run(tiny_sweep())
+        expected = [spec.spec_hash() for spec in tiny_sweep().cells()]
+        assert [cell.spec_hash for cell in result] == expected
+
+    def test_chunked_runs_fill_the_cache(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        executor = SweepExecutor(
+            cache_dir=cache, parallel=True, max_workers=2, chunk_size=2, progress=None
+        )
+        executor.run(tiny_sweep())
+        assert len(os.listdir(cache)) == 4
+        again = SweepExecutor(cache_dir=cache, parallel=False, progress=None)
+        assert again.run(tiny_sweep()).cached_count == 4
+
+    def test_auto_chunk_scales_with_grid(self):
+        executor = SweepExecutor(progress=None)
+        assert executor._effective_chunk(pending=4, workers=4) == 1
+        assert executor._effective_chunk(pending=160, workers=4) == 10
+        # Huge grids are capped so progress stays responsive.
+        assert executor._effective_chunk(pending=100_000, workers=4) == 16
+
+    def test_explicit_chunk_wins_over_auto(self):
+        executor = SweepExecutor(chunk_size=5, progress=None)
+        assert executor._effective_chunk(pending=100_000, workers=4) == 5
+
+    def test_chunk_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CHUNK", "7")
+        assert SweepExecutor(progress=None).chunk_size == 7
+        monkeypatch.setenv("REPRO_SWEEP_CHUNK", "junk")
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(progress=None)
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(chunk_size=0, progress=None)
+
+
 class TestArtifacts:
     def test_json_and_csv_writers(self, tmp_path):
         result = SweepExecutor(parallel=False, progress=None).run(tiny_sweep())

@@ -1,6 +1,11 @@
 """Tests for message construction and wire-size accounting."""
 
+import math
+import pickle
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.net.message import (
     HEADER_BITS,
@@ -8,8 +13,21 @@ from repro.net.message import (
     Envelope,
     Message,
     MessageTrace,
+    cached_size_bits,
     estimate_size_bits,
+    submessage_payload_bits,
 )
+
+
+def reference_size_bits(message: Message) -> int:
+    """The pre-slotted Message size formula, re-derived from first
+    principles (the parity oracle for the memoised implementation)."""
+    bits = HEADER_BITS
+    bits += 8 * len(message.protocol) + 8 * len(message.mtype)
+    if message.round is not None:
+        bits += max(4, int(math.ceil(math.log2(message.round + 2))))
+    bits += estimate_size_bits(message.payload)
+    return bits
 
 
 class TestEstimateSizeBits:
@@ -78,6 +96,124 @@ class TestMessage:
         assert hash(message) == hash(Message("p", "T", 1, 0.5))
         with pytest.raises(AttributeError):
             message.mtype = "X"
+
+
+#: Payload strategy mirroring what protocols actually send: scalars, flat
+#: and nested sequences of JSON-ish values.
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+_payloads = st.one_of(
+    _scalar,
+    st.lists(_scalar, max_size=4),
+    st.lists(st.tuples(st.text(max_size=4), st.integers(1, 8), st.floats(0, 1)), max_size=3),
+)
+
+
+class TestSlottedMessageParity:
+    """The __slots__/interned/memoised Message must behave exactly like the
+    frozen dataclass it replaced."""
+
+    @given(
+        protocol=st.sampled_from(["delphi", "binaa", "rbc:3", "p"]),
+        mtype=st.sampled_from(["BUNDLE", "ECHO1", "VAL", "T"]),
+        round=st.one_of(st.none(), st.integers(min_value=0, max_value=2 ** 20)),
+        payload=_payloads,
+    )
+    def test_size_equality_hash_parity(self, protocol, mtype, round, payload):
+        message = Message(protocol, mtype, round, payload)
+        assert message.size_bits() == reference_size_bits(message)
+        assert message.size_bytes() == (message.size_bits() + 7) // 8
+        twin = Message(protocol, mtype, round, payload)
+        assert message == twin
+        try:
+            hash_value = hash(message)
+        except TypeError:
+            pass  # unhashable payloads (lists) — same as the dataclass
+        else:
+            assert hash_value == hash(twin)
+
+    def test_no_instance_dict(self):
+        message = Message("p", "T", 1, 0.5)
+        assert not hasattr(message, "__dict__")
+
+    def test_interned_tag_pair_is_shared(self):
+        first = Message("delphi", "BUNDLE", None, None)
+        second = Message("delphi", "BUNDLE", 3, [1.0])
+        assert first.protocol is second.protocol
+        assert first.mtype is second.mtype
+
+    def test_inequality_and_not_implemented(self):
+        assert Message("p", "T", 1, 0.5) != Message("p", "T", 2, 0.5)
+        assert Message("p", "T", 1, 0.5) != "not-a-message"
+
+    def test_pickle_roundtrip(self):
+        message = Message("p", "T", 3, (1, 2.0, "x"))
+        clone = pickle.loads(pickle.dumps(message))
+        assert clone == message
+        assert clone.size_bits() == message.size_bits()
+
+    def test_envelope_is_slotted_and_frozen(self):
+        envelope = Envelope(0, 1, Message("p", "T", None, None))
+        assert not hasattr(envelope, "__dict__")
+        with pytest.raises(AttributeError):
+            envelope.sender = 5
+        assert pickle.loads(pickle.dumps(envelope)) == envelope
+
+
+class TestSizeMemo:
+    def test_memo_survives_repeated_queries(self):
+        message = Message("p", "T", 3, [1.0, 2.0])
+        first = message.size_bits()
+        assert message._size == first
+        assert message.size_bits() == first
+        assert cached_size_bits(message) == first
+
+    def test_with_payload_same_object_returns_self(self):
+        payload = [1.0, 2.0]
+        message = Message("p", "T", 3, payload)
+        message.size_bits()
+        assert message.with_payload(payload) is message
+
+    def test_with_payload_keeps_header_round_memo(self):
+        message = Message("p", "T", 3, [1.0])
+        message.size_bits()
+        other = message.with_payload([2.0, 3.0])
+        assert other is not message
+        assert other._hr_bits == message._hr_bits
+        assert other.size_bits() == reference_size_bits(other)
+
+    def test_rebroadcast_after_with_payload_sizes_correctly(self):
+        # An adversary re-payloads a message and the runtime sizes the copy
+        # for every destination of the re-broadcast: the memo must belong to
+        # the copy, never leak from the original.
+        message = Message("p", "T", 1, 0)
+        assert message.size_bits() == reference_size_bits(message)
+        flipped = message.with_payload(1)
+        for _destination in range(3):
+            assert cached_size_bits(flipped) == reference_size_bits(flipped)
+        assert message.size_bits() == reference_size_bits(message)
+
+    def test_presized_construction_matches_walk(self):
+        payload = ((0, (1, 2), (("ECHO1", 1, 0.0),), ()),)
+        presized = Message.sized("delphi", "BUNDLE", None, payload,
+                                 estimate_size_bits(payload))
+        plain = Message("delphi", "BUNDLE", None, payload)
+        assert presized.size_bits() == plain.size_bits()
+
+    @given(
+        mtype=st.sampled_from(["ECHO1", "ECHO2", "X"]),
+        round=st.integers(min_value=1, max_value=64),
+        value=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_submessage_fast_path_matches_generic_walk(self, mtype, round, value):
+        sub = (mtype, round, value)
+        assert submessage_payload_bits(sub) == estimate_size_bits(tuple(sub))
+        assert submessage_payload_bits(sub) == estimate_size_bits(list(sub))
 
 
 class TestEnvelope:

@@ -1,0 +1,284 @@
+"""Tests for perf --compare delta tables and --profile layer attribution."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main as cli_main
+from repro.perf.baseline import BASELINE_SCHEMA
+from repro.perf.compare import (
+    ComparisonRow,
+    compare_results,
+    comparison_failed,
+    load_comparable,
+    render_markdown_table,
+)
+from repro.perf.profiling import attribute_stats, classify_entry, profile_scenario
+from repro.perf.suite import BENCH_SCHEMA, run_scenario
+
+from tests.test_perf_suite import tiny_scenario
+
+
+def _row(old=100.0, new=100.0, old_fp="a" * 64, new_fp="a" * 64, threshold=0.20):
+    return ComparisonRow(
+        name="x",
+        old_events_per_sec=old,
+        new_events_per_sec=new,
+        old_fingerprint=old_fp,
+        new_fingerprint=new_fp,
+        threshold=threshold,
+    )
+
+
+class TestComparisonRow:
+    def test_equal_throughput_ok(self):
+        row = _row()
+        assert row.speedup == pytest.approx(1.0)
+        assert row.ok and not row.regressed
+        assert row.fingerprint_match is True
+
+    def test_regression_beyond_threshold_fails(self):
+        assert _row(old=100.0, new=79.0).regressed
+        assert not _row(old=100.0, new=81.0).regressed
+
+    def test_threshold_configurable(self):
+        assert not _row(old=100.0, new=60.0, threshold=0.5).regressed
+        assert _row(old=100.0, new=49.0, threshold=0.5).regressed
+
+    def test_fingerprint_mismatch_fails_even_when_faster(self):
+        row = _row(new=500.0, new_fp="b" * 64)
+        assert row.fingerprint_match is False
+        assert not row.ok
+
+    def test_missing_old_fingerprint_is_not_a_failure(self):
+        row = _row(old_fp=None)
+        assert row.fingerprint_match is None
+        assert row.ok
+
+    def test_missing_new_throughput_counts_as_regression(self):
+        assert _row(new=None).regressed
+
+    def test_empty_comparison_is_a_failure(self):
+        assert comparison_failed([])
+        assert not comparison_failed([_row()])
+        assert comparison_failed([_row(), _row(new=1.0)])
+
+
+class TestLoadComparable:
+    def test_loads_bench_artifact(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": BENCH_SCHEMA,
+                    "scenarios": [
+                        {
+                            "name": "s1",
+                            "fast_events_per_sec": 123.0,
+                            "fingerprint": "f" * 64,
+                        }
+                    ],
+                }
+            )
+        )
+        table = load_comparable(str(path))
+        assert table == {"s1": {"events_per_sec": 123.0, "fingerprint": "f" * 64}}
+
+    def test_loads_baseline_with_fingerprints(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": BASELINE_SCHEMA,
+                    "events_per_sec": {"s1": 50.0, "s2": 60.0},
+                    "fingerprints": {"s1": "f" * 64},
+                }
+            )
+        )
+        table = load_comparable(str(path))
+        assert table["s1"]["fingerprint"] == "f" * 64
+        assert table["s2"]["fingerprint"] is None
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ConfigurationError):
+            load_comparable(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_comparable(str(tmp_path / "absent.json"))
+
+    def test_empty_table_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA, "scenarios": []}))
+        with pytest.raises(ConfigurationError):
+            load_comparable(str(path))
+
+
+class TestCompareResults:
+    def _old(self, result, events_per_sec, fingerprint=None):
+        return {
+            result.name: {
+                "events_per_sec": events_per_sec,
+                "fingerprint": fingerprint or result.fast.fingerprint,
+            }
+        }
+
+    def test_improvement_passes(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        rows = compare_results([result], self._old(result, 1.0))
+        assert len(rows) == 1
+        assert rows[0].ok and rows[0].speedup > 1.0
+        assert not comparison_failed(rows)
+
+    def test_injected_regression_fails(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        rows = compare_results([result], self._old(result, 1e12))
+        assert rows[0].regressed
+        assert comparison_failed(rows)
+
+    def test_fingerprint_mismatch_fails(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        rows = compare_results([result], self._old(result, 1.0, fingerprint="0" * 64))
+        assert rows[0].fingerprint_match is False
+        assert comparison_failed(rows)
+
+    def test_unshared_scenarios_skipped(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        rows = compare_results([result], {"other": {"events_per_sec": 5.0}})
+        assert rows == []
+
+    def test_bad_threshold_rejected(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        with pytest.raises(ConfigurationError):
+            compare_results([result], self._old(result, 1.0), threshold=1.5)
+
+    def test_markdown_table_shape(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        rows = compare_results([result], self._old(result, 1.0))
+        table = render_markdown_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("| scenario |")
+        assert "tiny-delphi" in lines[2]
+        assert "match" in lines[2] and "ok" in lines[2]
+
+
+class TestCompareCli:
+    def _bench_file(self, tmp_path, events_per_sec, fingerprint=None):
+        # Uses the real scenario name so the CLI run (below) shares it; the
+        # crafted throughput/fingerprint values steer the verdict.
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": BENCH_SCHEMA,
+                    "scenarios": [
+                        {
+                            "name": "oracle-smr-e3-n13-aws",
+                            "fast_events_per_sec": events_per_sec,
+                            "fingerprint": fingerprint,
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    def test_compare_passes_and_writes_summary(self, tmp_path, capsys):
+        old = self._bench_file(tmp_path, events_per_sec=1.0)
+        summary = tmp_path / "summary.md"
+        code = cli_main(
+            [
+                "perf",
+                "--scenario",
+                "oracle-smr-e3-n13-aws",
+                "--skip-reference",
+                "--no-artifact",
+                "--quiet",
+                "--compare",
+                str(old),
+                "--summary",
+                str(summary),
+            ]
+        )
+        assert code == 0
+        assert "| scenario |" in capsys.readouterr().out
+        assert "oracle-smr-e3-n13-aws" in summary.read_text()
+
+    def test_compare_exits_nonzero_on_injected_regression(self, capsys, tmp_path):
+        old = self._bench_file(tmp_path, events_per_sec=1e12)
+        code = cli_main(
+            [
+                "perf",
+                "--scenario",
+                "oracle-smr-e3-n13-aws",
+                "--skip-reference",
+                "--no-artifact",
+                "--quiet",
+                "--compare",
+                str(old),
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_exits_nonzero_on_fingerprint_mismatch(self, capsys, tmp_path):
+        old = self._bench_file(tmp_path, events_per_sec=1.0, fingerprint="0" * 64)
+        code = cli_main(
+            [
+                "perf",
+                "--scenario",
+                "oracle-smr-e3-n13-aws",
+                "--skip-reference",
+                "--no-artifact",
+                "--quiet",
+                "--compare",
+                str(old),
+            ]
+        )
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+
+class TestProfiling:
+    def test_classify_paths(self):
+        assert classify_entry("/x/src/repro/sim/fastpath.py") == "scheduler"
+        assert classify_entry("/x/src/repro/net/message.py") == "message"
+        assert classify_entry("/x/src/repro/net/latency.py") == "network"
+        assert classify_entry("/x/src/repro/core/delphi.py") == "protocol"
+        assert classify_entry("/x/src/repro/protocols/binaa.py") == "protocol"
+        assert classify_entry("/x/src/repro/crypto/hashing.py") == "crypto"
+        assert classify_entry("~") == "builtin"
+        assert classify_entry("/usr/lib/python3.11/json/encoder.py") == "other"
+
+    def test_profile_scenario_attribution(self):
+        attribution = profile_scenario(tiny_scenario())
+        assert attribution["engine"] == "fast"
+        layers = attribution["layers"]
+        assert set(layers) == {
+            "scheduler",
+            "network",
+            "message",
+            "protocol",
+            "crypto",
+            "builtin",
+            "other",
+        }
+        # A Delphi run spends real time in the protocol layer, and shares
+        # sum to ~1 over the non-zero layers.
+        assert layers["protocol"]["seconds"] > 0
+        total_share = sum(entry["share"] for entry in layers.values())
+        assert total_share == pytest.approx(1.0, abs=0.01)
+        assert attribution["top"], "expected a non-empty top-functions list"
+
+    def test_profile_embedded_in_scenario_result(self):
+        result = run_scenario(tiny_scenario(), verify=False, profile=True)
+        entry = result.as_dict()
+        assert "profile" in entry
+        assert entry["profile"]["layers"]["protocol"]["seconds"] >= 0
+
+    def test_profile_absent_by_default(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        assert "profile" not in result.as_dict()
