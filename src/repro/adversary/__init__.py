@@ -2,6 +2,7 @@
 
 from repro.adversary.base import AdversaryStrategy, HonestWithInput
 from repro.adversary.strategies import (
+    BogusPayloadStrategy,
     CrashStrategy,
     DelayedHonestStrategy,
     EquivocatingStrategy,
@@ -14,6 +15,7 @@ from repro.adversary.adaptive import AdaptiveAdversary, CorruptionPlan
 __all__ = [
     "AdaptiveAdversary",
     "AdversaryStrategy",
+    "BogusPayloadStrategy",
     "CorruptionPlan",
     "CrashStrategy",
     "DelayedHonestStrategy",

@@ -150,6 +150,42 @@ class ScheduledStrategy(AdversaryStrategy):
         return self.node.on_message(sender, message)
 
 
+class BogusPayloadStrategy(AdversaryStrategy):
+    """Runs the honest protocol but corrupts outbound payloads for one
+    protocol tag with a non-numeric value.
+
+    By default it targets DORA ``REPORT`` messages, replacing the rounded
+    value with a string while keeping the (now meaningless) signature —
+    exactly the malformed-but-plausible payload shape that crashed honest
+    nodes before report values were validated (``float("bogus")`` raised
+    straight through ``DoraNode._on_report``).  Honest nodes must discard
+    such reports and still certify.
+    """
+
+    def __init__(self, protocol: str = "dora", junk: object = "bogus") -> None:
+        self.protocol = protocol
+        self.junk = junk
+
+    def _corrupt(self, outbound: List[Outbound]) -> List[Outbound]:
+        result: List[Outbound] = []
+        for destination, message in outbound:
+            payload = message.payload
+            if (
+                message.protocol == self.protocol
+                and isinstance(payload, (list, tuple))
+                and len(payload) == 2
+            ):
+                message = message.with_payload([self.junk, payload[1]])
+            result.append((destination, message))
+        return result
+
+    def on_start(self) -> List[Outbound]:
+        return self._corrupt(self.node.on_start())
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        return self._corrupt(self.node.on_message(sender, message))
+
+
 class SpamStrategy(AdversaryStrategy):
     """Floods the network with junk messages for unrelated protocol tags.
 

@@ -22,6 +22,7 @@ and the original DORA protocol that Table III reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -119,10 +120,30 @@ class DoraNode(ProtocolNode):
         value, signature = payload
         if not isinstance(signature, Signature) or signature.signer != sender:
             return []
-        if not self.scheme.verify(float(value), signature):
+        value = self._validated_report_value(value)
+        if value is None:
             return []
-        self._record(sender, float(value), signature)
+        if not self.scheme.verify(value, signature):
+            return []
+        self._record(sender, value, signature)
         return self._maybe_certify()
+
+    def _validated_report_value(self, value: object) -> Optional[float]:
+        """Sanitise a Byzantine-controlled report value.
+
+        Only finite real numbers that sit on the epsilon rounding grid can
+        ever collect ``t + 1`` honest signatures, so anything else is
+        rejected *before* touching it — ``float(value)`` on an arbitrary
+        payload (a string, a list) raises and would crash an honest node.
+        """
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        value = float(value)
+        if not math.isfinite(value):
+            return None
+        if round_to_epsilon(value, self.params.epsilon) != value:
+            return None
+        return value
 
     def _record(self, sender: int, value: float, signature: Signature) -> None:
         self._signatures.setdefault(value, {})[sender] = signature

@@ -31,6 +31,27 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class LivenessTimeout(SimulationError):
+    """A real-concurrency (asyncio) run hit its wall-clock timeout before
+    every honest node decided.
+
+    Unlike a bare ``asyncio.TimeoutError`` this carries the partial results:
+    ``outputs`` maps the node ids that *did* decide to their outputs, and
+    ``pending_nodes`` lists the honest nodes that never did — enough context
+    to tell a stalled protocol from a timeout that was simply too tight.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        outputs: dict = None,
+        pending_nodes: list = None,
+    ) -> None:
+        super().__init__(message)
+        self.outputs = dict(outputs or {})
+        self.pending_nodes = list(pending_nodes or [])
+
+
 class NetworkError(ReproError):
     """The network substrate was asked to do something impossible, such as
     delivering to an unknown node."""

@@ -28,6 +28,14 @@ Five subcommands:
     equivalence under faults, and write a JSON verdict artifact.
     ``--replay BUNDLE`` re-runs a violation repro bundle.
 
+``repro serve``
+    Run the epoch-pipelined oracle service: agree on a streaming workload
+    (bitcoin/sensors/drone) epoch after epoch on the chosen engine
+    (asyncio = real concurrency, fast/reference = deterministic), with
+    persistent PKI, node churn, certificate-stream invariants, and a
+    cross-engine parity replay of every epoch (on by default).  Prints
+    per-epoch certificates and epochs/sec / certs/sec throughput.
+
 Examples
 --------
 ::
@@ -40,6 +48,8 @@ Examples
     PYTHONPATH=src python -m repro perf --profile --compare BENCH_2026-07-25.json
     PYTHONPATH=src python -m repro faults --campaign smoke --output fault-artifacts
     PYTHONPATH=src python -m repro faults --replay fault-artifacts/bundles/VIOLATION_xyz.json
+    PYTHONPATH=src python -m repro serve --workload bitcoin --epochs 10 --engine asyncio
+    PYTHONPATH=src python -m repro serve --workload sensors --epochs 5 --churn 1 --json out/serve.json
 """
 
 from __future__ import annotations
@@ -61,6 +71,8 @@ from repro.experiments.spec import (
     KNOWN_WORKLOADS,
     ScenarioSpec,
 )
+from repro.oracle.service import KNOWN_SERVICE_ENGINES as SERVICE_ENGINES
+from repro.workloads import EPOCH_WORKLOADS as SERVICE_WORKLOADS
 
 #: Default on-disk result cache used by the CLI.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -239,6 +251,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the cell recorded in a violation repro bundle",
     )
     faults.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the epoch-pipelined oracle service over a streaming workload",
+    )
+    serve.add_argument(
+        "--workload",
+        choices=sorted(SERVICE_WORKLOADS),
+        default="bitcoin",
+        help="streaming workload feeding per-epoch inputs (default: bitcoin)",
+    )
+    serve.add_argument("--epochs", type=int, default=10, help="epochs to serve")
+    serve.add_argument("--n", type=int, default=7, help="oracle network size")
+    serve.add_argument(
+        "--engine",
+        choices=SERVICE_ENGINES,
+        default="asyncio",
+        help="epoch execution engine (default: asyncio, the real-concurrency one)",
+    )
+    serve.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        help="nodes offline per epoch (crash-restart rotation, <= t)",
+    )
+    serve.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the per-epoch deterministic-engine parity replay",
+    )
+    serve.add_argument(
+        "--strict-parity",
+        action="store_true",
+        help=(
+            "fail on any asyncio-vs-simulator certificate value difference "
+            "instead of escalating to the byte-exact schedule replay "
+            "(legitimate asynchrony can certify a different grid value)"
+        ),
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=None, help="override the workload's epsilon"
+    )
+    serve.add_argument(
+        "--delta-max", type=float, default=None, help="override the workload's Delta"
+    )
+    serve.add_argument("--max-rounds", type=int, default=6)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--latency",
+        type=float,
+        default=None,
+        help="asyncio per-message delivery latency in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--epoch-timeout",
+        type=float,
+        default=30.0,
+        help="asyncio wall-clock budget per epoch in seconds (default: 30)",
+    )
+    serve.add_argument("--json", dest="json_path", help="write the full result as JSON")
+    serve.add_argument("--quiet", action="store_true", help="suppress per-epoch lines")
     return parser
 
 
@@ -449,6 +522,60 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.oracle.service import build_service
+
+    service = build_service(
+        args.workload,
+        args.n,
+        engine=args.engine,
+        seed=args.seed,
+        churn=args.churn,
+        parity=not args.no_parity,
+        strict_parity=args.strict_parity,
+        epsilon=args.epsilon,
+        delta_max=args.delta_max,
+        max_rounds=args.max_rounds,
+        latency_seconds=args.latency,
+        epoch_timeout=args.epoch_timeout,
+    )
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    result = service.serve(args.epochs, progress=progress)
+    epochs_per_sec = result.epochs_per_sec or 0.0
+    certs_per_sec = result.certs_per_sec or 0.0
+    parity_checked = sum(1 for report in result.reports if report.parity_ok is not None)
+    print(
+        f"# serve {result.workload} engine={result.engine} n={result.n}: "
+        f"{result.epochs} epochs in {result.wall_seconds:.2f}s "
+        f"({epochs_per_sec:.2f} epochs/sec, {certs_per_sec:.2f} certs/sec, "
+        f"{result.events_processed} events)"
+    )
+    print(
+        f"# chain: {result.chain_entries} valid certificates, "
+        f"{result.chain_validations} validations; parity replays: "
+        f"{parity_checked}/{result.epochs}"
+    )
+    for report in result.reports:
+        line = (
+            f"  epoch {report.epoch:>3}: value={report.value:.6g} "
+            f"signers={report.certificate.signer_count}"
+        )
+        if report.offline_nodes:
+            line += f" offline={list(report.offline_nodes)}"
+        if report.parity is not None:
+            line += f" parity={report.parity}"
+        print(line)
+    if args.json_path:
+        from pathlib import Path
+
+        path = Path(args.json_path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.as_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -464,6 +591,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_perf(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as error:
         # Covers configuration mistakes and designed runtime failures such
         # as the perf suite's EquivalenceError — clean message, no traceback.

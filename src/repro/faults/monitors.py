@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.aggregation import round_to_epsilon
 from repro.errors import InvariantViolation
 from repro.protocols.binary_ba import ba_safety_violation
 from repro.protocols.rbc import rbc_safety_violation
@@ -164,6 +165,78 @@ class BinaryBASafetyMonitor(InvariantMonitor):
         detail = ba_safety_violation(self._decided)
         if detail is not None:
             self.violation(detail, time=time, node=node_id)
+
+
+class CertificateStreamMonitor(InvariantMonitor):
+    """DORA certificate-stream invariants for the multi-epoch oracle service.
+
+    The service (:mod:`repro.oracle.service`) registers one instance as a
+    per-epoch run observer *and* drives the epoch hooks directly:
+    :meth:`begin_epoch` resets the per-epoch state with that epoch's honest
+    inputs, ``on_decide`` (the regular observer hook) collects the honest
+    certificates of the running epoch, and :meth:`check_certificate`
+    validates the epoch's consumed certificate — it must sit on the epsilon
+    rounding grid, carry at least ``t + 1`` distinct signers, and lie inside
+    the epoch's relaxed honest-input hull (Theorem IV.3's bound, the same
+    relaxation convention as :func:`build_monitors`).  Any breach raises
+    :class:`~repro.errors.InvariantViolation` and aborts the service.
+    """
+
+    name = "certificate-stream"
+
+    def __init__(self, params: Any, tolerance: float = 1e-9) -> None:
+        self.params = params
+        self.tolerance = tolerance
+        self.epoch = -1
+        self._low = 0.0
+        self._high = 0.0
+        self._decided: Dict[int, float] = {}
+
+    def begin_epoch(self, epoch: int, honest_inputs: Sequence[float]) -> None:
+        """Arm the monitor for one epoch's run."""
+        if not honest_inputs:
+            self.violation(f"epoch {epoch}: no honest inputs to validate against")
+        input_range = max(honest_inputs) - min(honest_inputs)
+        relaxation = max(self.params.rho0, input_range) + self.params.epsilon
+        self.epoch = epoch
+        self._low = min(honest_inputs) - relaxation
+        self._high = max(honest_inputs) + relaxation
+        self._decided = {}
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        value = _scalar(output)
+        if value is None:
+            return
+        self._decided[node_id] = value
+        spread = max(self._decided.values()) - min(self._decided.values())
+        # Rounded honest values land on at most two *adjacent* multiples.
+        if spread > self.params.epsilon + self.tolerance:
+            self.violation(
+                f"epoch {self.epoch}: rounded honest outputs spread "
+                f"{spread:.6g} beyond epsilon {self.params.epsilon:.6g}",
+                time=time,
+                node=node_id,
+            )
+
+    def check_certificate(self, epoch: int, certificate: Any) -> None:
+        """Validate one epoch's consumed certificate."""
+        value = float(certificate.value)
+        epsilon = self.params.epsilon
+        if round_to_epsilon(value, epsilon) != value:
+            self.violation(
+                f"epoch {epoch}: certificate value {value!r} is not a "
+                f"multiple of epsilon {epsilon!r}"
+            )
+        if certificate.signer_count < self.params.t + 1:
+            self.violation(
+                f"epoch {epoch}: certificate carries {certificate.signer_count} "
+                f"signers, need t+1 = {self.params.t + 1}"
+            )
+        if not (self._low - self.tolerance <= value <= self._high + self.tolerance):
+            self.violation(
+                f"epoch {epoch}: certificate value {value:.6g} outside the "
+                f"relaxed honest hull [{self._low:.6g}, {self._high:.6g}]"
+            )
 
 
 #: Protocols whose agreement property is ε-agreement on scalars.

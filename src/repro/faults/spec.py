@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.adversary.base import AdversaryStrategy
 from repro.adversary.strategies import (
+    BogusPayloadStrategy,
     CrashStrategy,
     DelayedHonestStrategy,
     EquivocatingStrategy,
@@ -72,6 +73,10 @@ STRATEGY_FACTORIES: Dict[str, StrategyFactory] = {
     ),
     "random-bit": lambda ctx: RandomBitStrategy(seed=ctx.seed + ctx.node_id),
     "spam": lambda ctx: SpamStrategy(copies=int(ctx.options.get("copies", 2))),
+    "bogus-report": lambda ctx: BogusPayloadStrategy(
+        protocol=str(ctx.options.get("protocol", "dora")),
+        junk=ctx.options.get("junk", "bogus"),
+    ),
 }
 
 

@@ -1,7 +1,24 @@
-"""Oracle-network application layer: the SMR (blockchain) channel and the
-end-to-end price-reporting pipeline."""
+"""Oracle-network application layer: the SMR (blockchain) channel, the
+one-shot price-reporting pipeline and the multi-epoch oracle service."""
 
 from repro.oracle.smr import SMRChannel, SMREntry
 from repro.oracle.network import OracleNetwork, OracleReport
+from repro.oracle.service import (
+    EpochNode,
+    EpochReport,
+    OracleService,
+    ServiceResult,
+    build_service,
+)
 
-__all__ = ["OracleNetwork", "OracleReport", "SMRChannel", "SMREntry"]
+__all__ = [
+    "EpochNode",
+    "EpochReport",
+    "OracleNetwork",
+    "OracleReport",
+    "OracleService",
+    "SMRChannel",
+    "SMREntry",
+    "ServiceResult",
+    "build_service",
+]

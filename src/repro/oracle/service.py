@@ -1,0 +1,686 @@
+"""Epoch-pipelined oracle service: the paper's long-lived oracle network.
+
+Section V's end goal is not a one-shot agreement instance but a service: an
+oracle network that *repeatedly* agrees on streaming data (Bitcoin ticks,
+CPS sensor readings, drone observations) and hands attested certificates to
+an SMR chain, epoch after epoch.  :class:`OracleService` is that serving
+layer:
+
+* **streaming workloads** — any workload exposing ``epoch_inputs(n)``
+  (:func:`repro.workloads.make_epoch_workload`) feeds one input per node
+  per epoch;
+* **persistent identities / PKI** — one
+  :class:`~repro.crypto.signatures.SignatureScheme` is created for the
+  service's lifetime and shared by every epoch's nodes, so certificates
+  from different epochs are attested by the same key material;
+* **epoch-tagged messages** — every protocol message is wrapped in an
+  ``epoch:<k>/`` namespace (:class:`EpochNode`); a straggler delivery from
+  a previous epoch is counted and dropped instead of corrupting state;
+* **node churn** — a bounded set of nodes (≤ t) can be offline per epoch
+  (crash-restart between epochs): they are modelled as crashed for that
+  epoch and come back, same identity and keys, the next;
+* **certificate stream** — each epoch's honest certificates are submitted
+  to one persistent :class:`~repro.oracle.smr.SMRChannel`; the first valid
+  entry per epoch is the consumed report;
+* **engines** — epochs run on the real-concurrency asyncio engine
+  (:class:`~repro.sim.asyncio_runtime.AsyncioRuntime`) or either
+  deterministic simulation engine, selected per service;
+* **cross-engine parity** — with a ``parity_engine``, every epoch's inputs
+  are replayed through the deterministic simulator (fresh nodes, an
+  identically derived scheme) and the certificate values compared.  For a
+  deterministic primary engine equality is guaranteed and asserted
+  strictly.  For the asyncio primary it usually holds but is *not* a
+  theorem: approximate agreement is schedule-dependent, so two valid runs
+  of the same epoch can certify different grid values inside the validity
+  hull (measured at roughly 1-in-15 epochs on the Bitcoin workload).  A
+  value mismatch therefore escalates to the **schedule replay**: every
+  node's recorded inbound sequence is re-fed to a fresh node, which must
+  reproduce the asyncio run byte-identically — proving the state machines
+  are runtime-agnostic and the asyncio engine delivered faithfully.  Only
+  a replay divergence (a real engine bug) raises
+  :class:`~repro.errors.EquivalenceError`; ``strict_parity=True`` makes
+  even legitimate value mismatches fatal;
+* **invariants** — a
+  :class:`~repro.faults.monitors.CertificateStreamMonitor` observes every
+  epoch (rounded-output spread, grid alignment, signer threshold, relaxed
+  hull validity) and aborts the service on a violation.
+
+``python -m repro serve`` is the CLI surface; the perf suite's
+``oracle-service`` basket entry runs the same service fast-vs-reference so
+the trajectory gate covers the serving layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.adversary.strategies import CrashStrategy
+from repro.analysis.parameters import DelphiParameters, derive_parameters
+from repro.core.dora import DoraCertificate, DoraNode
+from repro.crypto.signatures import SignatureScheme
+from repro.errors import ConfigurationError, EquivalenceError
+from repro.faults.monitors import CertificateStreamMonitor
+from repro.net.latency import ConstantLatency, LatencyModel, UniformLatency
+from repro.net.message import Message
+from repro.net.network import AsynchronousNetwork, DeliveryPolicy
+from repro.oracle.smr import SMRChannel
+from repro.protocols.base import MessageWrapper, Outbound, ProtocolNode
+from repro.sim.asyncio_runtime import AsyncioRuntime
+from repro.sim.events import DELIVER_EVENT
+from repro.sim.observers import SimObserver
+from repro.sim.runtime import ComputeModel, SimulationConfig, SimulationRuntime
+from repro.workloads import EPOCH_WORKLOADS, make_epoch_workload
+
+#: Engines the service can run epochs on.
+KNOWN_SERVICE_ENGINES = ("asyncio", "fast", "reference")
+
+#: Multiplier decorrelating per-epoch seeds from the service seed.
+_EPOCH_SEED_STRIDE = 100_003
+
+
+class ScheduleRecorder(SimObserver):
+    """Records every node's inbound delivery sequence during one epoch run.
+
+    Because each protocol node is a pure state machine of its inbound
+    sequence, re-feeding the recorded sequence to a fresh node must
+    reproduce the run byte-identically — the soundness basis of the parity
+    harness's schedule replay.
+    """
+
+    def __init__(self) -> None:
+        self.inbound: Dict[int, List[Tuple[int, Message]]] = {}
+
+    def on_event(
+        self,
+        time: float,
+        kind: int,
+        node_id: int,
+        sender: int,
+        message: Optional[Message],
+    ) -> None:
+        if kind == DELIVER_EVENT and message is not None:
+            self.inbound.setdefault(node_id, []).append((sender, message))
+
+
+class EpochNode(ProtocolNode):
+    """Wraps one epoch's :class:`DoraNode` in an ``epoch:<k>/`` namespace.
+
+    Outbound messages are re-tagged with the epoch namespace; inbound
+    messages from any *other* epoch (stragglers across an epoch boundary on
+    a shared transport) unwrap to ``None`` and are dropped, counted in
+    :attr:`stale_messages`.
+    """
+
+    def __init__(self, inner: DoraNode, epoch: int) -> None:
+        super().__init__(inner.node_id, inner.n, inner.t)
+        self.inner = inner
+        self.epoch = epoch
+        self.stale_messages = 0
+        self._wrapper = MessageWrapper(f"epoch:{epoch}")
+
+    def on_start(self) -> List[Outbound]:
+        outbound = self._wrap(self.inner.on_start())
+        self._sync()
+        return outbound
+
+    def on_message(self, sender: int, message: Message) -> List[Outbound]:
+        unwrapped = self._wrapper.unwrap(message)
+        if unwrapped is None:
+            self.stale_messages += 1
+            return []
+        outbound = self._wrap(self.inner.on_message(sender, unwrapped))
+        self._sync()
+        return outbound
+
+    def _sync(self) -> None:
+        # Mirror the inner node's decision into this wrapper's own output
+        # slots (the fast engine reads the `_has_output` attribute directly,
+        # so a property delegate would be invisible to it).
+        if self.inner.has_output and not self._has_output:
+            self._decide(self.inner.output)
+
+    def _wrap(self, outbound: List[Outbound]) -> List[Outbound]:
+        wrap = self._wrapper
+        return [(destination, wrap(message)) for destination, message in outbound]
+
+    def processing_cost(self, message: Message) -> float:
+        unwrapped = self._wrapper.unwrap(message)
+        if unwrapped is None:
+            return 0.0
+        return self.inner.processing_cost(unwrapped)
+
+    @property
+    def certificate(self) -> Optional[DoraCertificate]:
+        return self.inner.certificate
+
+    @property
+    def rounded_value(self) -> Optional[float]:
+        return self.inner.rounded_value
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """One served epoch: the consumed certificate plus run statistics."""
+
+    epoch: int
+    value: float
+    certificate: DoraCertificate
+    honest_outputs: Dict[int, float]
+    input_range: float
+    wall_seconds: float
+    events_processed: int
+    offline_nodes: Tuple[int, ...]
+    stale_messages: int
+    parity_value: Optional[float] = None
+    #: ``"exact"`` — the parity engine certified the same value;
+    #: ``"schedule"`` — values legitimately diverged (asynchrony) and the
+    #: schedule replay verified the asyncio run byte-identically;
+    #: ``None`` — parity was not run for this epoch.
+    parity: Optional[str] = None
+
+    @property
+    def parity_ok(self) -> Optional[bool]:
+        """Whether the parity harness verified this epoch (``None`` when
+        parity was not run; a failed verification raises instead)."""
+        if self.parity is None:
+            return None
+        return self.parity in ("exact", "schedule")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe projection (used by artifacts and fingerprints)."""
+        entry: Dict[str, Any] = {
+            "epoch": self.epoch,
+            "value": self.value,
+            "signers": list(self.certificate.aggregate.signers),
+            "honest_outputs": {
+                str(node): value for node, value in sorted(self.honest_outputs.items())
+            },
+            "input_range": self.input_range,
+            "events_processed": self.events_processed,
+            "offline_nodes": list(self.offline_nodes),
+            "stale_messages": self.stale_messages,
+        }
+        if self.parity is not None:
+            entry["parity"] = self.parity
+            entry["parity_value"] = self.parity_value
+            entry["parity_ok"] = self.parity_ok
+        return entry
+
+
+@dataclass
+class ServiceResult:
+    """Everything a ``serve`` run produced, with throughput accounting."""
+
+    workload: str
+    engine: str
+    n: int
+    reports: List[EpochReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    chain_entries: int = 0
+    chain_validations: int = 0
+
+    @property
+    def epochs(self) -> int:
+        return len(self.reports)
+
+    @property
+    def epochs_per_sec(self) -> Optional[float]:
+        if self.wall_seconds <= 0:
+            return None
+        return self.epochs / self.wall_seconds
+
+    @property
+    def certs_per_sec(self) -> Optional[float]:
+        if self.wall_seconds <= 0:
+            return None
+        return self.chain_entries / self.wall_seconds
+
+    @property
+    def events_processed(self) -> int:
+        return sum(report.events_processed for report in self.reports)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "engine": self.engine,
+            "n": self.n,
+            "epochs": self.epochs,
+            "wall_seconds": self.wall_seconds,
+            "epochs_per_sec": self.epochs_per_sec,
+            "certs_per_sec": self.certs_per_sec,
+            "events_processed": self.events_processed,
+            "chain_entries": self.chain_entries,
+            "chain_validations": self.chain_validations,
+            "reports": [report.as_dict() for report in self.reports],
+        }
+
+
+class OracleService:
+    """Runs DORA epoch-by-epoch over a streaming workload.
+
+    Parameters
+    ----------
+    params:
+        Delphi/DORA configuration shared by every epoch.
+    workload:
+        Any object with ``epoch_inputs(n) -> list[float]``; each call must
+        advance the stream one epoch.
+    engine:
+        ``"asyncio"`` (real concurrency), ``"fast"`` or ``"reference"``.
+    seed:
+        Service seed; per-epoch network seeds derive from it.
+    churn:
+        Nodes offline per epoch (crash-restart), rotated round-robin;
+        must not exceed ``t``.  ``churn_plan`` overrides with an explicit
+        ``epoch -> offline ids`` mapping.
+    parity_engine:
+        When set, each epoch is replayed through this deterministic engine
+        with identically derived keys and the certificate values compared
+        (see the module docstring for the exact/schedule two-tier
+        semantics; ``strict_parity`` makes any value mismatch fatal).
+    network_factory:
+        ``epoch -> AsynchronousNetwork`` for the deterministic engines and
+        parity replays; defaults to a LAN-like jittered network seeded per
+        epoch.
+    latency / epoch_timeout:
+        Asyncio-engine delivery latency model (``None`` = as fast as the
+        loop allows) and per-epoch wall-clock budget.
+    monitor:
+        Attach the :class:`CertificateStreamMonitor` invariants (default).
+    """
+
+    def __init__(
+        self,
+        params: DelphiParameters,
+        workload: Any,
+        *,
+        engine: str = "asyncio",
+        seed: int = 0,
+        churn: int = 0,
+        churn_plan: Optional[Mapping[int, Sequence[int]]] = None,
+        parity_engine: Optional[str] = None,
+        strict_parity: bool = False,
+        network_factory: Optional[Callable[[int], AsynchronousNetwork]] = None,
+        compute: Optional[ComputeModel] = None,
+        latency: Optional[LatencyModel] = None,
+        epoch_timeout: float = 30.0,
+        monitor: bool = True,
+        workload_name: str = "custom",
+    ) -> None:
+        if engine not in KNOWN_SERVICE_ENGINES:
+            raise ConfigurationError(
+                f"unknown service engine {engine!r} "
+                f"(known: {', '.join(KNOWN_SERVICE_ENGINES)})"
+            )
+        if parity_engine is not None and parity_engine not in ("fast", "reference"):
+            raise ConfigurationError(
+                f"parity engine must be a deterministic engine, got {parity_engine!r}"
+            )
+        if churn < 0 or churn > params.t:
+            raise ConfigurationError(
+                f"churn must be in [0, t={params.t}] to preserve liveness, got {churn}"
+            )
+        self.params = params
+        self.workload = workload
+        self.workload_name = workload_name
+        self.engine = engine
+        self.seed = seed
+        self.churn = churn
+        self.churn_plan = dict(churn_plan) if churn_plan is not None else None
+        self.parity_engine = parity_engine
+        # Deterministic primaries are guaranteed to match their parity
+        # engine, so they are always strict.
+        self.strict_parity = strict_parity or engine != "asyncio"
+        self.network_factory = network_factory
+        self.compute = compute
+        self.latency = latency
+        self.epoch_timeout = epoch_timeout
+        # Persistent service state: the PKI and the SMR chain outlive epochs.
+        self.scheme = SignatureScheme(num_nodes=params.n)
+        self.chain = SMRChannel(validator=self._validate_report)
+        self.monitor = CertificateStreamMonitor(params) if monitor else None
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    def _validate_report(self, payload: object) -> bool:
+        if not isinstance(payload, DoraCertificate):
+            return False
+        return self.scheme.verify_aggregate(
+            payload.value, payload.aggregate, threshold=self.params.t + 1
+        )
+
+    def _epoch_seed(self, epoch: int) -> int:
+        return self.seed * _EPOCH_SEED_STRIDE + epoch
+
+    def _network(self, epoch: int) -> AsynchronousNetwork:
+        if self.network_factory is not None:
+            return self.network_factory(epoch)
+        epoch_seed = self._epoch_seed(epoch)
+        return AsynchronousNetwork(
+            num_nodes=self.params.n,
+            latency=UniformLatency(low=0.001, high=0.01, seed=epoch_seed),
+            policy=DeliveryPolicy(seed=epoch_seed),
+        )
+
+    def offline_nodes(self, epoch: int) -> Tuple[int, ...]:
+        """Nodes down (crash-restart) for the given epoch."""
+        if self.churn_plan is not None:
+            offline = tuple(sorted(self.churn_plan.get(epoch, ())))
+        elif self.churn > 0:
+            n = self.params.n
+            offline = tuple(
+                sorted((epoch * self.churn + index) % n for index in range(self.churn))
+            )
+        else:
+            offline = ()
+        if len(offline) > self.params.t:
+            raise ConfigurationError(
+                f"epoch {epoch}: {len(offline)} offline nodes exceed the "
+                f"fault budget t={self.params.t}"
+            )
+        return offline
+
+    # ------------------------------------------------------------------
+    def _build_nodes(
+        self, epoch: int, inputs: Sequence[float], scheme: SignatureScheme
+    ) -> Dict[int, ProtocolNode]:
+        return {
+            node_id: EpochNode(
+                DoraNode(
+                    node_id=node_id,
+                    params=self.params,
+                    value=float(inputs[node_id]),
+                    scheme=scheme,
+                ),
+                epoch,
+            )
+            for node_id in range(self.params.n)
+        }
+
+    def _run_epoch_on_engine(
+        self,
+        engine: str,
+        epoch: int,
+        inputs: Sequence[float],
+        offline: Tuple[int, ...],
+        scheme: SignatureScheme,
+        observers: Sequence[Any],
+    ) -> Tuple[Dict[int, ProtocolNode], Any]:
+        """One epoch's protocol run; returns the nodes and the run result."""
+        nodes = self._build_nodes(epoch, inputs, scheme)
+        byzantine = {node_id: CrashStrategy() for node_id in offline}
+        if engine == "asyncio":
+            runtime = AsyncioRuntime(
+                nodes,
+                latency=self.latency,
+                timeout=self.epoch_timeout,
+                byzantine=byzantine,
+                observers=observers,
+            )
+            return nodes, runtime.run()
+        runtime = SimulationRuntime(
+            nodes=nodes,
+            network=self._network(epoch),
+            byzantine=byzantine,
+            compute=self.compute,
+            config=SimulationConfig(engine=engine),
+            observers=observers,
+        )
+        return nodes, runtime.run()
+
+    @staticmethod
+    def _consume_certificate(
+        chain: SMRChannel,
+        nodes: Dict[int, ProtocolNode],
+        online_honest: Sequence[int],
+        mark: int,
+    ) -> DoraCertificate:
+        """Submit the epoch's certificates and return the consumed one (the
+        first valid entry ordered after ``mark``)."""
+        for node_id in online_honest:
+            certificate = nodes[node_id].certificate
+            if certificate is not None:
+                chain.submit(node_id, certificate)
+        for entry in chain.entries[mark:]:
+            if entry.valid:
+                payload = entry.payload
+                assert isinstance(payload, DoraCertificate)
+                return payload
+        raise ConfigurationError("epoch produced no valid attested certificate")
+
+    def _parity_value(
+        self, epoch: int, inputs: Sequence[float], offline: Tuple[int, ...]
+    ) -> float:
+        """Replay the epoch through the deterministic parity engine with an
+        identically derived (but separate) scheme and a throwaway chain."""
+        scheme = SignatureScheme(num_nodes=self.params.n)
+        chain = SMRChannel(
+            validator=lambda payload: isinstance(payload, DoraCertificate)
+            and scheme.verify_aggregate(
+                payload.value, payload.aggregate, threshold=self.params.t + 1
+            )
+        )
+        nodes, _result = self._run_epoch_on_engine(
+            self.parity_engine, epoch, inputs, offline, scheme, observers=()
+        )
+        online_honest = [i for i in range(self.params.n) if i not in offline]
+        certificate = self._consume_certificate(chain, nodes, online_honest, mark=0)
+        return float(certificate.value)
+
+    def _replay_schedule(
+        self,
+        epoch: int,
+        inputs: Sequence[float],
+        recorder: ScheduleRecorder,
+        live_nodes: Dict[int, ProtocolNode],
+        offline: Tuple[int, ...],
+    ) -> None:
+        """Re-feed every honest node's recorded inbound sequence to a fresh
+        node and require it to reproduce the live run byte-identically.
+
+        Sound because protocol nodes are pure state machines of their
+        inbound sequence; a divergence means the asyncio engine corrupted,
+        duplicated or fabricated a delivery — a real faithfulness bug.
+        """
+        fresh_scheme = SignatureScheme(num_nodes=self.params.n)
+        for node_id in range(self.params.n):
+            if node_id in offline:
+                continue
+            fresh = EpochNode(
+                DoraNode(
+                    node_id=node_id,
+                    params=self.params,
+                    value=float(inputs[node_id]),
+                    scheme=fresh_scheme,
+                ),
+                epoch,
+            )
+            fresh.on_start()
+            for sender, message in recorder.inbound.get(node_id, ()):
+                fresh.on_message(sender, message)
+            live = live_nodes[node_id]
+            live_cert = live.certificate
+            fresh_cert = fresh.certificate
+            same = (
+                fresh.has_output == live.has_output
+                and fresh.rounded_value == live.rounded_value
+                and (live_cert is None) == (fresh_cert is None)
+                and (
+                    live_cert is None
+                    or (
+                        fresh_cert.value == live_cert.value
+                        and fresh_cert.aggregate.signers
+                        == live_cert.aggregate.signers
+                    )
+                )
+            )
+            if not same:
+                raise EquivalenceError(
+                    f"epoch {epoch}: schedule replay of node {node_id} diverged "
+                    f"from the {self.engine} run (replayed "
+                    f"{fresh.rounded_value!r}/{fresh_cert and fresh_cert.value!r} "
+                    f"vs live {live.rounded_value!r}/"
+                    f"{live_cert and live_cert.value!r}) — the runtime did not "
+                    "execute the state machines faithfully"
+                )
+
+    # ------------------------------------------------------------------
+    def run_epoch(self) -> EpochReport:
+        """Serve one epoch: draw inputs, agree, attest, submit, cross-check."""
+        epoch = self._epoch
+        self._epoch += 1
+        inputs = [float(value) for value in self.workload.epoch_inputs(self.params.n)]
+        if len(inputs) != self.params.n:
+            raise ConfigurationError(
+                f"workload produced {len(inputs)} inputs for n={self.params.n}"
+            )
+        offline = self.offline_nodes(epoch)
+        online_honest = [i for i in range(self.params.n) if i not in offline]
+        honest_inputs = [inputs[i] for i in online_honest]
+        observers: List[Any] = []
+        if self.monitor is not None:
+            self.monitor.begin_epoch(epoch, honest_inputs)
+            observers.append(self.monitor)
+        recorder: Optional[ScheduleRecorder] = None
+        if self.parity_engine is not None and self.engine == "asyncio":
+            recorder = ScheduleRecorder()
+            observers.append(recorder)
+
+        started = time.perf_counter()
+        mark = len(self.chain.entries)
+        nodes, result = self._run_epoch_on_engine(
+            self.engine, epoch, inputs, offline, self.scheme, tuple(observers)
+        )
+        certificate = self._consume_certificate(self.chain, nodes, online_honest, mark)
+        if self.monitor is not None:
+            self.monitor.check_certificate(epoch, certificate)
+        # Serving latency of the primary run only; the parity replays below
+        # are verification overhead, not part of the epoch's service time.
+        wall = time.perf_counter() - started
+
+        parity_value: Optional[float] = None
+        parity: Optional[str] = None
+        if self.parity_engine is not None:
+            parity_value = self._parity_value(epoch, inputs, offline)
+            if parity_value == float(certificate.value):
+                parity = "exact"
+            elif self.strict_parity or recorder is None:
+                raise EquivalenceError(
+                    f"epoch {epoch}: {self.engine} engine certified "
+                    f"{certificate.value!r} but the {self.parity_engine} parity "
+                    f"replay certified {parity_value!r}"
+                )
+            else:
+                # Legitimate asynchrony can certify a different grid value;
+                # escalate to the byte-exact schedule replay, which raises
+                # on any real faithfulness divergence.
+                self._replay_schedule(epoch, inputs, recorder, nodes, offline)
+                parity = "schedule"
+
+        honest_outputs = {
+            node_id: nodes[node_id].rounded_value
+            for node_id in online_honest
+            if nodes[node_id].rounded_value is not None
+        }
+        return EpochReport(
+            epoch=epoch,
+            value=float(certificate.value),
+            certificate=certificate,
+            honest_outputs=honest_outputs,
+            input_range=max(honest_inputs) - min(honest_inputs),
+            wall_seconds=wall,
+            events_processed=result.events_processed,
+            offline_nodes=offline,
+            stale_messages=sum(node.stale_messages for node in nodes.values()),
+            parity_value=parity_value,
+            parity=parity,
+        )
+
+    def serve(
+        self,
+        epochs: int,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> ServiceResult:
+        """Serve ``epochs`` consecutive epochs and return the full result."""
+        if epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive, got {epochs}")
+        say = progress or (lambda message: None)
+        result = ServiceResult(
+            workload=self.workload_name, engine=self.engine, n=self.params.n
+        )
+        # The chain is service-lifetime state; report only this call's delta.
+        entries_before = sum(1 for entry in self.chain.entries if entry.valid)
+        validations_before = self.chain.validations
+        started = time.perf_counter()
+        for _ in range(epochs):
+            report = self.run_epoch()
+            result.reports.append(report)
+            parity = "" if report.parity is None else f" parity={report.parity}"
+            offline = (
+                f" offline={list(report.offline_nodes)}" if report.offline_nodes else ""
+            )
+            say(
+                f"[serve] epoch {report.epoch}: value={report.value:.6g} "
+                f"signers={report.certificate.signer_count} "
+                f"({report.wall_seconds:.2f}s, {report.events_processed} events)"
+                f"{offline}{parity}"
+            )
+        result.wall_seconds = time.perf_counter() - started
+        result.chain_entries = (
+            sum(1 for entry in self.chain.entries if entry.valid) - entries_before
+        )
+        result.chain_validations = self.chain.validations - validations_before
+        return result
+
+
+def build_service(
+    workload: str,
+    n: int,
+    *,
+    engine: str = "asyncio",
+    seed: int = 0,
+    churn: int = 0,
+    parity: bool = True,
+    strict_parity: bool = False,
+    epsilon: Optional[float] = None,
+    delta_max: Optional[float] = None,
+    max_rounds: Optional[int] = 6,
+    latency_seconds: Optional[float] = None,
+    epoch_timeout: float = 30.0,
+    network_factory: Optional[Callable[[int], AsynchronousNetwork]] = None,
+) -> OracleService:
+    """Assemble an :class:`OracleService` for a named workload.
+
+    Delphi parameters default to the workload's calibrated entry in
+    :data:`repro.workloads.EPOCH_WORKLOADS`; ``parity`` picks the natural
+    cross-check engine (``fast`` for an asyncio service, ``reference`` for a
+    fast one, and vice versa).
+    """
+    feed = make_epoch_workload(workload, seed=seed)
+    defaults = EPOCH_WORKLOADS[workload]
+    params = derive_parameters(
+        n=n,
+        epsilon=epsilon if epsilon is not None else defaults["epsilon"],
+        rho0=defaults["rho0"] if epsilon is None else None,
+        delta_max=delta_max if delta_max is not None else defaults["delta_max"],
+        max_rounds=max_rounds,
+    )
+    parity_engine: Optional[str] = None
+    if parity:
+        parity_engine = "reference" if engine == "fast" else "fast"
+    latency = ConstantLatency(latency_seconds) if latency_seconds else None
+    return OracleService(
+        params,
+        feed,
+        engine=engine,
+        seed=seed,
+        churn=churn,
+        parity_engine=parity_engine,
+        strict_parity=strict_parity,
+        latency=latency,
+        epoch_timeout=epoch_timeout,
+        network_factory=network_factory,
+        workload_name=workload,
+    )

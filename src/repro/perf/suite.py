@@ -17,7 +17,10 @@ The basket covers the paper's hot spots:
   scenario for hot-path work);
 * ``abraham-n40-aws`` — one round-heavy baseline protocol;
 * ``oracle-smr-e3-n13-aws`` — three epochs of the end-to-end oracle
-  network, including DORA attestation and the SMR channel.
+  network, including DORA attestation and the SMR channel;
+* ``oracle-service-e4-n7-churn`` — four epochs of the epoch-pipelined
+  oracle service (persistent PKI, epoch-tagged messages, rotating one-node
+  churn, certificate-stream monitors) — the serving layer itself.
 """
 
 from __future__ import annotations
@@ -176,6 +179,26 @@ def _oracle_smr(n: int, epochs: int) -> Callable[[str], Tuple[int, Dict[str, Any
     return runner
 
 
+def _oracle_service(n: int, epochs: int) -> Callable[[str], Tuple[int, Dict[str, Any]]]:
+    def runner(engine: str) -> Tuple[int, Dict[str, Any]]:
+        from repro.oracle.service import build_service
+
+        # Parity is off here because the suite itself runs the scenario on
+        # both engines and fingerprints the results — the stronger check.
+        service = build_service(
+            "bitcoin", n, engine=engine, seed=7, churn=1, parity=False
+        )
+        result = service.serve(epochs)
+        projection = {
+            "reports": [report.as_dict() for report in result.reports],
+            "chain_entries": result.chain_entries,
+            "chain_validations": result.chain_validations,
+        }
+        return result.events_processed, projection
+
+    return runner
+
+
 #: The perf basket, in execution order.
 SCENARIOS: Tuple[PerfScenario, ...] = (
     PerfScenario(
@@ -202,6 +225,15 @@ SCENARIOS: Tuple[PerfScenario, ...] = (
         quick=True,
         run=_oracle_smr(13, epochs=3),
     ),
+    PerfScenario(
+        name="oracle-service-e4-n7-churn",
+        description=(
+            "4 epochs of the epoch-pipelined oracle service, n=7, "
+            "rotating 1-node churn, bitcoin workload"
+        ),
+        quick=True,
+        run=_oracle_service(7, epochs=4),
+    ),
 )
 
 
@@ -220,6 +252,9 @@ class ScenarioResult:
     reference: Optional[RunOutcome]
     equivalent: Optional[bool]
     profile: Optional[Dict[str, Any]] = None
+    #: Scenario-specific counters (e.g. the oracle service's epochs and
+    #: certificates), used to derive domain throughput in the artifact.
+    aux: Optional[Dict[str, int]] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -248,21 +283,37 @@ class ScenarioResult:
                 else None
             )
             entry["speedup"] = self.speedup
+        if self.aux:
+            seconds = self.fast.wall_seconds
+            entry.update(self.aux)
+            for key, count in self.aux.items():
+                entry[f"{key}_per_sec"] = count / seconds if seconds else None
         if self.profile is not None:
             entry["profile"] = self.profile
         return entry
 
 
-def _run_engine(scenario: PerfScenario, engine: str) -> RunOutcome:
+def _scenario_aux(projection: Any) -> Optional[Dict[str, int]]:
+    """Domain counters for throughput reporting (oracle-service shape)."""
+    if isinstance(projection, dict) and "reports" in projection and "chain_entries" in projection:
+        return {
+            "epochs": len(projection["reports"]),
+            "certificates": int(projection["chain_entries"]),
+        }
+    return None
+
+
+def _run_engine(scenario: PerfScenario, engine: str) -> Tuple[RunOutcome, Any]:
     started = time.perf_counter()
     events, projection = scenario.run(engine)
     elapsed = time.perf_counter() - started
-    return RunOutcome(
+    outcome = RunOutcome(
         engine=engine,
         wall_seconds=elapsed,
         events=events,
         fingerprint=_fingerprint(projection),
     )
+    return outcome, projection
 
 
 def run_scenario(
@@ -286,13 +337,13 @@ def run_scenario(
     """
     say = progress or (lambda message: None)
     say(f"[perf] {scenario.name}: fast engine ...")
-    fast = _run_engine(scenario, "fast")
+    fast, fast_projection = _run_engine(scenario, "fast")
     events = fast.events or 0
     reference: Optional[RunOutcome] = None
     equivalent: Optional[bool] = None
     if verify:
         say(f"[perf] {scenario.name}: reference engine (equivalence oracle) ...")
-        reference = _run_engine(scenario, "reference")
+        reference, _ = _run_engine(scenario, "reference")
         equivalent = reference.fingerprint == fast.fingerprint
         if not equivalent:
             raise EquivalenceError(
@@ -316,6 +367,7 @@ def run_scenario(
         reference=reference,
         equivalent=equivalent,
         profile=attribution,
+        aux=_scenario_aux(fast_projection),
     )
 
 

@@ -3,10 +3,12 @@
 from repro.sim.events import Event, EventKind
 from repro.sim.scheduler import EventScheduler
 from repro.sim.runtime import ComputeModel, SimulationConfig, SimulationResult, SimulationRuntime
-from repro.sim.asyncio_runtime import AsyncioRuntime
+from repro.sim.asyncio_runtime import AsyncioRunResult, AsyncioRuntime, InMemoryTransport
 
 __all__ = [
+    "AsyncioRunResult",
     "AsyncioRuntime",
+    "InMemoryTransport",
     "ComputeModel",
     "Event",
     "EventKind",

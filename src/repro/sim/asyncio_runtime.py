@@ -1,32 +1,115 @@
-"""Asyncio-based runtime adapter.
+"""Asyncio-based runtime: the repo's real-concurrency engine.
 
-The deterministic simulator in :mod:`repro.sim.runtime` is what the tests and
-benchmarks use, but the same protocol nodes can also be executed on real
-concurrency: each node becomes an asyncio task with an inbox queue, and
-messages travel through in-memory queues with (optionally) real ``sleep``
-delays drawn from a latency model.  This mirrors the paper's tokio-based Rust
-implementation and demonstrates that the state machines are runtime-agnostic.
+The two deterministic engines in :mod:`repro.sim.runtime` /
+:mod:`repro.sim.fastpath` are what the tests and benchmarks use, but the
+same protocol nodes can also be executed on real concurrency: each node
+becomes an asyncio task with an inbox, and messages travel through a
+pluggable :class:`AsyncioTransport` (in-memory queues today, a socket
+transport later) with optional real ``sleep`` delays drawn from a latency
+model.  This mirrors the paper's tokio-based Rust implementation and is the
+engine the epoch-pipelined oracle service (:mod:`repro.oracle.service`)
+serves on.
+
+Contract differences vs the deterministic engines:
+
+* **No determinism.**  Delivery order depends on event-loop scheduling; the
+  run is still *correct* (the protocols are asynchronous by design) but two
+  runs may produce different (epsilon-close) outputs.  The oracle service's
+  parity harness replays each epoch through the fast engine to cross-check.
+* **Wall-clock time.**  Observer hooks and decision times report seconds
+  since the run started (the asyncio loop clock), not simulated time.
+* **Fail fast.**  An exception escaping a node (or an
+  :class:`~repro.errors.InvariantViolation` raised by an observer) aborts
+  the whole run instead of hanging; a wall-clock timeout raises
+  :class:`~repro.errors.LivenessTimeout` carrying the partial outputs.
+
+Liveness/leak guarantees (regression-tested in ``tests/test_sim_asyncio.py``):
+
+* every delivery task spawned for a delayed message is strongly referenced
+  and cancelled + drained on shutdown — ``run()`` returns with **zero**
+  pending tasks on the loop;
+* nodes that decide during ``on_start()`` (before their node loop processes
+  a single message) are counted, so trivially-deciding runs terminate
+  immediately instead of sleeping until the timeout.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import SimulationError
+from repro.adversary.base import AdversaryStrategy
+from repro.errors import LivenessTimeout, ReproError, SimulationError
 from repro.net.latency import LatencyModel
 from repro.net.message import Envelope, Message, MessageTrace
+from repro.net.network import DeliveryPolicy
 from repro.protocols.base import BROADCAST, ProtocolNode
+from repro.sim.events import DELIVER_EVENT, START_EVENT
+from repro.sim.observers import SimObserver
 
 
 @dataclass
 class AsyncioRunResult:
-    """Outputs and statistics of an asyncio execution."""
+    """Outputs and statistics of an asyncio execution.
+
+    The attribute names mirror :class:`~repro.sim.runtime.SimulationResult`
+    where the concepts coincide (``outputs``, ``decision_times``,
+    ``honest_nodes``, ``events_processed``) so the invariant monitors'
+    ``on_run_end`` hook works unchanged on both kinds of result.
+    """
 
     outputs: Dict[int, Any]
+    decision_times: Dict[int, float]
     trace: MessageTrace
     wall_seconds: float
+    events_processed: int
+    honest_nodes: List[int]
+    byzantine_nodes: List[int]
+    #: Delivery tasks still in flight when the run finished (cancelled and
+    #: drained before ``run()`` returned — nonzero is normal, leaked is not).
+    cancelled_deliveries: int = 0
+    #: Messages dropped by a fault-plan loss window.
+    dropped_messages: int = 0
+
+    @property
+    def all_honest_decided(self) -> bool:
+        """Whether every honest node produced an output."""
+        return all(node in self.outputs for node in self.honest_nodes)
+
+
+class InMemoryTransport:
+    """The default transport: one asyncio FIFO queue per node.
+
+    The transport seam is deliberately tiny — :meth:`open`, :meth:`put`,
+    :meth:`get`, :meth:`close` — so a socket-based transport (each node a
+    real process, as in the paper's tokio deployment) can slot in without
+    touching the runtime.  ``put``/``get`` move ``(sender, message)`` pairs;
+    delays are the *runtime's* concern (a socket transport has real ones).
+    """
+
+    def __init__(self) -> None:
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+
+    def open(self, node_ids: Sequence[int]) -> None:
+        """(Re)create one empty inbox per node; called at run start."""
+        self._inboxes = {node_id: asyncio.Queue() for node_id in node_ids}
+
+    async def put(self, target: int, item: Tuple[int, Message]) -> None:
+        """Enqueue one ``(sender, message)`` pair for ``target``."""
+        await self._inboxes[target].put(item)
+
+    async def get(self, node_id: int) -> Tuple[int, Message]:
+        """Dequeue the next ``(sender, message)`` pair for ``node_id``."""
+        return await self._inboxes[node_id].get()
+
+    def pending(self) -> int:
+        """Messages enqueued but not yet consumed (drained on close)."""
+        return sum(queue.qsize() for queue in self._inboxes.values())
+
+    def close(self) -> None:
+        """Drop all inboxes (and any undelivered messages)."""
+        self._inboxes = {}
 
 
 class AsyncioRuntime:
@@ -35,13 +118,31 @@ class AsyncioRuntime:
     Parameters
     ----------
     nodes:
-        Mapping of node id to protocol node.
+        Mapping of node id to protocol node (ids need not be contiguous).
     latency:
-        Optional latency model; when provided, each message delivery awaits
-        ``asyncio.sleep(delay)``.  When omitted messages are delivered as
-        fast as the event loop allows, which exercises true non-determinism.
+        Optional latency model; when provided, each cross-node delivery is a
+        tracked task awaiting ``asyncio.sleep(delay)``.  When omitted,
+        messages are delivered as fast as the event loop allows.
     timeout:
-        Wall-clock timeout for the whole run, in seconds.
+        Wall-clock timeout for the whole run, in seconds.  Hitting it raises
+        :class:`~repro.errors.LivenessTimeout` with the partial outputs.
+    byzantine:
+        Optional mapping of node id to
+        :class:`~repro.adversary.base.AdversaryStrategy` — the same
+        corruption seam the deterministic engines use, so fault plans run on
+        real concurrency too.
+    observers:
+        :class:`~repro.sim.observers.SimObserver` instances; ``on_event`` /
+        ``on_decide`` / ``on_run_end`` fire at the same semantic points as in
+        the deterministic engines, with wall-clock (run-relative) times.
+        The PR-3 invariant monitors work unchanged; a monitor raising
+        :class:`~repro.errors.InvariantViolation` aborts the run.
+    policy:
+        Optional :class:`~repro.net.network.DeliveryPolicy`; adversarial
+        extra delay and fault windows (partition holds, targeted delay,
+        loss) are applied per delivery, on wall-clock time.
+    transport:
+        Transport seam; defaults to :class:`InMemoryTransport`.
     """
 
     def __init__(
@@ -49,82 +150,264 @@ class AsyncioRuntime:
         nodes: Dict[int, ProtocolNode],
         latency: Optional[LatencyModel] = None,
         timeout: float = 60.0,
+        byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
+        observers: Optional[Sequence[SimObserver]] = None,
+        policy: Optional[DeliveryPolicy] = None,
+        transport: Optional[InMemoryTransport] = None,
     ) -> None:
         if not nodes:
             raise SimulationError("at least one node is required")
+        if timeout <= 0:
+            raise SimulationError(f"timeout must be positive, got {timeout}")
         self.nodes = nodes
         self.latency = latency
         self.timeout = timeout
+        self.byzantine: Dict[int, AdversaryStrategy] = dict(byzantine or {})
+        for node_id, strategy in self.byzantine.items():
+            if node_id not in self.nodes:
+                raise SimulationError(f"cannot corrupt unknown node {node_id}")
+            strategy.attach(self.nodes[node_id])
+        self.observers: tuple = tuple(observers or ())
+        self.policy = policy
+        self.transport = transport if transport is not None else InMemoryTransport()
         self.trace = MessageTrace()
-        self._inboxes: Dict[int, asyncio.Queue] = {}
-        self._decided = 0
-        self._all_decided: Optional[asyncio.Event] = None
-
-    def run(self) -> AsyncioRunResult:
-        """Execute the protocol and block until every node decides."""
-        return asyncio.run(self._run())
-
-    async def _run(self) -> AsyncioRunResult:
-        loop = asyncio.get_event_loop()
-        started = loop.time()
-        self._all_decided = asyncio.Event()
-        self._inboxes = {node_id: asyncio.Queue() for node_id in self.nodes}
-
-        tasks = [
-            asyncio.create_task(self._node_loop(node_id))
-            for node_id in self.nodes
-        ]
-        # Kick off every node.
-        for node_id, node in self.nodes.items():
-            await self._dispatch(node_id, node.on_start())
-
-        try:
-            await asyncio.wait_for(self._all_decided.wait(), timeout=self.timeout)
-        finally:
-            for task in tasks:
-                task.cancel()
-            await asyncio.gather(*tasks, return_exceptions=True)
-
-        wall = loop.time() - started
-        outputs = {
-            node_id: node.output
-            for node_id, node in self.nodes.items()
-            if node.has_output
+        self._timed: Dict[int, AdversaryStrategy] = {
+            node_id: strategy
+            for node_id, strategy in self.byzantine.items()
+            if getattr(strategy, "wants_time", False)
         }
-        return AsyncioRunResult(outputs=outputs, trace=self.trace, wall_seconds=wall)
+        # Run state (created fresh inside _run).
+        self._delivery_tasks: set = set()
+        self._decided_nodes: set = set()
+        self._decision_times: Dict[int, float] = {}
+        self._events_processed = 0
+        self._dropped = 0
+        self._all_decided: Optional[asyncio.Event] = None
+        self._failure: Optional[asyncio.Future] = None
+        self._started_at = 0.0
 
-    async def _node_loop(self, node_id: int) -> None:
+    # ------------------------------------------------------------------
+    @property
+    def honest_nodes(self) -> List[int]:
+        """Identifiers of nodes not under adversarial control."""
+        return sorted(node_id for node_id in self.nodes if node_id not in self.byzantine)
+
+    def _handler(self, node_id: int):
+        return self.byzantine.get(node_id, self.nodes[node_id])
+
+    def _now(self) -> float:
+        return asyncio.get_event_loop().time() - self._started_at
+
+    # ------------------------------------------------------------------
+    def run(self) -> AsyncioRunResult:
+        """Execute the protocol on a fresh event loop and block until every
+        honest node decides (or the timeout / a failure aborts the run)."""
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> AsyncioRunResult:
+        """Coroutine form of :meth:`run`, for callers that already own an
+        event loop (tests that audit ``asyncio.all_tasks`` after the run,
+        or embedders driving several runtimes on one loop).
+
+        Guarantees that *no* task spawned by this run is left pending when
+        it returns, on every exit path (success, failure, timeout).
+        """
+        loop = asyncio.get_event_loop()
+        self._started_at = loop.time()
+        self._all_decided = asyncio.Event()
+        self._failure = loop.create_future()
+        self._delivery_tasks = set()
+        self._decided_nodes = set()
+        self._decision_times = {}
+        self._events_processed = 0
+        self._dropped = 0
+        self.transport.open(list(self.nodes))
+
+        node_tasks = [
+            asyncio.create_task(self._node_loop(node_id)) for node_id in self.nodes
+        ]
+        waiter = asyncio.create_task(self._all_decided.wait())
+        try:
+            # Kick off every node.  A node may decide right here, inside
+            # on_start(), before its node loop ever runs — count it, or a
+            # trivially-deciding run would sleep until the timeout.
+            if not self.honest_nodes:
+                self._all_decided.set()
+            for node_id, node in self.nodes.items():
+                handler = self._handler(node_id)
+                if node_id in self._timed:
+                    handler.now = self._now()
+                outbound = handler.on_start()
+                self._events_processed += 1
+                self._observe_event(START_EVENT, node_id, -1, None)
+                self._note_decision(node_id)
+                await self._dispatch(node_id, outbound)
+
+            done, _pending = await asyncio.wait(
+                [waiter, self._failure],
+                timeout=self.timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if self._failure.done():
+                self._raise_failure()
+            if waiter not in done:
+                raise LivenessTimeout(
+                    f"run did not complete within {self.timeout}s wall-clock "
+                    f"({len(self._decided_nodes)}/{len(self.honest_nodes)} "
+                    "honest nodes decided)",
+                    outputs=self._partial_outputs(),
+                    pending_nodes=[
+                        node_id
+                        for node_id in self.honest_nodes
+                        if node_id not in self._decided_nodes
+                    ],
+                )
+        finally:
+            cancelled = await self._shutdown(node_tasks, waiter)
+
+        result = AsyncioRunResult(
+            outputs=self._partial_outputs(),
+            decision_times=dict(self._decision_times),
+            trace=self.trace,
+            wall_seconds=self._now(),
+            events_processed=self._events_processed,
+            honest_nodes=self.honest_nodes,
+            byzantine_nodes=sorted(self.byzantine),
+            cancelled_deliveries=cancelled,
+            dropped_messages=self._dropped,
+        )
+        for observer in self.observers:
+            observer.on_run_end(result)
+        return result
+
+    async def _shutdown(self, node_tasks: List[asyncio.Task], waiter: asyncio.Task) -> int:
+        """Cancel and drain every task this run spawned; returns the number
+        of in-flight delivery tasks that had to be cancelled."""
+        in_flight = [task for task in self._delivery_tasks if not task.done()]
+        for task in [*node_tasks, waiter, *in_flight]:
+            task.cancel()
+        await asyncio.gather(
+            *node_tasks, waiter, *in_flight, return_exceptions=True
+        )
+        self._delivery_tasks.clear()
+        if self._failure is not None and not self._failure.done():
+            self._failure.cancel()
+        self.transport.close()
+        return len(in_flight)
+
+    def _raise_failure(self) -> None:
+        error = self._failure.exception() if self._failure.done() else None
+        if error is None:  # pragma: no cover - defensive
+            raise SimulationError("asyncio run failed without an exception")
+        if isinstance(error, ReproError):
+            raise error
+        if not isinstance(error, Exception):
+            # KeyboardInterrupt / SystemExit keep their own semantics (the
+            # run still aborted promptly and was drained by _shutdown).
+            raise error
+        raise SimulationError(f"node task failed: {error!r}") from error
+
+    def _partial_outputs(self) -> Dict[int, Any]:
+        return {
+            node_id: self.nodes[node_id].output
+            for node_id in self.honest_nodes
+            if self.nodes[node_id].has_output
+        }
+
+    # ------------------------------------------------------------------
+    def _note_decision(self, node_id: int) -> None:
+        """Idempotently record an honest node's first decision."""
+        if node_id in self.byzantine or node_id in self._decided_nodes:
+            return
         node = self.nodes[node_id]
-        inbox = self._inboxes[node_id]
-        while True:
-            sender, message = await inbox.get()
-            had_output = node.has_output
-            outbound = node.on_message(sender, message)
-            if not had_output and node.has_output:
-                self._decided += 1
-                if self._decided == len(self.nodes):
-                    assert self._all_decided is not None
-                    self._all_decided.set()
-            await self._dispatch(node_id, outbound)
+        if not node.has_output:
+            return
+        self._decided_nodes.add(node_id)
+        now = self._now()
+        self._decision_times[node_id] = now
+        for observer in self.observers:
+            observer.on_decide(node_id, node.output, now)
+        if len(self._decided_nodes) == len(self.honest_nodes):
+            assert self._all_decided is not None
+            self._all_decided.set()
+
+    def _observe_event(
+        self, kind: int, node_id: int, sender: int, message: Optional[Message]
+    ) -> None:
+        if not self.observers:
+            return
+        now = self._now()
+        for observer in self.observers:
+            observer.on_event(now, kind, node_id, sender, message)
+
+    def _fail(self, error: BaseException) -> None:
+        if self._failure is not None and not self._failure.done():
+            self._failure.set_exception(error)
+
+    # ------------------------------------------------------------------
+    async def _node_loop(self, node_id: int) -> None:
+        handler = self._handler(node_id)
+        timed = node_id in self._timed
+        try:
+            while True:
+                sender, message = await self.transport.get(node_id)
+                if timed:
+                    handler.now = self._now()
+                outbound = handler.on_message(sender, message)
+                self._events_processed += 1
+                self._observe_event(DELIVER_EVENT, node_id, sender, message)
+                self._note_decision(node_id)
+                await self._dispatch(node_id, outbound)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as error:  # noqa: BLE001 - abort the whole run
+            self._fail(error)
 
     async def _dispatch(
         self, sender: int, outbound: List[Tuple[int, Message]]
     ) -> None:
         for destination, message in outbound:
-            targets = range(len(self.nodes)) if destination == BROADCAST else [destination]
+            targets = list(self.nodes) if destination == BROADCAST else [destination]
             for target in targets:
-                if target != sender:
-                    self.trace.record(
-                        Envelope(sender=sender, destination=target, message=message)
+                if target == sender:
+                    # Local self-delivery: no network, no trace, no delay.
+                    await self.transport.put(target, (sender, message))
+                    continue
+                self.trace.record(
+                    Envelope(sender=sender, destination=target, message=message)
+                )
+                delay = self._delivery_delay(sender, target)
+                if delay is None:
+                    self._dropped += 1
+                    continue
+                if delay > 0.0:
+                    task = asyncio.create_task(
+                        self._delayed_put(sender, target, message, delay)
                     )
-                if self.latency is not None and target != sender:
-                    asyncio.create_task(
-                        self._delayed_put(sender, target, message)
-                    )
+                    # Keep a strong reference: bare create_task results can
+                    # be garbage-collected mid-flight, and untracked tasks
+                    # leak past the run.  Completed tasks deregister
+                    # themselves; the rest are cancelled in _shutdown.
+                    self._delivery_tasks.add(task)
+                    task.add_done_callback(self._delivery_tasks.discard)
                 else:
-                    await self._inboxes[target].put((sender, message))
+                    await self.transport.put(target, (sender, message))
 
-    async def _delayed_put(self, sender: int, target: int, message: Message) -> None:
-        assert self.latency is not None
-        await asyncio.sleep(self.latency.delay(sender, target))
-        await self._inboxes[target].put((sender, message))
+    def _delivery_delay(self, sender: int, target: int) -> Optional[float]:
+        """Wall-clock delivery delay for one cross-node message, or ``None``
+        when a fault-plan loss window drops it."""
+        delay = self.latency.delay(sender, target) if self.latency is not None else 0.0
+        if self.policy is not None:
+            delay += self.policy.extra_delay_raw()
+            if self.policy.faults_active:
+                extra = self.policy.fault_delay(sender, target, self._now())
+                if extra == float("inf"):
+                    return None
+                delay += extra
+        return delay
+
+    async def _delayed_put(
+        self, sender: int, target: int, message: Message, delay: float
+    ) -> None:
+        await asyncio.sleep(delay)
+        await self.transport.put(target, (sender, message))

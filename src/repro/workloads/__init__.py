@@ -1,13 +1,68 @@
-"""Synthetic workload generators for the paper's two applications."""
+"""Synthetic workload generators for the paper's two applications.
 
+Every workload doubles as a *streaming epoch feed* for the oracle service
+(:mod:`repro.oracle.service`): calling :meth:`epoch_inputs(num_nodes)`
+advances the underlying process one epoch (a reporting minute for the
+Bitcoin feed, a fresh measurement round for the sensor grid, a new swarm
+observation for the drones) and returns one scalar input per oracle node.
+:func:`make_epoch_workload` builds a feed by name with service-appropriate
+Delphi defaults (epsilon / delta_max calibrated to each workload's input
+spread).
+"""
+
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
 from repro.workloads.bitcoin import BitcoinPriceFeed, ExchangeQuote
 from repro.workloads.drone import DroneLocalisationWorkload, DroneObservation
 from repro.workloads.sensors import SensorGridWorkload
+
+#: Workloads the oracle service can stream, with their per-epoch feed
+#: factory and the paper-derived Delphi defaults for that input process
+#: (epsilon is the application's agreement need; delta_max bounds the
+#: honest input range; rho0 trades levels for per-level traffic).
+EPOCH_WORKLOADS: Dict[str, Dict[str, Any]] = {
+    "bitcoin": {
+        "factory": BitcoinPriceFeed,
+        "epsilon": 2.0,
+        "rho0": 10.0,
+        "delta_max": 2000.0,
+        "description": "per-minute Bitcoin quotes from ten exchanges (Section VI-A)",
+    },
+    "sensors": {
+        "factory": SensorGridWorkload,
+        "epsilon": 0.5,
+        "rho0": 0.5,
+        "delta_max": 16.0,
+        "description": "sensor grid measuring a common scalar with noise",
+    },
+    "drone": {
+        "factory": DroneLocalisationWorkload,
+        "epsilon": 0.5,
+        "rho0": 1.0,
+        "delta_max": 64.0,
+        "description": "drone-swarm object localisation, x coordinate (Section VI-B)",
+    },
+}
+
+
+def make_epoch_workload(name: str, seed: int = 0, **options: Any):
+    """Build the named workload as an epoch feed (``epoch_inputs`` hook)."""
+    try:
+        entry = EPOCH_WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r} (known: {', '.join(sorted(EPOCH_WORKLOADS))})"
+        )
+    return entry["factory"](seed=seed, **options)
+
 
 __all__ = [
     "BitcoinPriceFeed",
     "DroneLocalisationWorkload",
     "DroneObservation",
+    "EPOCH_WORKLOADS",
     "ExchangeQuote",
     "SensorGridWorkload",
+    "make_epoch_workload",
 ]

@@ -149,6 +149,16 @@ class BitcoinPriceFeed:
             inputs.append(float(statistics.median(chosen)))
         return inputs
 
+    def epoch_inputs(self, num_nodes: int) -> List[float]:
+        """One *epoch* of oracle inputs for the streaming oracle service.
+
+        An epoch is one reporting minute: the feed advances and every node
+        queries its exchange, exactly as :meth:`node_inputs` — this alias is
+        the uniform per-epoch hook shared by all workloads (see
+        :func:`repro.workloads.make_epoch_workload`).
+        """
+        return self.node_inputs(num_nodes)
+
     def observed_ranges(self, num_nodes: int, minutes: int) -> List[float]:
         """Per-minute input ranges over a simulated observation window (the
         data behind Fig. 4)."""

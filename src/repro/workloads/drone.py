@@ -135,6 +135,14 @@ class DroneLocalisationWorkload:
         ys = [observation.estimate[1] for observation in observations]
         return xs, ys
 
+    def epoch_inputs(self, num_nodes: int) -> List[float]:
+        """One epoch of localisation inputs for the streaming oracle
+        service: the x-coordinate estimates of a fresh swarm observation
+        (the paper runs one Delphi instance per coordinate; the service
+        agrees on one coordinate per epoch)."""
+        xs, _ys = self.node_inputs(num_nodes)
+        return xs
+
     def observed_ranges(self, num_drones: int, rounds: int) -> List[float]:
         """Per-round ranges of the x coordinate estimates (range analysis)."""
         if rounds <= 0:

@@ -66,6 +66,11 @@ class SensorGridWorkload:
             measurements[index] += self.drift
         return measurements
 
+    def epoch_inputs(self, num_nodes: int) -> List[float]:
+        """One epoch of sensor measurements for the streaming oracle
+        service (fresh noise each call; the uniform per-epoch hook)."""
+        return self.node_inputs(num_nodes)
+
     def observed_ranges(self, num_sensors: int, rounds: int) -> List[float]:
         """Ranges across ``rounds`` independent measurement rounds."""
         if rounds <= 0:

@@ -83,6 +83,63 @@ class TestDoraNode:
         assert node.processing_cost(Message("delphi", "BUNDLE", None, None)) == 0.0
 
 
+class TestByzantineReportPayloads:
+    """Regression: _on_report called float(value) on unvalidated payloads —
+    a non-numeric Byzantine report crashed the honest receiver."""
+
+    @pytest.fixture
+    def honest_node(self, make_delphi_params):
+        params = make_delphi_params(n=4)
+        scheme = SignatureScheme(num_nodes=params.n)
+        node = DoraNode(0, params, value=1.0, scheme=scheme)
+        return node, params, scheme
+
+    def _report(self, payload):
+        from repro.net.message import Message
+
+        return Message("dora", "REPORT", None, payload)
+
+    def test_non_numeric_report_is_discarded_not_crashed(self, honest_node):
+        node, _params, scheme = honest_node
+        signature = scheme.sign(1, "bogus")
+        # Pre-fix this raised ValueError out of float("bogus").
+        assert node.on_message(1, self._report(["bogus", signature])) == []
+        assert node._signatures == {}
+
+    @pytest.mark.parametrize(
+        "junk", [None, [1.0], {"v": 1.0}, float("nan"), float("inf"), True]
+    )
+    def test_malformed_values_rejected(self, honest_node, junk):
+        node, _params, scheme = honest_node
+        signature = scheme.sign(1, junk)
+        assert node.on_message(1, self._report([junk, signature])) == []
+        assert node._signatures == {}
+
+    def test_off_grid_value_rejected_even_with_valid_signature(self, honest_node):
+        node, params, scheme = honest_node
+        off_grid = params.epsilon * 1.5
+        signature = scheme.sign(1, off_grid)
+        assert node.on_message(1, self._report([off_grid, signature])) == []
+        assert node._signatures == {}
+
+    def test_on_grid_signed_report_recorded(self, honest_node):
+        node, params, scheme = honest_node
+        value = params.epsilon * 2
+        signature = scheme.sign(1, value)
+        node.on_message(1, self._report([value, signature]))
+        assert node._signatures == {value: {1: signature}}
+
+    def test_bogus_report_adversary_does_not_stall_the_network(self, run_dora):
+        from repro.adversary.strategies import BogusPayloadStrategy
+
+        values = [10.2, 10.5, 10.9, 11.4, 10.1, 10.7, 11.0]
+        byz = {6: BogusPayloadStrategy()}
+        nodes, result, params, _ = run_dora(values, byzantine=byz)
+        assert result.all_honest_decided
+        certified = {nodes[i].certificate.value for i in range(6)}
+        assert len(certified) <= 2
+
+
 class TestSMRChannel:
     def test_orders_submissions(self):
         chain = SMRChannel()

@@ -1,0 +1,341 @@
+"""Tests for the epoch-pipelined oracle service: multi-epoch operation,
+cross-engine parity, churn, epoch tagging, monitors and the serve CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.parameters import derive_parameters
+from repro.core.dora import DoraNode
+from repro.crypto.signatures import SignatureScheme
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.experiments.cli import main
+from repro.faults.monitors import CertificateStreamMonitor
+from repro.net.message import Message
+from repro.oracle.service import (
+    EpochNode,
+    KNOWN_SERVICE_ENGINES,
+    OracleService,
+    build_service,
+)
+from repro.workloads import EPOCH_WORKLOADS, make_epoch_workload
+
+
+def small_service(workload="sensors", n=4, engine="fast", **kwargs):
+    kwargs.setdefault("parity", False)
+    return build_service(workload, n, engine=engine, **kwargs)
+
+
+class TestEpochNode:
+    @pytest.fixture
+    def epoch_node(self):
+        params = derive_parameters(n=4, epsilon=1.0, delta_max=8.0, max_rounds=3)
+        scheme = SignatureScheme(num_nodes=4)
+        inner = DoraNode(0, params, value=2.0, scheme=scheme)
+        return EpochNode(inner, epoch=1)
+
+    def test_outbound_messages_are_epoch_tagged(self, epoch_node):
+        outbound = epoch_node.on_start()
+        assert outbound
+        for _destination, message in outbound:
+            assert message.protocol.startswith("epoch:1/")
+
+    def test_stale_epoch_messages_dropped_and_counted(self, epoch_node):
+        stale = Message("epoch:0/dora", "REPORT", None, [2.0, None])
+        assert epoch_node.on_message(1, stale) == []
+        assert epoch_node.stale_messages == 1
+        assert epoch_node.processing_cost(stale) == 0.0
+
+    def test_decision_mirrors_inner_node(self, epoch_node):
+        # The fast engine reads _has_output directly, so the wrapper must
+        # mirror the inner decision into its own output slots.
+        assert not epoch_node.has_output
+        epoch_node.inner._decide("cert")
+        epoch_node._sync()
+        assert epoch_node.has_output
+        assert epoch_node._has_output
+        assert epoch_node.output == "cert"
+
+
+class TestMultiEpochService:
+    def test_serves_epochs_with_persistent_pki_and_chain(self):
+        service = small_service()
+        result = service.serve(3)
+        assert result.epochs == 3
+        assert [report.epoch for report in result.reports] == [0, 1, 2]
+        # Every epoch's consumed certificate verifies against the *service*
+        # scheme: identities and keys persist across epochs.
+        for report in result.reports:
+            assert service.scheme.verify_aggregate(
+                report.value,
+                report.certificate.aggregate,
+                threshold=service.params.t + 1,
+            )
+        assert result.chain_entries >= result.epochs
+        assert result.events_processed > 0
+        assert result.epochs_per_sec is None or result.epochs_per_sec > 0
+
+    def test_epoch_values_track_the_stream(self):
+        service = small_service(workload="bitcoin", n=4)
+        result = service.serve(3)
+        values = [report.value for report in result.reports]
+        epsilon = service.params.epsilon
+        for value in values:
+            assert round(value / epsilon) * epsilon == value
+        # The bitcoin walk moves: epochs are distinct draws, not replays.
+        assert len(set(values)) >= 2 or values[0] != 0.0
+
+    def test_churn_rotates_and_service_survives(self):
+        service = small_service(n=4, churn=1)
+        result = service.serve(4)
+        offline = [report.offline_nodes for report in result.reports]
+        assert offline == [(0,), (1,), (2,), (3,)]
+        for report in result.reports:
+            assert report.certificate.signer_count >= service.params.t + 1
+            # The offline node cannot have contributed a signature.
+            assert not set(report.offline_nodes) & set(
+                report.certificate.aggregate.signers
+            )
+
+    def test_churn_plan_override(self):
+        service = small_service(n=4, engine="fast")
+        service.churn_plan = {1: (2,)}
+        result = service.serve(2)
+        assert result.reports[0].offline_nodes == ()
+        assert result.reports[1].offline_nodes == (2,)
+
+    def test_serve_twice_reports_per_call_chain_deltas(self):
+        service = small_service()
+        first = service.serve(2)
+        second = service.serve(2)
+        # The chain itself is service-lifetime state ...
+        assert len(service.chain.entries) >= first.chain_entries + second.chain_entries
+        # ... but each ServiceResult counts only its own call's epochs.
+        assert first.epochs == second.epochs == 2
+        assert second.chain_entries <= first.chain_entries + 1  # same shape per call
+        assert second.chain_validations > 0
+        assert first.chain_entries + second.chain_entries == sum(
+            1 for entry in service.chain.entries if entry.valid
+        )
+
+    def test_result_dict_is_json_safe(self):
+        result = small_service().serve(2)
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["epochs"] == 2
+        assert len(payload["reports"]) == 2
+
+
+class TestCrossEngineParity:
+    @pytest.mark.parametrize("workload", ["bitcoin", "sensors"])
+    def test_asyncio_matches_simulator_over_epochs(self, workload):
+        """The satellite contract: asyncio <-> simulator parity over >= 3
+        epochs on two workloads.  Every epoch is verified: either the
+        fastpath replay certifies the identical value ("exact") or the
+        byte-exact schedule replay confirms the asyncio run was faithful
+        ("schedule" — legitimate asynchrony); a real divergence raises."""
+        service = build_service(workload, 4, engine="asyncio", seed=5, parity=True)
+        assert service.parity_engine == "fast"
+        result = service.serve(3)
+        assert [report.parity_ok for report in result.reports] == [True, True, True]
+        for report in result.reports:
+            assert report.parity in ("exact", "schedule")
+            assert report.parity_value is not None
+
+    def test_schedule_replay_reproduces_live_run(self):
+        """Drive the schedule replay directly on a recorded asyncio epoch."""
+        from repro.oracle.service import ScheduleRecorder
+
+        service = build_service("sensors", 4, engine="asyncio", seed=2, parity=False)
+        inputs = [float(v) for v in service.workload.epoch_inputs(4)]
+        recorder = ScheduleRecorder()
+        nodes, _result = service._run_epoch_on_engine(
+            "asyncio", 0, inputs, (), service.scheme, (recorder,)
+        )
+        # Faithful trace replays cleanly ...
+        service._replay_schedule(0, inputs, recorder, nodes, ())
+        # ... and a tampered trace (most deliveries dropped, so the replayed
+        # node cannot reach the live node's decision) is caught.
+        victim = max(recorder.inbound, key=lambda nid: len(recorder.inbound[nid]))
+        recorder.inbound[victim] = recorder.inbound[victim][:3]
+        from repro.errors import EquivalenceError
+
+        with pytest.raises(EquivalenceError, match="schedule replay"):
+            service._replay_schedule(0, inputs, recorder, nodes, ())
+
+    def test_fast_and_reference_services_agree(self):
+        results = {}
+        for engine in ("fast", "reference"):
+            results[engine] = small_service(
+                workload="bitcoin", n=4, engine=engine, seed=9
+            ).serve(3)
+        assert [r.value for r in results["fast"].reports] == [
+            r.value for r in results["reference"].reports
+        ]
+
+    def test_parity_mismatch_raises(self, monkeypatch):
+        from repro.errors import EquivalenceError
+
+        service = build_service("sensors", 4, engine="fast", seed=1, parity=True)
+        monkeypatch.setattr(
+            OracleService, "_parity_value", lambda self, *args: -1234.5
+        )
+        with pytest.raises(EquivalenceError):
+            service.serve(1)
+
+
+class TestCertificateStreamMonitor:
+    @pytest.fixture
+    def armed_monitor(self):
+        params = derive_parameters(n=4, epsilon=1.0, delta_max=8.0)
+        monitor = CertificateStreamMonitor(params)
+        monitor.begin_epoch(0, [10.0, 10.4, 10.8])
+        return monitor, params
+
+    def _certificate(self, value, signers=(0, 1)):
+        class FakeAggregate:
+            def __init__(self, signers):
+                self.signers = tuple(signers)
+
+        class FakeCertificate:
+            def __init__(self, value, signers):
+                self.value = value
+                self.aggregate = FakeAggregate(signers)
+                self.signer_count = len(self.aggregate.signers)
+
+        return FakeCertificate(value, signers)
+
+    def test_valid_certificate_passes(self, armed_monitor):
+        monitor, _params = armed_monitor
+        monitor.check_certificate(0, self._certificate(10.0))
+
+    def test_off_grid_value_violates(self, armed_monitor):
+        monitor, _params = armed_monitor
+        with pytest.raises(InvariantViolation):
+            monitor.check_certificate(0, self._certificate(10.3))
+
+    def test_out_of_hull_value_violates(self, armed_monitor):
+        monitor, _params = armed_monitor
+        with pytest.raises(InvariantViolation):
+            monitor.check_certificate(0, self._certificate(25.0))
+
+    def test_insufficient_signers_violates(self, armed_monitor):
+        monitor, _params = armed_monitor
+        with pytest.raises(InvariantViolation):
+            monitor.check_certificate(0, self._certificate(10.0, signers=(0,)))
+
+    def test_rounded_output_spread_violates(self, armed_monitor):
+        monitor, _params = armed_monitor
+        monitor.on_decide(0, self._certificate(10.0), 0.0)
+        with pytest.raises(InvariantViolation):
+            monitor.on_decide(1, self._certificate(13.0), 0.1)
+
+    def test_empty_epoch_inputs_rejected(self, armed_monitor):
+        monitor, _params = armed_monitor
+        with pytest.raises(InvariantViolation):
+            monitor.begin_epoch(1, [])
+
+
+class TestServiceValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_service("nope", 4)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_service(engine="tokio")
+
+    def test_churn_beyond_fault_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_service(n=4, churn=2)  # t = 1
+
+    def test_churn_plan_beyond_budget_rejected_at_epoch(self):
+        service = small_service(n=4)
+        service.churn_plan = {0: (0, 1)}
+        with pytest.raises(ConfigurationError):
+            service.serve(1)
+
+    def test_non_deterministic_parity_engine_rejected(self):
+        params = derive_parameters(n=4, epsilon=1.0, delta_max=8.0)
+        with pytest.raises(ConfigurationError):
+            OracleService(
+                params,
+                make_epoch_workload("sensors"),
+                engine="fast",
+                parity_engine="asyncio",
+            )
+
+    def test_workload_length_mismatch_rejected(self):
+        service = small_service(n=4)
+
+        class ShortWorkload:
+            def epoch_inputs(self, n):
+                return [1.0]
+
+        service.workload = ShortWorkload()
+        with pytest.raises(ConfigurationError):
+            service.run_epoch()
+
+    def test_registry_covers_all_service_workloads(self):
+        for name in EPOCH_WORKLOADS:
+            feed = make_epoch_workload(name, seed=3)
+            inputs = feed.epoch_inputs(5)
+            assert len(inputs) == 5
+            assert all(isinstance(value, float) for value in inputs)
+        assert KNOWN_SERVICE_ENGINES == ("asyncio", "fast", "reference")
+
+
+class TestServeCli:
+    def test_serve_cli_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve",
+                "--workload",
+                "sensors",
+                "--epochs",
+                "2",
+                "--n",
+                "4",
+                "--engine",
+                "fast",
+                "--quiet",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "2 epochs" in stdout
+        assert "epochs/sec" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["epochs"] == 2
+        assert payload["engine"] == "fast"
+        assert all(report["parity_ok"] for report in payload["reports"])
+
+    def test_serve_cli_asyncio_no_parity(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--workload",
+                "sensors",
+                "--epochs",
+                "2",
+                "--n",
+                "4",
+                "--engine",
+                "asyncio",
+                "--no-parity",
+                "--churn",
+                "1",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "offline" in stdout
+
+    def test_serve_cli_rejects_bad_churn(self, capsys):
+        code = main(
+            ["serve", "--workload", "sensors", "--n", "4", "--churn", "3", "--quiet"]
+        )
+        assert code == 2

@@ -1,11 +1,76 @@
-"""Tests for the asyncio runtime adapter."""
+"""Tests for the asyncio runtime: liveness regressions, task hygiene,
+byzantine/observer/fault seams, and the transport abstraction."""
+
+import asyncio
 
 import pytest
 
+from repro.adversary.strategies import CrashStrategy
+from repro.errors import InvariantViolation, LivenessTimeout, SimulationError
+from repro.faults.monitors import EpsilonAgreementMonitor
 from repro.net.latency import ConstantLatency
+from repro.net.message import Message
+from repro.net.network import DeliveryPolicy, LossWindow, NetworkFaultPlan
+from repro.protocols.base import ProtocolNode
 from repro.protocols.binaa import BinAANode
 from repro.protocols.bv_broadcast import BVBroadcastNode
-from repro.sim.asyncio_runtime import AsyncioRuntime
+from repro.sim.asyncio_runtime import AsyncioRuntime, InMemoryTransport
+from repro.sim.observers import TraceRecorder
+
+
+class InstantDecideNode(ProtocolNode):
+    """Decides during on_start, sends nothing — the trivial protocol."""
+
+    def __init__(self, node_id: int, n: int) -> None:
+        super().__init__(node_id, n, 0)
+
+    def on_start(self):
+        self._decide(self.node_id * 10)
+        return []
+
+    def on_message(self, sender, message):
+        return []
+
+
+class SilentNode(ProtocolNode):
+    """Never decides, never answers — forces the wall-clock timeout."""
+
+    def __init__(self, node_id: int, n: int) -> None:
+        super().__init__(node_id, n, 0)
+
+    def on_message(self, sender, message):
+        return []
+
+
+class ExplodingNode(ProtocolNode):
+    """Raises a non-Repro error on first delivery."""
+
+    def __init__(self, node_id: int, n: int) -> None:
+        super().__init__(node_id, n, 0)
+
+    def on_start(self):
+        if self.node_id == 0:
+            return [self.broadcast(Message("boom", "HI", None, 1))]
+        return []
+
+    def on_message(self, sender, message):
+        raise ValueError("malformed payload reached the state machine")
+
+
+def run_and_audit_tasks(runtime):
+    """Run on a fresh loop and return (result_or_error, leaked_tasks)."""
+    async def main():
+        try:
+            result = await runtime.run_async()
+            error = None
+        except Exception as exc:  # noqa: BLE001 - audited by the caller
+            result, error = None, exc
+        leaked = [
+            task for task in asyncio.all_tasks() if task is not asyncio.current_task()
+        ]
+        return result, error, leaked
+
+    return asyncio.run(main())
 
 
 class TestAsyncioRuntime:
@@ -15,6 +80,7 @@ class TestAsyncioRuntime:
         assert set(result.outputs) == {0, 1, 2, 3}
         for output in result.outputs.values():
             assert output.issubset({0, 1})
+        assert result.all_honest_decided
 
     def test_binaa_completes_on_asyncio(self):
         nodes = {i: BinAANode(i, 4, 1, value=i % 2, rounds=3) for i in range(4)}
@@ -33,3 +99,167 @@ class TestAsyncioRuntime:
         result = AsyncioRuntime(nodes, timeout=10.0).run()
         assert result.trace.message_count > 0
         assert result.wall_seconds >= 0.0
+        assert result.events_processed > 0
+        assert result.decision_times.keys() == result.outputs.keys()
+
+
+class TestOnStartDecisionLiveness:
+    """Regression: a node deciding inside on_start() was never counted, so
+    trivially-deciding runs hung until the wall-clock timeout."""
+
+    def test_all_nodes_decide_on_start(self):
+        nodes = {i: InstantDecideNode(i, 3) for i in range(3)}
+        runtime = AsyncioRuntime(nodes, timeout=30.0)
+        result = runtime.run()
+        assert result.outputs == {0: 0, 1: 10, 2: 20}
+        # The old runtime slept the full timeout here; well under a second
+        # proves the pre-decided nodes were counted at start dispatch.
+        assert result.wall_seconds < 5.0
+
+    def test_single_node_run_terminates(self):
+        result = AsyncioRuntime({0: InstantDecideNode(0, 1)}, timeout=30.0).run()
+        assert result.outputs == {0: 0}
+        assert result.wall_seconds < 5.0
+
+
+class TestDeliveryTaskHygiene:
+    """Regression: _dispatch spawned untracked fire-and-forget delivery
+    tasks that leaked past (and could be GC'd during) the run."""
+
+    def test_no_pending_tasks_after_successful_run(self):
+        nodes = {i: BVBroadcastNode(i, 4, 1, value=i % 2) for i in range(4)}
+        runtime = AsyncioRuntime(nodes, latency=ConstantLatency(0.002), timeout=10.0)
+        result, error, leaked = run_and_audit_tasks(runtime)
+        assert error is None
+        assert result.all_honest_decided
+        assert leaked == []
+        assert not runtime._delivery_tasks
+
+    def test_in_flight_deliveries_cancelled_and_counted(self):
+        # Huge latency: every cross-node message is still in flight when the
+        # last node decides (all decide at start), so shutdown must cancel
+        # and drain them all.
+        class ChattyInstant(InstantDecideNode):
+            def on_start(self):
+                self._decide(self.node_id)
+                return [self.broadcast(Message("chat", "HI", None, self.node_id))]
+
+        nodes = {i: ChattyInstant(i, 3) for i in range(3)}
+        runtime = AsyncioRuntime(nodes, latency=ConstantLatency(30.0), timeout=10.0)
+        result, error, leaked = run_and_audit_tasks(runtime)
+        assert error is None
+        assert leaked == []
+        assert result.cancelled_deliveries == 6  # 3 broadcasts x 2 receivers
+
+    def test_no_pending_tasks_after_timeout(self):
+        nodes = {i: SilentNode(i, 2) for i in range(2)}
+        runtime = AsyncioRuntime(nodes, latency=ConstantLatency(0.001), timeout=0.2)
+        result, error, leaked = run_and_audit_tasks(runtime)
+        assert result is None
+        assert isinstance(error, LivenessTimeout)
+        assert leaked == []
+
+
+class TestTimeoutConversion:
+    """Regression: the runtime let asyncio.TimeoutError escape instead of a
+    package error carrying the partial outputs."""
+
+    def test_timeout_raises_liveness_timeout_with_partials(self):
+        nodes = {0: InstantDecideNode(0, 2), 1: SilentNode(1, 2)}
+        runtime = AsyncioRuntime(nodes, timeout=0.2)
+        with pytest.raises(LivenessTimeout) as excinfo:
+            runtime.run()
+        error = excinfo.value
+        assert isinstance(error, SimulationError)
+        assert error.outputs == {0: 0}
+        assert error.pending_nodes == [1]
+        assert "1/2" in str(error)
+
+
+class TestFailFast:
+    def test_node_exception_aborts_run_as_simulation_error(self):
+        nodes = {i: ExplodingNode(i, 2) for i in range(2)}
+        runtime = AsyncioRuntime(nodes, timeout=10.0)
+        started = asyncio.new_event_loop().time()
+        with pytest.raises(SimulationError, match="malformed payload"):
+            runtime.run()
+        # Fail-fast, not timeout: nowhere near the 10s budget.
+        assert asyncio.new_event_loop().time() - started < 5.0
+
+    def test_observer_violation_propagates(self):
+        nodes = {i: InstantDecideNode(i, 2) for i in range(2)}
+        monitor = EpsilonAgreementMonitor(epsilon=0.5)  # outputs 0 and 10
+        with pytest.raises(InvariantViolation):
+            AsyncioRuntime(nodes, timeout=5.0, observers=[monitor]).run()
+
+
+class TestByzantineAndObserverSeams:
+    def test_crash_strategy_on_real_concurrency(self):
+        nodes = {i: BVBroadcastNode(i, 4, 1, value=1) for i in range(4)}
+        result = AsyncioRuntime(
+            nodes, timeout=10.0, byzantine={3: CrashStrategy()}
+        ).run()
+        assert set(result.outputs) == {0, 1, 2}
+        assert result.byzantine_nodes == [3]
+        assert result.honest_nodes == [0, 1, 2]
+
+    def test_trace_recorder_sees_events_and_monitor_passes(self):
+        nodes = {i: BVBroadcastNode(i, 4, 1, value=1) for i in range(4)}
+        recorder = TraceRecorder(limit=50)
+        result = AsyncioRuntime(nodes, timeout=10.0, observers=[recorder]).run()
+        assert recorder.events_seen == result.events_processed
+        kinds = {entry["kind"] for entry in recorder.tail()}
+        assert "deliver" in kinds
+
+    def test_loss_window_drops_messages(self):
+        nodes = {i: BVBroadcastNode(i, 4, 1, value=1) for i in range(4)}
+        policy = DeliveryPolicy(seed=3)
+        policy.install_faults(
+            NetworkFaultPlan(
+                losses=[LossWindow(start=0.0, end=1e9, probability=1.0)]
+            )
+        )
+        runtime = AsyncioRuntime(nodes, timeout=0.3, policy=policy)
+        with pytest.raises(LivenessTimeout):
+            runtime.run()
+        assert runtime._dropped > 0
+
+
+class TestTransportSeam:
+    def test_custom_transport_is_used(self):
+        class CountingTransport(InMemoryTransport):
+            def __init__(self):
+                super().__init__()
+                self.puts = 0
+
+            async def put(self, target, item):
+                self.puts += 1
+                await super().put(target, item)
+
+        transport = CountingTransport()
+        nodes = {i: BVBroadcastNode(i, 4, 1, value=0) for i in range(4)}
+        result = AsyncioRuntime(nodes, timeout=10.0, transport=transport).run()
+        assert result.all_honest_decided
+        assert transport.puts >= result.events_processed - len(nodes)
+
+    def test_transport_closed_after_run(self):
+        transport = InMemoryTransport()
+        nodes = {i: InstantDecideNode(i, 2) for i in range(2)}
+        AsyncioRuntime(nodes, timeout=5.0, transport=transport).run()
+        assert transport.pending() == 0
+
+
+class TestValidation:
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(SimulationError):
+            AsyncioRuntime({})
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            AsyncioRuntime({0: InstantDecideNode(0, 1)}, timeout=0.0)
+
+    def test_unknown_byzantine_id_rejected(self):
+        with pytest.raises(SimulationError):
+            AsyncioRuntime(
+                {0: InstantDecideNode(0, 1)}, byzantine={5: CrashStrategy()}
+            )
