@@ -26,7 +26,16 @@ Five subcommands:
     Run a fault-injection campaign (protocol × fault case × schedule × n) on
     both engines with runtime invariant monitors attached, assert engine
     equivalence under faults, and write a JSON verdict artifact.
-    ``--replay BUNDLE`` re-runs a violation repro bundle.
+    ``--replay BUNDLE`` re-runs a violation repro bundle and exits non-zero
+    when the recorded violation no longer reproduces (stale-corpus check).
+
+``repro fuzz``
+    Coverage-guided adversarial-schedule search: mutate fault schedules
+    (corruptions, network-fault windows, seeds, workloads) toward invariant
+    near-misses using the monitors' margin channels as fitness, greedily
+    shrink the winners, and emit a deterministic near-miss leaderboard
+    artifact; ``--update-corpus`` promotes shrunk schedules into the
+    committed adversarial corpus replayed by tier-1.
 
 ``repro serve``
     Run the epoch-pipelined oracle service: agree on a streaming workload
@@ -48,6 +57,8 @@ Examples
     PYTHONPATH=src python -m repro perf --profile --compare BENCH_2026-07-25.json
     PYTHONPATH=src python -m repro faults --campaign smoke --output fault-artifacts
     PYTHONPATH=src python -m repro faults --replay fault-artifacts/bundles/VIOLATION_xyz.json
+    PYTHONPATH=src python -m repro fuzz --budget 200 --protocol delphi --seed 0
+    PYTHONPATH=src python -m repro fuzz --budget 50 --min-margin 0.85 --output out
     PYTHONPATH=src python -m repro serve --workload bitcoin --epochs 10 --engine asyncio
     PYTHONPATH=src python -m repro serve --workload sensors --epochs 5 --churn 1 --json out/serve.json
 """
@@ -251,6 +262,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the cell recorded in a violation repro bundle",
     )
     faults.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help=(
+            "coverage-guided adversarial-schedule search: mutate fault "
+            "schedules toward invariant near-misses, shrink the winners"
+        ),
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=200, help="engine runs to spend (default: 200)"
+    )
+    fuzz.add_argument(
+        "--protocol",
+        action="append",
+        dest="protocols",
+        choices=KNOWN_PROTOCOLS,
+        help="protocol to search (repeatable; default: delphi fin)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="search seed (determinism)")
+    fuzz.add_argument(
+        "--min-margin",
+        type=float,
+        default=0.9,
+        help=(
+            "near-miss threshold on the normalised margin: runs whose worst "
+            "channel ratio is below this are kept and mutated (default: 0.9)"
+        ),
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default="tests/data/adversarial_corpus.json",
+        help="persistent corpus seeded into the search (default: tests/data/adversarial_corpus.json)",
+    )
+    fuzz.add_argument(
+        "--no-corpus", action="store_true", help="search from scratch, ignore the corpus"
+    )
+    fuzz.add_argument(
+        "--update-corpus",
+        action="store_true",
+        help="promote shrunk winners into the corpus file",
+    )
+    fuzz.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="simulation engine the search runs on (default: fast)",
+    )
+    fuzz.add_argument(
+        "--output",
+        default=".",
+        help="directory for the FUZZ_seed<seed>.json leaderboard artifact",
+    )
+    fuzz.add_argument(
+        "--no-artifact", action="store_true", help="print results without writing a file"
+    )
+    fuzz.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     serve = subparsers.add_parser(
         "serve",
@@ -470,7 +537,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.faults.campaign import campaign, list_campaigns, replay_bundle, run_campaign
+    from repro.faults.campaign import (
+        campaign,
+        list_campaigns,
+        replay_bundle_report,
+        run_campaign,
+    )
 
     if args.list:
         rows = list_campaigns()
@@ -481,11 +553,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         return 0
 
     if args.bundle_path:
-        verdict = replay_bundle(args.bundle_path)
-        print(json.dumps(verdict.as_dict(), indent=2, sort_keys=True))
-        if verdict.status == "violation":
-            print("violation reproduced", file=sys.stderr)
-        return 0 if verdict.status == "violation" else 1
+        report = replay_bundle_report(args.bundle_path)
+        print(json.dumps(report.verdict.as_dict(), indent=2, sort_keys=True))
+        print(report.describe(), file=sys.stderr)
+        # Non-zero exactly when the bundle is stale: the recorded violation
+        # (same monitor, same detail) must reproduce on the recorded engine.
+        return 0 if report.reproduced else 1
 
     selected = campaign(args.campaign)
     cells = selected.cells()
@@ -520,6 +593,68 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         path = result.write_json(str(Path(args.output) / f"FAULTS_{result.name}.json"))
         print(f"wrote {path}")
     return 0 if result.passed else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.faults.search import fuzz_schedules, load_corpus, save_corpus
+
+    corpus = [] if args.no_corpus else load_corpus(args.corpus)
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    result = fuzz_schedules(
+        protocols=tuple(args.protocols) if args.protocols else ("delphi", "fin"),
+        budget=args.budget,
+        seed=args.seed,
+        min_margin=args.min_margin,
+        engine=args.engine,
+        corpus=corpus,
+        progress=progress,
+    )
+    print(
+        f"# fuzz seed={result.seed}: {result.runs} runs "
+        f"({result.cache_hits} cache hits, {result.shrink_runs} shrink runs), "
+        f"{len(result.violations)} violations, "
+        f"{len(result.corpus_candidates)} corpus candidates"
+    )
+    for protocol in result.protocols:
+        best = result.best_margins.get(protocol, {})
+        base = result.baseline_margins.get(protocol, {})
+        for channel in sorted(best):
+            marker = (
+                " (beats baseline)"
+                if channel in base and best[channel] < base[channel]
+                else ""
+            )
+            print(f"  {protocol}/{channel}: best {best[channel]:.6g}{marker}")
+    if not args.no_artifact:
+        path = result.write_json(
+            str(Path(args.output) / f"FUZZ_seed{result.seed}.json")
+        )
+        print(f"wrote {path}")
+    known_hashes = {str(entry["spec_hash"]) for entry in corpus}
+    if args.update_corpus and result.corpus_candidates:
+        merged = corpus + result.corpus_candidates
+        path = save_corpus(args.corpus, merged)
+        fresh = [
+            c for c in result.corpus_candidates if c["spec_hash"] not in known_hashes
+        ]
+        print(f"promoted {len(fresh)} new schedules into {path}")
+        known_hashes.update(str(entry["spec_hash"]) for entry in merged)
+    # A violation whose shrunk schedule is not already a committed corpus
+    # entry is new and un-triaged: fail so CI surfaces it.
+    new_violations = [
+        v for v in result.violations if v["spec_hash"] not in known_hashes
+    ]
+    if new_violations:
+        for violation in new_violations:
+            print(
+                f"!! new invariant violation: {violation['violation']['monitor']} "
+                f"({violation['spec_hash']}) — triage and commit to the corpus",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -591,6 +726,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_perf(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "serve":
             return _cmd_serve(args)
     except ReproError as error:

@@ -32,6 +32,7 @@ from repro.faults.monitors import (
     TerminationMonitor,
     ValidityMonitor,
     build_monitors,
+    collect_margins,
 )
 from repro.faults.campaign import (
     CAMPAIGNS,
@@ -39,39 +40,70 @@ from repro.faults.campaign import (
     CellVerdict,
     FaultCampaign,
     FaultCase,
+    ReplayReport,
     campaign,
     list_campaigns,
     replay_bundle,
+    replay_bundle_report,
     run_campaign,
     run_fault_cell,
+)
+from repro.faults.search import (
+    CORPUS_SCHEMA,
+    FUZZ_SCHEMA,
+    Evaluation,
+    FuzzResult,
+    MUTATORS,
+    ScheduleSearch,
+    corpus_entry,
+    fuzz_schedules,
+    load_corpus,
+    mutate,
+    replay_corpus_entry,
+    save_corpus,
 )
 
 __all__ = [
     "BinaryBASafetyMonitor",
     "CAMPAIGNS",
+    "CORPUS_SCHEMA",
     "CampaignResult",
     "CellVerdict",
     "CorruptionSpec",
     "DelaySpec",
     "EpsilonAgreementMonitor",
+    "Evaluation",
     "FULL_BUDGET",
+    "FUZZ_SCHEMA",
     "FaultCampaign",
     "FaultCase",
     "FaultSpec",
+    "FuzzResult",
     "InvariantMonitor",
     "LossSpec",
+    "MUTATORS",
     "PartitionSpec",
     "RbcSafetyMonitor",
+    "ReplayReport",
+    "ScheduleSearch",
     "StrategyContext",
     "TerminationMonitor",
     "ValidityMonitor",
     "build_monitors",
     "campaign",
+    "collect_margins",
+    "corpus_entry",
     "fault_spec_of",
+    "fuzz_schedules",
     "list_campaigns",
+    "load_corpus",
+    "mutate",
     "register_strategy",
     "replay_bundle",
+    "replay_bundle_report",
+    "replay_corpus_entry",
     "run_campaign",
     "run_fault_cell",
+    "save_corpus",
     "scenario_corrupted_ids",
 ]

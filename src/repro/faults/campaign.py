@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.experiments.spec import ScenarioSpec, SweepSpec
-from repro.faults.monitors import build_monitors
+from repro.faults.monitors import build_monitors, collect_margins
 from repro.faults.spec import (
     CorruptionSpec,
     DelaySpec,
@@ -127,23 +127,33 @@ class EngineOutcome:
     projection: Optional[Dict[str, Any]] = None
     violation: Optional[Dict[str, Any]] = None
     bundle: Optional[Dict[str, Any]] = None
+    margins: Dict[str, float] = field(default_factory=dict)
+    margin_ratios: Dict[str, float] = field(default_factory=dict)
 
-    def comparable(self) -> Tuple[str, Any]:
-        """What engine equivalence is asserted over."""
+    def comparable(self) -> Tuple[str, Any, Any]:
+        """What engine equivalence is asserted over (margins included: they
+        derive purely from the observer stream, so they must match too)."""
         if self.violation is not None:
-            return (self.status, (self.violation["monitor"], self.violation["detail"]))
-        return (self.status, self.projection)
+            return (
+                self.status,
+                (self.violation["monitor"], self.violation["detail"]),
+                self.margins,
+            )
+        return (self.status, self.projection, self.margins)
 
 
 def run_cell_engine(
     spec: ScenarioSpec,
     engine: str,
     extra_byzantine: Optional[Dict[int, Any]] = None,
+    extra_observers: Optional[Sequence[Any]] = None,
 ) -> EngineOutcome:
     """Run one fault cell on one engine with monitors + trace recorder.
 
     ``extra_byzantine`` lets tests inject strategies directly (on top of the
     spec's own fault plan) — e.g. deliberately invariant-breaking ones.
+    ``extra_observers`` attaches additional :class:`SimObserver` instances
+    (the adversarial-schedule search uses a :class:`ScheduleDigest` here).
     """
     from repro.experiments.cells import _run_named_protocol, build_inputs
 
@@ -163,7 +173,7 @@ def run_cell_engine(
             spec,
             inputs,
             config=SimulationConfig(engine=engine),
-            observers=[recorder, *monitors],
+            observers=[recorder, *monitors, *(extra_observers or [])],
             extra_byzantine=extra_byzantine,
         )
     except InvariantViolation as violation:
@@ -184,11 +194,24 @@ def run_cell_engine(
             "events_seen": recorder.events_seen,
             "trace_tail": recorder.tail(),
         }
+        channels = collect_margins(monitors)
         return EngineOutcome(
-            engine=engine, status="violation", violation=detail, bundle=bundle
+            engine=engine,
+            status="violation",
+            violation=detail,
+            bundle=bundle,
+            margins=channels["margins"],
+            margin_ratios=channels["ratios"],
         )
     status = "ok" if result.all_decided else "stalled"
-    return EngineOutcome(engine=engine, status=status, projection=_projection(result))
+    channels = collect_margins(monitors)
+    return EngineOutcome(
+        engine=engine,
+        status=status,
+        projection=_projection(result),
+        margins=channels["margins"],
+        margin_ratios=channels["ratios"],
+    )
 
 
 @dataclass
@@ -225,6 +248,8 @@ class CellVerdict:
             "equivalent": self.equivalent,
             "expect_termination": (fault_spec_of(self.spec) or FaultSpec()).terminating(),
         }
+        entry["margins"] = dict(self.fast.margins)
+        entry["margin_ratios"] = dict(self.fast.margin_ratios)
         if self.fast.projection is not None:
             projection = self.fast.projection
             entry["decided"] = len(projection["decided"])
@@ -278,12 +303,29 @@ class CampaignResult:
         summary = self.summary
         return summary["violations"] == 0 and summary["engine_mismatches"] == 0
 
+    def best_margins(self, protocol: Optional[str] = None) -> Dict[str, float]:
+        """The smallest margin observed per channel across the campaign's
+        cells (optionally restricted to one protocol) — the fixed-matrix
+        baseline the adversarial-schedule search has to beat."""
+        best: Dict[str, float] = {}
+        for verdict in self.verdicts:
+            if protocol is not None and verdict.spec.protocol != protocol:
+                continue
+            for channel, value in verdict.fast.margins.items():
+                if channel not in best or value < best[channel]:
+                    best[channel] = value
+        return best
+
     def to_payload(self) -> Dict[str, Any]:
         return {
             "schema": FAULTS_SCHEMA,
             "campaign": self.name,
             "summary": self.summary,
             "passed": self.passed,
+            "best_margins": {
+                protocol: self.best_margins(protocol)
+                for protocol in sorted({v.spec.protocol for v in self.verdicts})
+            },
             "cells": [verdict.as_dict() for verdict in self.verdicts],
         }
 
@@ -359,6 +401,65 @@ def run_campaign(
     return result
 
 
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a violation repro bundle against its record.
+
+    ``reproduced`` is the stale-corpus check: the engine that recorded the
+    violation must observe the *same* violation again (same monitor, same
+    detail — runs are deterministic, so anything less means the bundle no
+    longer describes the current code's behaviour).
+    """
+
+    verdict: CellVerdict
+    recorded_engine: str
+    recorded_violation: Dict[str, Any]
+
+    @property
+    def replayed_violation(self) -> Optional[Dict[str, Any]]:
+        outcome = (
+            self.verdict.fast
+            if self.recorded_engine == "fast"
+            else self.verdict.reference
+        )
+        return outcome.violation
+
+    @property
+    def reproduced(self) -> bool:
+        replayed = self.replayed_violation
+        if replayed is None:
+            return False
+        return (
+            replayed["monitor"] == self.recorded_violation.get("monitor")
+            and replayed["detail"] == self.recorded_violation.get("detail")
+        )
+
+    def describe(self) -> str:
+        if self.reproduced:
+            return "violation reproduced"
+        replayed = self.replayed_violation
+        recorded = self.recorded_violation
+        if replayed is None:
+            return (
+                f"stale bundle: recorded {recorded.get('monitor')!r} violation "
+                f"no longer reproduces (replay status: {self.verdict.status})"
+            )
+        return (
+            "stale bundle: replay violated "
+            f"{replayed['monitor']!r} ({replayed['detail']}) but the bundle "
+            f"recorded {recorded.get('monitor')!r} ({recorded.get('detail')})"
+        )
+
+
+def _load_bundle(path: str) -> Dict[str, Any]:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != BUNDLE_SCHEMA:
+        raise ConfigurationError(
+            f"{path} is not a fault repro bundle (schema {data.get('schema')!r})"
+        )
+    return data
+
+
 def replay_bundle(path: str) -> CellVerdict:
     """Re-run the cell recorded in a violation repro bundle.
 
@@ -366,13 +467,24 @@ def replay_bundle(path: str) -> CellVerdict:
     and runs it on both engines with monitors attached — the violation, being
     deterministic, reproduces.
     """
-    data = json.loads(Path(path).read_text())
-    if data.get("schema") != BUNDLE_SCHEMA:
-        raise ConfigurationError(
-            f"{path} is not a fault repro bundle (schema {data.get('schema')!r})"
-        )
+    data = _load_bundle(path)
     spec = ScenarioSpec.from_dict(data["spec"])
     return run_fault_cell(spec)
+
+
+def replay_bundle_report(path: str) -> ReplayReport:
+    """Replay a bundle *and* compare against its recorded verdict.
+
+    This is the stale-corpus detector behind ``repro faults --replay``: the
+    CLI exits non-zero when :attr:`ReplayReport.reproduced` is false.
+    """
+    data = _load_bundle(path)
+    verdict = replay_bundle(path)
+    return ReplayReport(
+        verdict=verdict,
+        recorded_engine=str(data.get("engine", "fast")),
+        recorded_violation=dict(data.get("violation", {})),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,15 @@ Monitored properties:
 * **per-protocol safety** (:class:`RbcSafetyMonitor`,
   :class:`BinaryBASafetyMonitor`) — the RBC and binary-BA predicates from
   the protocol layer, evaluated on every new decision.
+
+Beyond pass/fail, the agreement, validity and termination monitors track
+**margin channels**: how close the run came to violating the invariant
+(smallest observed ε-agreement margin, closest distance to the validity-hull
+boundary, latest termination slack).  Margins are derived purely from the
+observer callback stream, so both engines report identical values for the
+same schedule; the adversarial-schedule search (:mod:`repro.faults.search`)
+uses them as its fitness signal and the campaign layer surfaces them in the
+per-cell verdict JSON.
 """
 
 from __future__ import annotations
@@ -54,16 +63,73 @@ class InvariantMonitor(SimObserver):
     def violation(self, detail: str, time: float = 0.0, node: int = -1) -> None:
         raise InvariantViolation(self.name, detail, time=time, node=node)
 
+    def margin_channels(self) -> Dict[str, float]:
+        """Raw margin values observed so far (channel name -> margin).
+
+        A margin measures how far the run stayed from violating the invariant
+        in the invariant's own units; it goes negative exactly when the
+        monitor fires.  Monitors without a meaningful margin return ``{}``.
+        """
+        return {}
+
+    def margin_ratios(self) -> Dict[str, float]:
+        """Margins normalised to ``[-inf, 1]`` (1 = maximally safe, < 0 =
+        violated) so channels with different units are comparable — this is
+        the fitness signal of the adversarial-schedule search."""
+        return {}
+
+
+def _ratio(margin: float, cap: float) -> float:
+    """Normalise a raw margin against its a-priori maximum ``cap``.
+
+    With a degenerate cap (an exact-agreement monitor has ``epsilon = 0``)
+    there is no gradient: any non-negative margin is fully safe (1.0) and a
+    violation keeps its raw negative magnitude.
+    """
+    if cap > 0.0:
+        return margin / cap
+    return 1.0 if margin >= 0.0 else margin
+
+
+def collect_margins(
+    monitors: Sequence["InvariantMonitor"],
+) -> Dict[str, Dict[str, float]]:
+    """Merge every monitor's channels into ``{"margins": ..., "ratios": ...}``.
+
+    Called by the campaign layer after a run (including violating runs —
+    margins are recorded before a monitor raises, so a violation carries its
+    negative margin).
+    """
+    margins: Dict[str, float] = {}
+    ratios: Dict[str, float] = {}
+    for monitor in monitors:
+        margins.update(monitor.margin_channels())
+        ratios.update(monitor.margin_ratios())
+    return {"margins": margins, "ratios": ratios}
+
 
 class EpsilonAgreementMonitor(InvariantMonitor):
-    """Honest scalar outputs must stay within ``epsilon`` of each other."""
+    """Honest scalar outputs must stay within ``epsilon`` of each other.
+
+    Margin channel ``epsilon_margin``: the smallest observed value of
+    ``epsilon - spread``.  It starts at the a-priori maximum ``epsilon``
+    (one decision has spread 0) and shrinks as outputs diverge; a violation
+    drives it negative.
+    """
 
     name = "epsilon-agreement"
 
     def __init__(self, epsilon: float, tolerance: float = 1e-9) -> None:
         self.epsilon = epsilon
         self.tolerance = tolerance
+        self.min_margin = epsilon
         self._decided: Dict[int, float] = {}
+
+    def margin_channels(self) -> Dict[str, float]:
+        return {"epsilon_margin": self.min_margin}
+
+    def margin_ratios(self) -> Dict[str, float]:
+        return {"epsilon_margin": _ratio(self.min_margin, self.epsilon)}
 
     def on_decide(self, node_id: int, output: Any, time: float) -> None:
         value = _scalar(output)
@@ -71,6 +137,7 @@ class EpsilonAgreementMonitor(InvariantMonitor):
             return
         self._decided[node_id] = value
         spread = max(self._decided.values()) - min(self._decided.values())
+        self.min_margin = min(self.min_margin, self.epsilon - spread)
         if spread > self.epsilon + self.tolerance:
             pairs = ", ".join(
                 f"node {n} -> {v:.6g}" for n, v in sorted(self._decided.items())
@@ -84,7 +151,13 @@ class EpsilonAgreementMonitor(InvariantMonitor):
 
 
 class ValidityMonitor(InvariantMonitor):
-    """Honest outputs must lie in the honest-input hull, relaxed by ``rho``."""
+    """Honest outputs must lie in the honest-input hull, relaxed by ``rho``.
+
+    Margin channel ``hull_distance``: the closest any honest output came to
+    the hull boundary, ``min(value - low, high - value)``.  It starts at the
+    hull's half-width (no value can sit farther from both edges) and a
+    violation drives it negative.
+    """
 
     name = "validity"
 
@@ -98,12 +171,23 @@ class ValidityMonitor(InvariantMonitor):
             raise InvariantViolation(self.name, "no honest inputs to validate against")
         self.low = min(honest_inputs) - relaxation
         self.high = max(honest_inputs) + relaxation
+        self.half_width = (self.high - self.low) / 2.0
+        self.min_distance = self.half_width
         self.tolerance = tolerance
+
+    def margin_channels(self) -> Dict[str, float]:
+        return {"hull_distance": self.min_distance}
+
+    def margin_ratios(self) -> Dict[str, float]:
+        return {"hull_distance": _ratio(self.min_distance, self.half_width)}
 
     def on_decide(self, node_id: int, output: Any, time: float) -> None:
         value = _scalar(output)
         if value is None:
             return
+        self.min_distance = min(
+            self.min_distance, value - self.low, self.high - value
+        )
         if not (self.low - self.tolerance <= value <= self.high + self.tolerance):
             self.violation(
                 f"node {node_id} output {value:.6g} outside relaxed honest hull "
@@ -115,19 +199,54 @@ class ValidityMonitor(InvariantMonitor):
 
 class TerminationMonitor(InvariantMonitor):
     """End-of-run liveness: termination (all honest decided) and totality
-    (never some-but-not-all) when the fault spec guarantees them."""
+    (never some-but-not-all) when the fault spec guarantees them.
+
+    Margin channel ``termination_slack`` (only when termination is
+    expected): the straggler ratio ``first_decision_time /
+    last_decision_time``.  1 means all honest nodes decided together; a value
+    near 0 means the last node decided many times later than the first — the
+    run *almost* left a node behind; a stall reports slack 0.  (The engines
+    stop as soon as every honest node decided, so an event-count slack would
+    always be zero; decision-time straggle is the schedule-sensitive signal.)
+    """
 
     name = "termination"
 
     def __init__(self, expect_termination: bool = True) -> None:
         self.expect_termination = expect_termination
+        self._first_decide: Optional[float] = None
+        self._last_decide: Optional[float] = None
+        self._stalled: Optional[bool] = None
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        if self._first_decide is None:
+            self._first_decide = time
+        self._last_decide = time
+
+    def margin_channels(self) -> Dict[str, float]:
+        if not self.expect_termination:
+            return {}
+        if self._stalled:
+            return {"termination_slack": 0.0}
+        if self._first_decide is None or self._last_decide is None:
+            # No honest decision observed (violation-aborted run): the
+            # channel has nothing meaningful to report.
+            return {}
+        if self._last_decide <= 0.0:
+            return {"termination_slack": 1.0}
+        return {"termination_slack": self._first_decide / self._last_decide}
+
+    def margin_ratios(self) -> Dict[str, float]:
+        # The slack is already a fraction of the run.
+        return self.margin_channels()
 
     def on_run_end(self, result: Any) -> None:
+        missing = [n for n in result.honest_nodes if n not in result.outputs]
+        self._stalled = bool(missing)
         if not self.expect_termination:
             return
-        decided = [n for n in result.honest_nodes if n in result.outputs]
-        missing = [n for n in result.honest_nodes if n not in result.outputs]
         if missing:
+            decided = [n for n in result.honest_nodes if n in result.outputs]
             kind = "totality" if decided else "termination"
             self.violation(
                 f"{kind} violated: honest nodes {missing} never decided "

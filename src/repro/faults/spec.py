@@ -62,6 +62,36 @@ class StrategyContext:
 
 StrategyFactory = Callable[[StrategyContext], AdversaryStrategy]
 
+
+def _poison_input_strategy(ctx: StrategyContext) -> AdversaryStrategy:
+    """An otherwise-honest Delphi node whose *input* is adversarial.
+
+    The node follows the protocol exactly but starts from an attacker-chosen
+    value (``options['value']``), probing the validity-hull boundary rather
+    than the message layer.  Delphi-only: DORA constructs its shared
+    signature scheme inside its runner, so an externally-built node cannot
+    join that run.
+    """
+    from repro.adversary.base import HonestWithInput
+    from repro.analysis.parameters import derive_parameters
+    from repro.core.delphi import DelphiNode
+
+    scenario = ctx.scenario
+    if scenario is None or getattr(scenario, "protocol", None) != "delphi":
+        raise ConfigurationError(
+            "poison-input corruption requires a delphi scenario context"
+        )
+    params = derive_parameters(
+        n=scenario.n,
+        epsilon=scenario.epsilon,
+        rho0=scenario.rho0,
+        delta_max=scenario.delta_max,
+        max_rounds=scenario.max_rounds,
+    )
+    value = float(ctx.options.get("value", 0.0))
+    return HonestWithInput(DelphiNode(ctx.node_id, params, value=value))
+
+
 #: Registry of corruption strategies available to fault specs, by name.
 STRATEGY_FACTORIES: Dict[str, StrategyFactory] = {
     "crash": lambda ctx: CrashStrategy(),
@@ -77,6 +107,7 @@ STRATEGY_FACTORIES: Dict[str, StrategyFactory] = {
         protocol=str(ctx.options.get("protocol", "dora")),
         junk=ctx.options.get("junk", "bogus"),
     ),
+    "poison-input": _poison_input_strategy,
 }
 
 

@@ -22,6 +22,7 @@ monitors (:mod:`repro.faults.monitors`) are built on this interface and
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
@@ -88,3 +89,48 @@ class TraceRecorder(SimObserver):
     def tail(self) -> List[Dict[str, Any]]:
         """The recorded event tail, oldest first (JSON-safe)."""
         return list(self._tail)
+
+
+class ScheduleDigest(SimObserver):
+    """A stable fingerprint of one run's delivery schedule.
+
+    Folds every processed event (time, kind, node, sender, message type,
+    round) and every decision into a CRC — two runs share a digest iff the
+    engines walked the same schedule.  The adversarial-schedule search
+    (:mod:`repro.faults.search`) uses this to recognise mutants whose change
+    was behaviourally inert (e.g. a fault window entirely past the run's
+    horizon) instead of wasting budget and leaderboard slots on duplicates.
+    """
+
+    def __init__(self) -> None:
+        self._crc = 0
+        self.events = 0
+
+    def on_event(
+        self,
+        time: float,
+        kind: int,
+        node_id: int,
+        sender: int,
+        message: Optional[Message],
+    ) -> None:
+        self.events += 1
+        if kind == DELIVER_EVENT and message is not None:
+            blob = (
+                f"{time:.9f}|{node_id}|{sender}|{message.protocol}"
+                f"|{message.mtype}|{message.round}"
+            )
+        else:
+            blob = f"{time:.9f}|start|{node_id}"
+        self._crc = zlib.crc32(blob.encode("utf-8"), self._crc)
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        value = getattr(output, "value", output)
+        self._crc = zlib.crc32(
+            f"decide|{node_id}|{value!r}|{time:.9f}".encode("utf-8"), self._crc
+        )
+
+    @property
+    def digest(self) -> str:
+        """Hex digest qualified by the event count (JSON-safe)."""
+        return f"{self._crc:08x}-{self.events}"

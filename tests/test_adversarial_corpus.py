@@ -1,0 +1,79 @@
+"""Adversarial-corpus regression tests: replay the fuzzer's shrunk
+worst-case schedules on both engines.
+
+The corpus (``tests/data/adversarial_corpus.json``) commits the schedules
+the coverage-guided search (:mod:`repro.faults.search`) found closest to an
+invariant boundary, after greedy shrinking.  Every entry is replayed on
+**both** simulation engines with monitors attached; the engines must agree,
+the recorded status must hold, and the recorded margins must reproduce
+exactly (runs are deterministic — any drift means the schedule no longer
+exercises the margin it was saved for).  ``docs/TESTING.md`` covers how to
+promote new schedules.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.faults.campaign import run_cell_engine, smoke_campaign
+from repro.faults.search import CORPUS_SCHEMA, replay_corpus_entry
+
+CORPUS_PATH = Path(__file__).parent / "data" / "adversarial_corpus.json"
+CORPUS = json.loads(CORPUS_PATH.read_text())
+
+
+def corpus_entries():
+    return [
+        pytest.param(entry, id=f"{entry['label']}-{entry['spec_hash'][:8]}")
+        for entry in CORPUS["entries"]
+    ]
+
+
+def test_corpus_schema_and_coverage():
+    assert CORPUS["schema"] == CORPUS_SCHEMA
+    entries = CORPUS["entries"]
+    hashes = [entry["spec_hash"] for entry in entries]
+    assert len(hashes) == len(set(hashes)), "duplicate corpus schedules"
+    # The fuzzer must have contributed at least 3 shrunk near-misses.
+    fuzz_found = [e for e in entries if e["origin"].startswith("fuzz-seed-")]
+    assert len(fuzz_found) >= 3
+    # Every margin channel recorded is finite, and every entry names the
+    # channel it was saved for.
+    for entry in entries:
+        assert entry["channel"] in entry["margins"]
+        for value in entry["margins"].values():
+            assert math.isfinite(value)
+
+
+@pytest.mark.parametrize("entry", corpus_entries())
+def test_corpus_entry_replays_identically_on_both_engines(entry):
+    verdict, problems = replay_corpus_entry(entry)
+    assert verdict.equivalent, f"{entry['label']}: engines diverged"
+    assert problems == [], f"{entry['label']}: {problems}"
+
+
+def test_fuzzed_epsilon_margin_beats_the_fixed_smoke_matrix():
+    """The acceptance bar for the search: a committed fuzz-found schedule
+    drives the epsilon-agreement margin strictly below anything the fixed
+    smoke campaign observes on the same protocol (delphi).  Fast engine
+    only — the per-entry replay test above already pins both engines."""
+    smoke_best = math.inf
+    for spec in smoke_campaign().cells():
+        if spec.protocol != "delphi":
+            continue
+        outcome = run_cell_engine(spec, "fast")
+        margin = outcome.margins.get("epsilon_margin")
+        if margin is not None:
+            smoke_best = min(smoke_best, margin)
+    corpus_best = min(
+        entry["margins"]["epsilon_margin"]
+        for entry in CORPUS["entries"]
+        if entry["spec"]["protocol"] == "delphi"
+        and "epsilon_margin" in entry["margins"]
+    )
+    assert corpus_best < smoke_best, (
+        f"corpus best epsilon margin {corpus_best} does not beat the fixed "
+        f"smoke matrix's {smoke_best}"
+    )

@@ -23,7 +23,14 @@ from repro.faults import (
     run_fault_cell,
     scenario_corrupted_ids,
 )
-from repro.faults.campaign import replay_bundle, run_campaign, tiny_campaign
+from repro.faults.campaign import (
+    replay_bundle,
+    replay_bundle_report,
+    run_campaign,
+    run_cell_engine,
+    smoke_campaign,
+    tiny_campaign,
+)
 from repro.faults.monitors import (
     BinaryBASafetyMonitor,
     EpsilonAgreementMonitor,
@@ -367,6 +374,45 @@ class TestBrokenInvariantRepro:
         assert replayed.status == "violation"
         assert replayed.fast.violation == verdict.fast.violation
 
+    def test_replay_report_detects_faithful_bundle(self, tmp_path):
+        verdict = run_fault_cell(self._spec(), bundle_dir=str(tmp_path))
+        report = replay_bundle_report(verdict.bundle_path)
+        assert report.reproduced
+        assert report.describe() == "violation reproduced"
+        assert cli_main(["faults", "--replay", verdict.bundle_path]) == 0
+
+    def test_replay_exits_nonzero_on_tampered_bundle(self, tmp_path):
+        """The stale-corpus check: a bundle whose recorded verdict no longer
+        matches the replay must fail, both for a drifted detail and for a
+        spec that no longer violates at all."""
+        verdict = run_fault_cell(self._spec(), bundle_dir=str(tmp_path))
+        bundle = json.loads(open(verdict.bundle_path).read())
+
+        # Same violation class, drifted detail (as if the monitor's numbers
+        # changed under the committed bundle).
+        drifted = dict(bundle)
+        drifted["violation"] = dict(
+            bundle["violation"], detail="node 0 output 999 outside hull"
+        )
+        drifted_path = tmp_path / "drifted.json"
+        drifted_path.write_text(json.dumps(drifted))
+        report = replay_bundle_report(str(drifted_path))
+        assert not report.reproduced
+        assert "stale bundle" in report.describe()
+        assert cli_main(["faults", "--replay", str(drifted_path)]) == 1
+
+        # Spec tampered into a healthy cell: nothing violates on replay.
+        healthy = dict(bundle)
+        healthy_spec = dict(bundle["spec"])
+        healthy_spec["extras"] = {}
+        healthy["spec"] = healthy_spec
+        healthy_path = tmp_path / "healthy.json"
+        healthy_path.write_text(json.dumps(healthy))
+        report = replay_bundle_report(str(healthy_path))
+        assert not report.reproduced
+        assert "no longer reproduces" in report.describe()
+        assert cli_main(["faults", "--replay", str(healthy_path)]) == 1
+
 
 class TestCampaign:
     def test_tiny_campaign_passes_and_writes_artifact(self, tmp_path):
@@ -378,6 +424,11 @@ class TestCampaign:
         assert payload["schema"] == "repro-faults/1"
         assert payload["summary"]["cells"] == 2
         assert all(cell["equivalent"] for cell in payload["cells"])
+        # Margin channels ride in the verdict artifact, per cell and
+        # aggregated per protocol.
+        for cell in payload["cells"]:
+            assert "margins" in cell and "margin_ratios" in cell
+        assert "epsilon_margin" in payload["best_margins"]["delphi"]
 
     def test_cli_faults_tiny(self, tmp_path, capsys):
         code = cli_main(
@@ -392,6 +443,32 @@ class TestCampaign:
         assert cli_main(["faults", "--campaign", "smoke", "--dry-run"]) == 0
         out = capsys.readouterr().out
         assert "28 cells" in out
+
+    def test_smoke_matrix_margins_exist_and_are_finite(self):
+        """Every smoke-matrix cell must report finite epsilon-agreement and
+        hull-distance margins — the fitness channels the adversarial search
+        (and the campaign artifact) are built on.  Fast engine only: the
+        margins derive from the observer stream, which the equivalence tests
+        already pin across engines."""
+        import math
+
+        for spec in smoke_campaign().cells():
+            outcome = run_cell_engine(spec, "fast")
+            for channel in ("epsilon_margin", "hull_distance"):
+                assert channel in outcome.margins, (
+                    f"{spec.label}: missing margin channel {channel}"
+                )
+                assert math.isfinite(outcome.margins[channel]), (
+                    f"{spec.label}: non-finite {channel}"
+                )
+                assert math.isfinite(outcome.margin_ratios[channel])
+            if (spec.extras.get("faults") or {}).get("losses"):
+                # Loss windows waive the liveness guarantee, so the
+                # termination channel must stay silent rather than report
+                # a meaningless slack.
+                assert "termination_slack" not in outcome.margins
+            else:
+                assert 0.0 <= outcome.margins["termination_slack"] <= 1.0
 
     def test_observers_see_identical_streams_on_both_engines(self):
         streams = {}
