@@ -1,0 +1,13 @@
+# Image for one oracle-cluster process (node or supervisor).
+# Pure-stdlib runtime: nothing to pip install beyond the interpreter.
+FROM python:3.11-slim
+
+WORKDIR /app
+COPY src/ src/
+COPY scripts/ scripts/
+
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+ENTRYPOINT ["python", "-m", "repro"]
+CMD ["--help"]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Generate the shared ``cluster.json`` for the docker-compose deployment.
+
+The compose recipe gives every oracle node its own service (and hostname), so
+the flat ``host:base_port + node_id`` layout that ``repro cluster`` uses on a
+single machine is replaced with ``node<k>:<port>`` per node and
+``supervisor:<port>`` for the coordinator.  Everything else — workload, PKI
+master secrets, epoch pacing — is the standard :class:`ClusterConfig`, written
+once to the shared volume and read by every container.
+
+Run inside the image (the ``config`` service in docker-compose.yml does):
+
+    python scripts/compose_config.py --n 7 --out /shared/cluster.json
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.oracle.cluster import build_cluster_config
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=7, help="number of oracle nodes")
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--workload", default="sensors")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--port", type=int, default=9500, help="listen port per service")
+    parser.add_argument("--epoch-interval", type=float, default=1.0)
+    parser.add_argument("--out", default="/shared/cluster.json")
+    parser.add_argument(
+        "--secret-seed",
+        default="compose-demo",
+        help="deterministic PKI seed; change it for every real deployment",
+    )
+    args = parser.parse_args()
+
+    config = build_cluster_config(
+        args.workload,
+        args.n,
+        epochs=args.epochs,
+        seed=args.seed,
+        transport="tcp",
+        runtime_dir="/shared",
+        base_port=args.port,
+        epoch_interval=args.epoch_interval,
+        secret_seed=args.secret_seed.encode(),
+    )
+    # One hostname per compose service instead of one port per node.
+    config.addresses = {
+        node_id: ["tcp", f"node{node_id}", args.port] for node_id in range(args.n)
+    }
+    config.addresses[args.n] = ["tcp", "supervisor", args.port]
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    config.write(out)
+    print(f"wrote {out}: n={args.n}, {args.epochs} epochs, workload={args.workload}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,40 @@ class NetworkError(ReproError):
     delivering to an unknown node."""
 
 
+class TransportError(ReproError):
+    """A real (socket) transport failed in a way the runtime must handle:
+    malformed wire data, use after close, or an unreachable peer being
+    treated as reachable."""
+
+
+class FrameError(TransportError):
+    """A length-prefixed wire frame was structurally malformed."""
+
+
+class FrameTooLargeError(FrameError):
+    """A frame declared (or would require) a length beyond the codec's
+    configured maximum — rejected before buffering the body, so a hostile
+    length prefix cannot exhaust memory."""
+
+
+class TruncatedStreamError(FrameError):
+    """The byte stream ended in the middle of a frame (peer crashed or the
+    connection was cut mid-write)."""
+
+
+class TransportClosedError(TransportError):
+    """A blocking transport operation (``get``) was interrupted because the
+    transport was closed.  Note that ``put`` after close does *not* raise:
+    the transport seam specifies best-effort sends, so late ``put`` calls are
+    silently dropped and counted (see the transport docstrings)."""
+
+
+class ReplayError(AuthenticationError):
+    """An authenticated channel received a frame whose sequence number was
+    already consumed on this connection — a replayed (or badly reordered)
+    frame that must not reach the protocol layer."""
+
+
 class AnalysisError(ReproError):
     """A statistical analysis (fitting, extreme-value estimation) failed."""
 

@@ -45,6 +45,17 @@ Five subcommands:
     cross-engine parity replay of every epoch (on by default).  Prints
     per-epoch certificates and epochs/sec / certs/sec throughput.
 
+``repro cluster``
+    Deploy the oracle service as a real multi-process cluster: a supervisor
+    spawns one OS process per node, the mesh talks over authenticated
+    TCP/Unix sockets, and ``--crash-node`` SIGKILLs a node mid-epoch to
+    exercise crash recovery.  ``--no-spawn`` waits for externally started
+    node processes instead (the docker-compose recipe).
+
+``repro cluster-node``
+    Run one oracle node process against a shared cluster config (spawned by
+    ``repro cluster``, or started by docker-compose).
+
 Examples
 --------
 ::
@@ -379,6 +390,107 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--json", dest="json_path", help="write the full result as JSON")
     serve.add_argument("--quiet", action="store_true", help="suppress per-epoch lines")
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="deploy a multi-process oracle cluster over real sockets",
+    )
+    cluster.add_argument(
+        "--workload",
+        choices=sorted(SERVICE_WORKLOADS),
+        default="sensors",
+        help="streaming workload feeding per-epoch inputs (default: sensors)",
+    )
+    cluster.add_argument("--n", type=int, default=4, help="oracle network size")
+    cluster.add_argument("--epochs", type=int, default=3, help="epochs to serve")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--transport",
+        choices=("unix", "tcp"),
+        default="unix",
+        help="socket family for the node mesh (default: unix)",
+    )
+    cluster.add_argument(
+        "--runtime-dir",
+        default=None,
+        help="directory for sockets, the config handout and node logs "
+        "(default: a fresh temporary directory)",
+    )
+    cluster.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host (tcp transport only)"
+    )
+    cluster.add_argument(
+        "--base-port",
+        type=int,
+        default=9500,
+        help="first TCP port; node k listens on base+k (tcp transport only)",
+    )
+    cluster.add_argument(
+        "--config",
+        dest="config_path",
+        default=None,
+        help="use an existing cluster config instead of generating one "
+        "(the docker-compose recipe shares one config between services)",
+    )
+    cluster.add_argument(
+        "--write-config",
+        dest="write_config",
+        default=None,
+        help="write the generated config JSON to this path and exit",
+    )
+    cluster.add_argument(
+        "--no-spawn",
+        action="store_true",
+        help="do not spawn node processes; wait for externally started "
+        "cluster-node processes (docker-compose mode)",
+    )
+    cluster.add_argument(
+        "--crash-node",
+        type=int,
+        default=None,
+        help="SIGKILL this node mid-run to exercise crash recovery",
+    )
+    cluster.add_argument(
+        "--crash-epoch",
+        type=int,
+        default=1,
+        help="epoch in which to inject the crash (default: 1)",
+    )
+    cluster.add_argument(
+        "--epoch-timeout",
+        type=float,
+        default=30.0,
+        help="wall-clock budget per epoch in seconds (default: 30)",
+    )
+    cluster.add_argument(
+        "--epoch-interval",
+        type=float,
+        default=0.0,
+        help="pause between epochs in seconds; pacing lets a respawned "
+        "process rejoin while the run is still live (default: 0)",
+    )
+    cluster.add_argument(
+        "--epsilon", type=float, default=None, help="override the workload's epsilon"
+    )
+    cluster.add_argument(
+        "--delta-max", type=float, default=None, help="override the workload's Delta"
+    )
+    cluster.add_argument("--max-rounds", type=int, default=6)
+    cluster.add_argument(
+        "--json", dest="json_path", help="write the cluster report as JSON"
+    )
+    cluster.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    cluster_node = subparsers.add_parser(
+        "cluster-node",
+        help="run one oracle node process of a cluster (spawned by 'cluster')",
+    )
+    cluster_node.add_argument(
+        "--config", required=True, help="path to the shared cluster config JSON"
+    )
+    cluster_node.add_argument(
+        "--node-id", type=int, required=True, help="this process's node id"
+    )
     return parser
 
 
@@ -711,6 +823,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from repro.oracle.cluster import (
+        ClusterConfig,
+        ClusterSupervisor,
+        CrashPlan,
+        build_cluster_config,
+    )
+
+    if args.config_path is not None:
+        config = ClusterConfig.load(args.config_path)
+    else:
+        runtime_dir = args.runtime_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+        config = build_cluster_config(
+            args.workload,
+            args.n,
+            epochs=args.epochs,
+            seed=args.seed,
+            transport=args.transport,
+            runtime_dir=runtime_dir,
+            host=args.host,
+            base_port=args.base_port,
+            epsilon=args.epsilon,
+            delta_max=args.delta_max,
+            max_rounds=args.max_rounds,
+            epoch_timeout=args.epoch_timeout,
+            epoch_interval=args.epoch_interval,
+        )
+    if args.write_config:
+        path = config.write(args.write_config)
+        print(f"wrote {path}")
+        return 0
+    crash = None
+    if args.crash_node is not None:
+        crash = CrashPlan(node=args.crash_node, epoch=args.crash_epoch)
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    supervisor = ClusterSupervisor(
+        config, spawn=not args.no_spawn, crash=crash, progress=progress
+    )
+    report = supervisor.run()
+    print(
+        f"# cluster {config.workload} n={config.n}: "
+        f"{len(report['epochs'])} epochs in {report['wall_seconds']:.2f}s, "
+        f"{report['chain_entries']} chain entries, "
+        f"{len(report['restarts'])} crash-recoveries"
+    )
+    for entry in report["epochs"]:
+        print(
+            f"  epoch {entry['epoch']:>3}: value={entry['value']:.6g} "
+            f"signers={entry['signers']} certs_from={entry['cert_senders']}"
+        )
+    if args.json_path:
+        path = Path(args.json_path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_cluster_node(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.oracle.cluster import ClusterConfig, run_node
+
+    config = ClusterConfig.load(args.config)
+    committed = asyncio.run(run_node(config, args.node_id, log=sys.stderr))
+    print(
+        f"node {args.node_id}: committed {len(committed)} epochs "
+        f"{sorted(committed)}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -730,6 +920,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_fuzz(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
+        if args.command == "cluster-node":
+            return _cmd_cluster_node(args)
     except ReproError as error:
         # Covers configuration mistakes and designed runtime failures such
         # as the perf suite's EquivalenceError — clean message, no traceback.

@@ -1,0 +1,554 @@
+"""Real-socket transport: the 4-method transport seam over TCP/Unix sockets.
+
+:class:`SocketTransport` implements the same tiny seam as
+:class:`~repro.sim.asyncio_runtime.InMemoryTransport` — ``open`` / ``put`` /
+``get`` / ``close`` moving ``(sender, message)`` pairs — but every cross-node
+pair travels through a real stream socket: length-prefixed frames
+(:mod:`repro.net.framing`) carrying the pickled tuple-bundle message payload,
+authenticated per ordered node pair with the HMAC-SHA256 keys of
+:mod:`repro.crypto.hmac_channel`'s derivation.  It backs two deployments:
+
+* **single process, real sockets** — one transport hosting *all* node
+  endpoints on one event loop (each endpoint gets its own listener and its
+  own per-peer connections), dropped into :class:`AsyncioRuntime` unchanged.
+  This is the loopback mesh the parity tests use: the same DORA epoch runs
+  on in-memory queues and on real TCP and must certify the same value;
+* **one process per node** — each OS process hosts exactly one endpoint
+  (``local_ids=[node_id]``) and dials its peers by address.  This is what
+  ``python -m repro cluster`` deploys (:mod:`repro.oracle.cluster`).
+
+Transport contract (shared with :class:`InMemoryTransport` — regression
+tests assert both agree):
+
+* ``open(node_ids)`` may be sync or async (the runtime awaits awaitables);
+  it (re)creates the endpoints for the ids this transport hosts;
+* ``put(target, (sender, message))`` never blocks on the network: remote
+  sends are enqueued to a per-peer sender task, self-delivery
+  (``target == sender``) goes straight to the local inbox.  **After
+  ``close`` — or to a peer that is unreachable — ``put`` silently drops the
+  message and counts it** (``dropped_after_close`` /
+  ``dropped_unreachable``): the seam is best-effort, exactly like the crash
+  fault model, and teardown races must not crash a node;
+* ``get(node_id)`` blocks for the next pair; after ``close`` (or when close
+  happens mid-wait) it raises :class:`~repro.errors.TransportClosedError`;
+* ``close()`` may be sync or async; it tears down every task, socket and
+  Unix path the transport created.
+
+Security model.  Frames are authenticated (tamper ⇒
+:class:`~repro.errors.AuthenticationError`, replay ⇒
+:class:`~repro.errors.ReplayError`, both counted and the connection dropped
+— a Byzantine peer cannot crash an honest node), and payload bytes are only
+unpickled *after* the tag verifies, so deserialisation never touches
+unauthenticated data.  Holders of a pairwise key are trusted exactly as the
+paper's authenticated-channel assumption trusts them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import time
+from typing import Any, Awaitable, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crypto.hmac_channel import ChannelKeyring
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    FrameError,
+    ReplayError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.net.framing import (
+    ChannelCodec,
+    FrameDecoder,
+    LENGTH_PREFIX_BYTES,
+    MAX_FRAME_BYTES,
+    NONCE_BYTES,
+    decode_ack,
+    decode_hello,
+    encode_ack,
+    encode_frame,
+    encode_hello,
+    verify_ack,
+    verify_hello,
+)
+from repro.net.message import Message
+
+#: A listen/dial address: ``("tcp", host, port)`` or ``("unix", path)``.
+Address = Tuple[Any, ...]
+
+#: Inbox sentinel that wakes blocked ``get`` calls on close.
+_CLOSED = object()
+
+#: Read chunk size for connection reader loops.
+_READ_CHUNK = 65536
+
+
+def normalise_address(address: Sequence[Any]) -> Address:
+    """Validate and canonicalise one address tuple (JSON lists accepted)."""
+    parts = tuple(address)
+    if len(parts) == 3 and parts[0] == "tcp":
+        return ("tcp", str(parts[1]), int(parts[2]))
+    if len(parts) == 2 and parts[0] == "unix":
+        return ("unix", str(parts[1]))
+    raise ConfigurationError(f"malformed transport address {address!r}")
+
+
+def dumps_message(message: Message) -> bytes:
+    """Serialise one message for the wire (pickled 4-tuple).
+
+    The flat-tuple bundle payloads (:mod:`repro.core.bundling`) pickle
+    compactly and round-trip exactly — including float bit patterns, which
+    the certificate parity checks rely on.
+    """
+    return pickle.dumps(
+        (message.protocol, message.mtype, message.round, message.payload),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def loads_message(payload: bytes) -> Message:
+    """Deserialise one wire payload back into a :class:`Message`.
+
+    Only ever called on authenticated payload bytes; still validates the
+    shape so a buggy (not just hostile) peer yields a typed error.
+    """
+    try:
+        parts = pickle.loads(payload)
+    except Exception as error:  # noqa: BLE001 - wrap into the typed hierarchy
+        raise FrameError(f"undecodable message payload: {error!r}") from error
+    if (
+        not isinstance(parts, tuple)
+        or len(parts) != 4
+        or not isinstance(parts[0], str)
+        or not isinstance(parts[1], str)
+        or not (parts[2] is None or isinstance(parts[2], int))
+    ):
+        raise FrameError(f"malformed message tuple {parts!r}")
+    return Message(parts[0], parts[1], parts[2], parts[3])
+
+
+class _Sender:
+    """One ordered channel ``local_id -> peer``: outbox, dialer, writer task.
+
+    A single task drains the outbox and owns the connection, so frames from
+    concurrent ``put`` callers are written whole, in order — concurrent
+    writers can interleave *messages* but never *bytes within a frame*.
+    """
+
+    def __init__(self, transport: "SocketTransport", local_id: int, peer: int) -> None:
+        self.transport = transport
+        self.local_id = local_id
+        self.peer = peer
+        self.queue: "asyncio.Queue[Message]" = asyncio.Queue()
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.codec: Optional[ChannelCodec] = None
+        self.backoff_until = 0.0
+        self.task = asyncio.create_task(self._run())
+
+    # -- connection management -----------------------------------------
+    async def _dial(self) -> None:
+        transport = self.transport
+        address = transport.address_of(self.peer)
+        if address[0] == "unix":
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_unix_connection(address[1]), transport.dial_timeout
+            )
+        else:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(address[1], address[2]), transport.dial_timeout
+            )
+        try:
+            key = transport.keyring(self.local_id).key_for(self.peer)
+            nonce = os.urandom(NONCE_BYTES)
+            writer.write(
+                encode_frame(
+                    encode_hello(key, self.local_id, self.peer, transport.epoch, nonce),
+                    transport.max_frame_bytes,
+                )
+            )
+            await writer.drain()
+            prefix = await asyncio.wait_for(
+                reader.readexactly(LENGTH_PREFIX_BYTES), transport.dial_timeout
+            )
+            length = int.from_bytes(prefix, "big")
+            if length > transport.max_frame_bytes:
+                raise FrameError(f"oversized HELLO-ACK ({length} bytes)")
+            body = await asyncio.wait_for(
+                reader.readexactly(length), transport.dial_timeout
+            )
+            peer_epoch, ack_nonce, tag = decode_ack(body)
+            verify_ack(
+                key, self.local_id, self.peer, peer_epoch, nonce, ack_nonce, tag
+            )
+        except BaseException:
+            writer.close()
+            raise
+        self.transport.note_peer_epoch(self.peer, peer_epoch)
+        self.writer = writer
+        self.codec = ChannelCodec(key, nonce, ack_nonce)
+
+    def _disconnect(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+        self.writer = None
+        self.codec = None
+
+    async def _connect_with_retries(self) -> bool:
+        transport = self.transport
+        for attempt in range(transport.dial_retries):
+            try:
+                await self._dial()
+                return True
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - unreachable peer, typed drop below
+                if attempt + 1 < transport.dial_retries:
+                    await asyncio.sleep(transport.dial_retry_delay)
+        self.backoff_until = time.monotonic() + transport.redial_backoff
+        return False
+
+    # -- the sender loop -----------------------------------------------
+    async def _run(self) -> None:
+        transport = self.transport
+        while True:
+            message = await self.queue.get()
+            if self.writer is None:
+                if time.monotonic() < self.backoff_until:
+                    transport.dropped_unreachable += 1
+                    continue
+                if not await self._connect_with_retries():
+                    transport.dropped_unreachable += 1
+                    continue
+            assert self.codec is not None and self.writer is not None
+            try:
+                frame = encode_frame(
+                    self.codec.seal(dumps_message(message)),
+                    transport.max_frame_bytes,
+                )
+                self.writer.write(frame)
+                await self.writer.drain()
+                transport.frames_sent += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - peer died mid-write
+                self._disconnect()
+                self.backoff_until = time.monotonic() + transport.redial_backoff
+                transport.dropped_unreachable += 1
+
+    def close(self) -> None:
+        self.task.cancel()
+        self._disconnect()
+
+
+class SocketTransport:
+    """Authenticated socket transport for the asyncio runtime and the cluster.
+
+    Parameters
+    ----------
+    addresses:
+        ``node_id -> ("tcp", host, port) | ("unix", path)`` listen addresses
+        for *every* endpoint this transport may talk to.  ``None`` means
+        "auto": :meth:`open` binds one ephemeral localhost TCP listener per
+        hosted id (single-process mesh mode).
+    local_ids:
+        The ids this transport hosts (one per cluster node process; ``None``
+        = whatever :meth:`open` is called with, the runtime mesh case).
+    num_channel_ids:
+        Size of the pairwise-key id space (defaults to covering the largest
+        known id; the cluster passes ``n + 1`` so the supervisor id gets
+        keys too).
+    master_secret:
+        Channel-key master secret — the persistent PKI handout: every
+        process derives the identical pairwise keys from it.
+    epoch:
+        Epoch tag carried in this transport's handshakes (see
+        :meth:`advance_epoch`).
+    on_hello:
+        Optional callback ``(local_id, peer_id, peer_epoch)`` fired when an
+        authenticated inbound HELLO lands (may return an awaitable).  The
+        cluster supervisor uses it to greet (re)joining nodes with the
+        current epoch.
+    """
+
+    def __init__(
+        self,
+        addresses: Optional[Mapping[int, Sequence[Any]]] = None,
+        *,
+        local_ids: Optional[Sequence[int]] = None,
+        num_channel_ids: Optional[int] = None,
+        master_secret: bytes = b"repro-delphi-master-secret",
+        epoch: int = 0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        dial_timeout: float = 2.0,
+        dial_retries: int = 5,
+        dial_retry_delay: float = 0.2,
+        redial_backoff: float = 0.5,
+        on_hello: Optional[Callable[[int, int, int], Any]] = None,
+    ) -> None:
+        self._addresses: Dict[int, Address] = {}
+        if addresses is not None:
+            for node_id, address in addresses.items():
+                self._addresses[int(node_id)] = normalise_address(address)
+        self._auto_addresses = addresses is None
+        self.local_ids: Optional[Tuple[int, ...]] = (
+            tuple(local_ids) if local_ids is not None else None
+        )
+        self._num_channel_ids = num_channel_ids
+        self.master_secret = master_secret
+        self.epoch = epoch
+        self.max_frame_bytes = max_frame_bytes
+        self.dial_timeout = dial_timeout
+        self.dial_retries = dial_retries
+        self.dial_retry_delay = dial_retry_delay
+        self.redial_backoff = redial_backoff
+        self.on_hello = on_hello
+        # Live state (built in open()).
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+        self._servers: Dict[int, asyncio.AbstractServer] = {}
+        self._senders: Dict[Tuple[int, int], _Sender] = {}
+        self._reader_tasks: set = set()
+        self._keyrings: Dict[int, ChannelKeyring] = {}
+        self._unix_paths: List[str] = []
+        self._closed = True
+        #: Latest epoch each peer announced in a handshake.
+        self.peer_epochs: Dict[int, int] = {}
+        # Observability counters (cumulative across open/close cycles).
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.dropped_after_close = 0
+        self.dropped_unreachable = 0
+        self.auth_failures = 0
+        self.replay_rejections = 0
+        self.frame_errors = 0
+
+    # ------------------------------------------------------------------
+    def address_of(self, node_id: int) -> Address:
+        """The listen address of ``node_id``."""
+        try:
+            return self._addresses[node_id]
+        except KeyError:
+            raise TransportError(f"no known address for node {node_id}") from None
+
+    @property
+    def addresses(self) -> Dict[int, Address]:
+        """The current address map (auto mode fills it during ``open``)."""
+        return dict(self._addresses)
+
+    def keyring(self, local_id: int) -> ChannelKeyring:
+        ring = self._keyrings.get(local_id)
+        if ring is None:
+            known = set(self._addresses) | set(self._keyrings) | {local_id}
+            size = self._num_channel_ids or (max(known) + 1)
+            ring = self._keyrings[local_id] = ChannelKeyring(
+                node_id=local_id, num_nodes=size, master_secret=self.master_secret
+            )
+        return ring
+
+    def note_peer_epoch(self, peer: int, epoch: int) -> None:
+        """Record the epoch a peer announced (keep the newest)."""
+        if epoch >= self.peer_epochs.get(peer, -1):
+            self.peer_epochs[peer] = epoch
+
+    def advance_epoch(self, epoch: int) -> None:
+        """Tag future handshakes with ``epoch`` (existing connections keep
+        flowing; only *reconnects* re-handshake, carrying the new tag)."""
+        self.epoch = epoch
+
+    # ------------------------------------------------------------------
+    # The transport seam
+    # ------------------------------------------------------------------
+    async def open(self, node_ids: Sequence[int]) -> None:
+        """Start one listener per hosted id and fresh inboxes."""
+        hosted = list(self.local_ids) if self.local_ids is not None else list(node_ids)
+        self._closed = False
+        self._inboxes = {node_id: asyncio.Queue() for node_id in hosted}
+        for node_id in hosted:
+            await self._start_server(node_id)
+
+    async def _start_server(self, node_id: int) -> None:
+        if self._auto_addresses:
+            server = await asyncio.start_server(
+                self._acceptor(node_id), host="127.0.0.1", port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            self._addresses[node_id] = ("tcp", "127.0.0.1", port)
+        else:
+            address = self.address_of(node_id)
+            if address[0] == "unix":
+                path = address[1]
+                if os.path.exists(path):
+                    os.unlink(path)
+                server = await asyncio.start_unix_server(self._acceptor(node_id), path=path)
+                self._unix_paths.append(path)
+            else:
+                server = await asyncio.start_server(
+                    self._acceptor(node_id), host=address[1], port=address[2]
+                )
+        self._servers[node_id] = server
+
+    async def put(self, target: int, item: Tuple[int, Message]) -> None:
+        """Enqueue one ``(sender, message)`` pair for ``target``.
+
+        Never blocks on the network: remote sends are handed to the
+        per-peer sender task.  Silently drops (and counts) after ``close``.
+        """
+        if self._closed:
+            self.dropped_after_close += 1
+            return
+        sender, message = item
+        if target == sender:
+            # Local self-delivery: no network, no authentication, no delay.
+            inbox = self._inboxes.get(target)
+            if inbox is None:
+                self.dropped_after_close += 1
+                return
+            inbox.put_nowait(item)
+            return
+        if sender not in self._inboxes:
+            raise TransportError(
+                f"cannot send as node {sender}: not hosted by this transport"
+            )
+        key = (sender, target)
+        channel = self._senders.get(key)
+        if channel is None:
+            self.address_of(target)  # raise now if the peer is unknown
+            channel = self._senders[key] = _Sender(self, sender, target)
+        channel.queue.put_nowait(message)
+
+    async def get(self, node_id: int) -> Tuple[int, Message]:
+        """Dequeue the next ``(sender, message)`` pair for ``node_id``.
+
+        Raises
+        ------
+        TransportClosedError
+            If the transport is closed (also when closed mid-wait).
+        """
+        inbox = self._inboxes.get(node_id)
+        if self._closed or inbox is None:
+            raise TransportClosedError(f"transport closed (get for node {node_id})")
+        item = await inbox.get()
+        if item is _CLOSED:
+            inbox.put_nowait(_CLOSED)  # wake any other waiter too
+            raise TransportClosedError(f"transport closed (get for node {node_id})")
+        return item
+
+    def pending(self) -> int:
+        """Messages enqueued locally but not yet consumed."""
+        return sum(
+            sum(1 for item in inbox._queue if item is not _CLOSED)  # noqa: SLF001
+            for inbox in self._inboxes.values()
+        )
+
+    async def close(self) -> None:
+        """Tear down every task, connection, listener and Unix path."""
+        if self._closed and not self._servers and not self._senders:
+            return
+        self._closed = True
+        senders = list(self._senders.values())
+        self._senders = {}
+        for channel in senders:
+            channel.close()
+        readers = list(self._reader_tasks)
+        self._reader_tasks = set()
+        for task in readers:
+            task.cancel()
+        tasks = [channel.task for channel in senders] + readers
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        servers = list(self._servers.values())
+        self._servers = {}
+        for server in servers:
+            server.close()
+        for server in servers:
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover - platform-dependent teardown
+                pass
+        for inbox in self._inboxes.values():
+            inbox.put_nowait(_CLOSED)
+        for path in self._unix_paths:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._unix_paths = []
+
+    # ------------------------------------------------------------------
+    # Inbound connections
+    # ------------------------------------------------------------------
+    def _acceptor(
+        self, local_id: int
+    ) -> Callable[[asyncio.StreamReader, asyncio.StreamWriter], Awaitable[None]]:
+        async def handle(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            task = asyncio.current_task()
+            if task is not None:
+                self._reader_tasks.add(task)
+                task.add_done_callback(self._reader_tasks.discard)
+            try:
+                await self._serve_connection(local_id, reader, writer)
+            except asyncio.CancelledError:
+                # Swallow rather than re-raise: asyncio's stream-server
+                # machinery calls ``task.exception()`` on this task from a
+                # plain loop callback, and a cancelled task would make that
+                # call itself raise and be logged as a loop error.
+                pass
+            except ReplayError:
+                self.replay_rejections += 1
+            except AuthenticationError:
+                self.auth_failures += 1
+            except FrameError:
+                self.frame_errors += 1
+            except Exception:  # noqa: BLE001 - a broken peer must not crash us
+                self.frame_errors += 1
+            finally:
+                writer.close()
+
+        return handle
+
+    async def _serve_connection(
+        self, local_id: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder(self.max_frame_bytes)
+        codec: Optional[ChannelCodec] = None
+        peer: Optional[int] = None
+        while True:
+            chunk = await reader.read(_READ_CHUNK)
+            if not chunk:
+                decoder.finish()  # raises TruncatedStreamError mid-frame
+                return
+            for body in decoder.feed(chunk):
+                if codec is None:
+                    peer, codec = await self._handshake(local_id, body, writer)
+                    continue
+                payload = codec.open(body)  # AuthenticationError / ReplayError
+                message = loads_message(payload)
+                self.frames_received += 1
+                inbox = self._inboxes.get(local_id)
+                if inbox is not None and not self._closed:
+                    inbox.put_nowait((peer, message))
+
+    async def _handshake(
+        self, local_id: int, body: bytes, writer: asyncio.StreamWriter
+    ) -> Tuple[int, ChannelCodec]:
+        sender, peer_epoch, nonce, tag = decode_hello(body)
+        key = self.keyring(local_id).key_for(sender)
+        verify_hello(key, sender, local_id, peer_epoch, nonce, tag)
+        self.note_peer_epoch(sender, peer_epoch)
+        ack_nonce = os.urandom(NONCE_BYTES)
+        writer.write(
+            encode_frame(
+                encode_ack(key, sender, local_id, self.epoch, nonce, ack_nonce),
+                self.max_frame_bytes,
+            )
+        )
+        await writer.drain()
+        if self.on_hello is not None:
+            result = self.on_hello(local_id, sender, peer_epoch)
+            if asyncio.iscoroutine(result):
+                await result
+        return sender, ChannelCodec(key, nonce, ack_nonce)

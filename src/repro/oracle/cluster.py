@@ -1,0 +1,876 @@
+"""Multi-process oracle cluster: one OS process per DORA node, real sockets.
+
+``python -m repro cluster`` turns the epoch-pipelined oracle service into an
+actual deployment: a supervisor process spawns ``n`` node processes, each
+hosting exactly one :class:`~repro.net.socket_transport.SocketTransport`
+endpoint (TCP or Unix-domain), and the cluster agrees epoch after epoch over
+authenticated sockets.  A SIGKILLed node process genuinely crashes mid-epoch
+— its kernel sockets die with it — and a respawned process rejoins the live
+cluster through the epoch-tagged reconnect handshake.
+
+Roles
+-----
+* **Node process** (:func:`run_node`, ``repro cluster-node``): derives its
+  keys and per-epoch input deterministically from the shared config (the
+  *persistent PKI handout*: both the signing scheme and the pairwise channel
+  keys reconstruct from master secrets, so a restarted process has the same
+  identity), JOINs the supervisor, then runs one
+  :class:`~repro.oracle.service.EpochNode` per epoch, reporting its
+  certificate and waiting for the supervisor's COMMIT before advancing.
+* **Supervisor process** (:class:`ClusterSupervisor`, ``repro cluster``):
+  hosts endpoint ``n``, spawns/restarts the children, collects per-epoch
+  certificates into the :class:`~repro.oracle.smr.SMRChannel`, validates
+  them with :class:`~repro.faults.monitors.CertificateStreamMonitor`, and
+  broadcasts COMMIT — the cluster's epoch barrier.
+
+Control plane (all over the same authenticated transport):
+
+========  =========  ====================================================
+mtype     direction  payload
+========  =========  ====================================================
+JOIN      node→sup   epoch the node believes it is in (0 when fresh)
+EPOCH     sup→node   current epoch — the start barrier and rejoin catch-up
+CERT      node→sup   ``[epoch, rounded_value, DoraCertificate]``
+COMMIT    sup→all    ``[epoch, value, AggregateSignature]``
+SHUTDOWN  sup→all    ``None``
+========  =========  ====================================================
+
+Crash-recovery walkthrough (the integration test's exact scenario): the
+supervisor SIGKILLs node ``x`` just after COMMIT of epoch ``k-1``; peers'
+sends to ``x`` fail and are dropped (counted, with redial backoff) — a
+textbook crash fault within the ``t`` budget, so the remaining nodes still
+gather ``t+1`` signatures for epoch ``k``.  The respawned ``x`` re-derives
+its keys, JOINs, is greeted with ``EPOCH(k)``, fast-forwards its workload
+feed, and — having missed epoch ``k``'s early rounds — adopts the epoch via
+the supervisor's COMMIT after verifying the aggregate signature itself.
+From epoch ``k+1`` on it participates normally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.parameters import DelphiParameters, derive_parameters
+from repro.core.dora import DoraCertificate, DoraNode
+from repro.crypto.signatures import AggregateSignature, SignatureScheme
+from repro.errors import (
+    ConfigurationError,
+    LivenessTimeout,
+    ProtocolViolation,
+    TransportClosedError,
+)
+from repro.faults.monitors import CertificateStreamMonitor
+from repro.net.message import Message
+from repro.net.socket_transport import SocketTransport
+from repro.oracle.service import EpochNode
+from repro.oracle.smr import SMRChannel
+from repro.protocols.base import BROADCAST, Outbound
+from repro.workloads import EPOCH_WORKLOADS, make_epoch_workload
+
+#: Protocol tag of the cluster control plane.
+CLUSTER_PROTOCOL = "cluster"
+
+JOIN = "JOIN"
+EPOCH = "EPOCH"
+CERT = "CERT"
+COMMIT = "COMMIT"
+SHUTDOWN = "SHUTDOWN"
+
+_EPOCH_PREFIX = "epoch:"
+
+
+def parse_epoch_tag(protocol: str) -> Optional[int]:
+    """Epoch number of an ``epoch:<k>/...`` protocol tag (``None`` if untagged)."""
+    if not protocol.startswith(_EPOCH_PREFIX):
+        return None
+    head, _, _rest = protocol.partition("/")
+    try:
+        return int(head[len(_EPOCH_PREFIX):])
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Shared configuration (the persistent PKI handout)
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterConfig:
+    """Everything a node or supervisor process needs, JSON-serialisable.
+
+    The two master secrets *are* the PKI handout: every process re-derives
+    the identical signing keys (:class:`SignatureScheme`) and pairwise
+    channel keys (:class:`~repro.crypto.hmac_channel.ChannelKeyring`) from
+    them, so identity survives any number of crash-restarts.
+    """
+
+    n: int
+    workload: str
+    seed: int = 0
+    epochs: int = 3
+    epsilon: Optional[float] = None
+    rho0: Optional[float] = None
+    delta_max: Optional[float] = None
+    max_rounds: Optional[int] = 6
+    #: ``node_id -> ["tcp", host, port] | ["unix", path]``; id ``n`` is the
+    #: supervisor's endpoint.
+    addresses: Dict[int, List[Any]] = field(default_factory=dict)
+    sign_secret_hex: str = ""
+    channel_secret_hex: str = ""
+    epoch_timeout: float = 30.0
+    join_timeout: float = 30.0
+    #: Seconds the supervisor keeps draining extra CERTs after the first
+    #: valid one, so every alive node's certificate lands in the report.
+    epoch_grace: float = 1.0
+    #: Pause between epochs.  Pacing gives a respawned process (a whole
+    #: Python interpreter boot) time to rejoin while the run is still live;
+    #: 0 runs epochs back-to-back.
+    epoch_interval: float = 0.0
+    runtime_dir: str = "."
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"cluster needs n >= 2 nodes, got {self.n}")
+        if self.workload not in EPOCH_WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r} "
+                f"(known: {', '.join(sorted(EPOCH_WORKLOADS))})"
+            )
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+        self.addresses = {int(k): list(v) for k, v in self.addresses.items()}
+
+    # -- derived values -------------------------------------------------
+    @property
+    def supervisor_id(self) -> int:
+        return self.n
+
+    @property
+    def sign_secret(self) -> bytes:
+        return bytes.fromhex(self.sign_secret_hex)
+
+    @property
+    def channel_secret(self) -> bytes:
+        return bytes.fromhex(self.channel_secret_hex)
+
+    def params(self) -> DelphiParameters:
+        defaults = EPOCH_WORKLOADS[self.workload]
+        epsilon = self.epsilon if self.epsilon is not None else defaults["epsilon"]
+        rho0 = self.rho0
+        if rho0 is None and self.epsilon is None:
+            rho0 = defaults["rho0"]
+        delta_max = (
+            self.delta_max if self.delta_max is not None else defaults["delta_max"]
+        )
+        return derive_parameters(
+            n=self.n,
+            epsilon=epsilon,
+            rho0=rho0,
+            delta_max=delta_max,
+            max_rounds=self.max_rounds,
+        )
+
+    def scheme(self) -> SignatureScheme:
+        return SignatureScheme(num_nodes=self.n, master_secret=self.sign_secret)
+
+    def make_transport(self, local_id: int, **kwargs: Any) -> SocketTransport:
+        return SocketTransport(
+            self.addresses,
+            local_ids=[local_id],
+            num_channel_ids=self.n + 1,
+            master_secret=self.channel_secret,
+            **kwargs,
+        )
+
+    # -- (de)serialisation ----------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "n": self.n,
+            "workload": self.workload,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "epsilon": self.epsilon,
+            "rho0": self.rho0,
+            "delta_max": self.delta_max,
+            "max_rounds": self.max_rounds,
+            "addresses": {str(k): list(v) for k, v in self.addresses.items()},
+            "sign_secret_hex": self.sign_secret_hex,
+            "channel_secret_hex": self.channel_secret_hex,
+            "epoch_timeout": self.epoch_timeout,
+            "join_timeout": self.join_timeout,
+            "epoch_grace": self.epoch_grace,
+            "epoch_interval": self.epoch_interval,
+            "runtime_dir": self.runtime_dir,
+        }
+
+    def write(self, path: os.PathLike) -> Path:
+        target = Path(path)
+        target.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "ClusterConfig":
+        return cls(**json.loads(Path(path).read_text()))
+
+
+def build_cluster_config(
+    workload: str,
+    n: int,
+    *,
+    epochs: int = 3,
+    seed: int = 0,
+    transport: str = "unix",
+    runtime_dir: os.PathLike = ".",
+    host: str = "127.0.0.1",
+    base_port: int = 9500,
+    epsilon: Optional[float] = None,
+    delta_max: Optional[float] = None,
+    max_rounds: Optional[int] = 6,
+    epoch_timeout: float = 30.0,
+    epoch_interval: float = 0.0,
+    secret_seed: Optional[bytes] = None,
+) -> ClusterConfig:
+    """Assemble a runnable config: addresses plus freshly drawn secrets.
+
+    ``transport="unix"`` lays the sockets out in ``runtime_dir``;
+    ``transport="tcp"`` assigns ``base_port + node_id`` on ``host`` (the
+    docker-compose recipe templates per-service hostnames instead).
+    ``secret_seed`` pins the secrets for reproducible deployments; the
+    default draws them from ``os.urandom``.
+    """
+    if transport not in ("unix", "tcp"):
+        raise ConfigurationError(f"transport must be 'unix' or 'tcp', got {transport!r}")
+    directory = Path(runtime_dir)
+    addresses: Dict[int, List[Any]] = {}
+    for node_id in range(n + 1):
+        if transport == "unix":
+            addresses[node_id] = ["unix", str(directory / f"node-{node_id}.sock")]
+        else:
+            addresses[node_id] = ["tcp", host, base_port + node_id]
+    if secret_seed is not None:
+        import hashlib
+
+        sign_secret = hashlib.sha256(b"sign|" + secret_seed).digest()
+        channel_secret = hashlib.sha256(b"channel|" + secret_seed).digest()
+    else:
+        sign_secret = os.urandom(32)
+        channel_secret = os.urandom(32)
+    return ClusterConfig(
+        n=n,
+        workload=workload,
+        seed=seed,
+        epochs=epochs,
+        epsilon=epsilon,
+        delta_max=delta_max,
+        max_rounds=max_rounds,
+        addresses=addresses,
+        sign_secret_hex=sign_secret.hex(),
+        channel_secret_hex=channel_secret.hex(),
+        epoch_timeout=epoch_timeout,
+        epoch_interval=epoch_interval,
+        runtime_dir=str(directory),
+    )
+
+
+class EpochInputFeed:
+    """Deterministic per-epoch inputs, fast-forwardable to any epoch.
+
+    Every process owns one; because the feed is a pure function of
+    ``(workload, seed)``, a restarted node that jumps to epoch ``k`` draws
+    exactly the input it would have drawn had it never crashed.
+    """
+
+    def __init__(self, workload: str, seed: int, n: int) -> None:
+        self._feed = make_epoch_workload(workload, seed=seed)
+        self._n = n
+        self._cache: List[List[float]] = []
+
+    def inputs(self, epoch: int) -> List[float]:
+        while len(self._cache) <= epoch:
+            self._cache.append(
+                [float(value) for value in self._feed.epoch_inputs(self._n)]
+            )
+        return self._cache[epoch]
+
+
+# ----------------------------------------------------------------------
+# Node process
+# ----------------------------------------------------------------------
+async def _send_outbound(
+    transport: SocketTransport,
+    node_id: int,
+    peers: Sequence[int],
+    outbound: Sequence[Outbound],
+) -> None:
+    """Deliver a protocol step's outbound batch, expanding BROADCAST."""
+    for target, message in outbound:
+        if target == BROADCAST:
+            for peer in peers:
+                await transport.put(peer, (node_id, message))
+        else:
+            await transport.put(target, (node_id, message))
+
+
+async def run_node(
+    config: ClusterConfig, node_id: int, *, log: Any = None
+) -> Dict[int, float]:
+    """One oracle node process: JOIN, then agree epoch after epoch.
+
+    Returns the ``epoch -> committed value`` map this process witnessed
+    (useful to in-process tests; the OS process exit code is what the
+    supervisor watches).
+    """
+    if not 0 <= node_id < config.n:
+        raise ConfigurationError(f"node id {node_id} outside [0, {config.n})")
+
+    def say(text: str) -> None:
+        if log is not None:
+            print(text, file=log, flush=True)
+
+    params = config.params()
+    scheme = config.scheme()
+    threshold = params.t + 1
+    supervisor = config.supervisor_id
+    peers = list(range(config.n))
+    feed = EpochInputFeed(config.workload, config.seed, config.n)
+    transport = config.make_transport(node_id)
+    await transport.open([node_id])
+    committed: Dict[int, float] = {}
+    #: Early messages for epochs we have not entered yet.
+    future: Dict[int, List[Tuple[int, Message]]] = {}
+    try:
+        await transport.put(
+            supervisor, (node_id, Message(CLUSTER_PROTOCOL, JOIN, 0, 0))
+        )
+        epoch: Optional[int] = None
+        deadline = time.monotonic() + config.join_timeout
+        while epoch is None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise LivenessTimeout(
+                    f"node {node_id}: no EPOCH greeting within "
+                    f"{config.join_timeout}s of JOIN"
+                )
+            sender, message = await asyncio.wait_for(transport.get(node_id), remaining)
+            if message.protocol == CLUSTER_PROTOCOL:
+                if message.mtype == EPOCH:
+                    epoch = int(message.payload)
+                elif message.mtype == SHUTDOWN:
+                    return committed
+            else:
+                tag = parse_epoch_tag(message.protocol)
+                if tag is not None:
+                    future.setdefault(tag, []).append((sender, message))
+        say(f"node {node_id}: joined at epoch {epoch}")
+
+        while epoch < config.epochs:
+            inputs = feed.inputs(epoch)
+            node = EpochNode(
+                DoraNode(
+                    node_id=node_id,
+                    params=params,
+                    value=inputs[node_id],
+                    scheme=scheme,
+                ),
+                epoch,
+            )
+            transport.advance_epoch(epoch)
+            await _send_outbound(transport, node_id, peers, node.on_start())
+            for sender, message in future.pop(epoch, []):
+                await _send_outbound(
+                    transport, node_id, peers, node.on_message(sender, message)
+                )
+            reported = False
+            advance_to: Optional[int] = None
+            deadline = time.monotonic() + config.epoch_timeout
+            while advance_to is None:
+                if node.certificate is not None and not reported:
+                    reported = True
+                    await transport.put(
+                        supervisor,
+                        (
+                            node_id,
+                            Message(
+                                CLUSTER_PROTOCOL,
+                                CERT,
+                                epoch,
+                                [epoch, node.rounded_value, node.certificate],
+                            ),
+                        ),
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise LivenessTimeout(
+                        f"node {node_id}: epoch {epoch} saw no COMMIT within "
+                        f"{config.epoch_timeout}s"
+                    )
+                sender, message = await asyncio.wait_for(
+                    transport.get(node_id), remaining
+                )
+                if message.protocol == CLUSTER_PROTOCOL:
+                    if message.mtype == SHUTDOWN:
+                        say(f"node {node_id}: shutdown at epoch {epoch}")
+                        return committed
+                    if message.mtype == COMMIT:
+                        commit_epoch, value, aggregate = message.payload
+                        commit_epoch = int(commit_epoch)
+                        if commit_epoch < epoch:
+                            continue  # stale re-broadcast
+                        if not isinstance(aggregate, AggregateSignature) or (
+                            not scheme.verify_aggregate(
+                                value, aggregate, threshold=threshold
+                            )
+                        ):
+                            raise ProtocolViolation(
+                                f"node {node_id}: COMMIT for epoch {commit_epoch} "
+                                "carries an invalid aggregate signature"
+                            )
+                        committed[commit_epoch] = float(value)
+                        advance_to = commit_epoch + 1
+                    elif message.mtype == EPOCH:
+                        target = int(message.payload)
+                        if target > epoch:
+                            advance_to = target
+                    continue
+                tag = parse_epoch_tag(message.protocol)
+                if tag is None or tag == epoch:
+                    await _send_outbound(
+                        transport, node_id, peers, node.on_message(sender, message)
+                    )
+                elif tag > epoch:
+                    future.setdefault(tag, []).append((sender, message))
+                # tag < epoch: a straggler from a committed epoch; drop.
+            say(
+                f"node {node_id}: epoch {epoch} done "
+                f"(own certificate: {node.certificate is not None})"
+            )
+            epoch = advance_to
+        return committed
+    except TransportClosedError:
+        return committed
+    finally:
+        await transport.close()
+
+
+# ----------------------------------------------------------------------
+# Supervisor process
+# ----------------------------------------------------------------------
+@dataclass
+class CrashPlan:
+    """SIGKILL ``node`` ``after`` seconds into ``epoch``; respawn ``restart_delay``
+    seconds later (mid-epoch, so it rejoins a live, working cluster)."""
+
+    node: int
+    epoch: int
+    after: float = 0.05
+    restart_delay: float = 0.3
+
+
+class ClusterSupervisor:
+    """Spawns, kills, restarts and audits an n-process oracle cluster."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        spawn: bool = True,
+        crash: Optional[CrashPlan] = None,
+        progress: Any = None,
+    ) -> None:
+        if crash is not None:
+            if not 0 <= crash.node < config.n:
+                raise ConfigurationError(f"crash node {crash.node} outside the cluster")
+            if not 0 <= crash.epoch < config.epochs:
+                raise ConfigurationError(
+                    f"crash epoch {crash.epoch} outside [0, {config.epochs})"
+                )
+        self.config = config
+        self.spawn = spawn
+        self.crash = crash
+        self.progress = progress
+        self.params = config.params()
+        self.scheme = config.scheme()
+        self.chain = SMRChannel(validator=self._validate)
+        self.monitor = CertificateStreamMonitor(self.params)
+        self.feed = EpochInputFeed(config.workload, config.seed, config.n)
+        self.processes: Dict[int, subprocess.Popen] = {}
+        self.restarts: List[Dict[str, int]] = []
+        self.rejoins: List[Dict[str, int]] = []
+        self._config_path: Optional[Path] = None
+        self._epoch = 0
+        self._started = False
+        self._joined: set = set()
+        self._down: set = set()
+
+    # -- helpers ---------------------------------------------------------
+    def _say(self, text: str) -> None:
+        if self.progress is not None:
+            self.progress(text)
+
+    def _validate(self, payload: object) -> bool:
+        if not isinstance(payload, DoraCertificate):
+            return False
+        return self.scheme.verify_aggregate(
+            payload.value, payload.aggregate, threshold=self.params.t + 1
+        )
+
+    def _spawn_node(self, node_id: int) -> subprocess.Popen:
+        directory = Path(self.config.runtime_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        log_path = directory / f"node-{node_id}.log"
+        with open(log_path, "ab") as log_file:
+            process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "cluster-node",
+                    "--config",
+                    str(self._config_path),
+                    "--node-id",
+                    str(node_id),
+                ],
+                stdout=log_file,
+                stderr=subprocess.STDOUT,
+                env=env,
+                cwd=str(directory),
+            )
+        return process
+
+    # -- the run ---------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        """Drive the whole cluster; returns the JSON-safe report.
+
+        Raises
+        ------
+        InvariantViolation
+            If any epoch's certificate stream breaches the monitor.
+        LivenessTimeout
+            If an epoch gathers no valid certificate within the budget.
+        """
+        return asyncio.run(self._run_async())
+
+    async def _run_async(self) -> Dict[str, Any]:
+        config = self.config
+        directory = Path(config.runtime_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._config_path = directory / "cluster.json"
+        config.write(self._config_path)
+        supervisor_id = config.supervisor_id
+        transport = config.make_transport(supervisor_id)
+        await transport.open([supervisor_id])
+        started_wall = time.monotonic()
+        epoch_reports: List[Dict[str, Any]] = []
+        crash_task: Optional[asyncio.Task] = None
+        try:
+            if self.spawn:
+                for node_id in range(config.n):
+                    self.processes[node_id] = self._spawn_node(node_id)
+            await self._startup_barrier(transport)
+            for epoch in range(config.epochs):
+                self._epoch = epoch
+                if self.crash is not None and self.crash.epoch == epoch:
+                    crash_task = asyncio.create_task(self._inject_crash())
+                epoch_reports.append(await self._run_epoch(transport, epoch))
+            if crash_task is not None:
+                await crash_task
+            await self._await_rejoin(transport)
+            await self._broadcast(transport, Message(CLUSTER_PROTOCOL, SHUTDOWN, 0))
+            exit_codes = await self._reap_children()
+        finally:
+            if crash_task is not None and not crash_task.done():
+                crash_task.cancel()
+            self._kill_children()
+            await transport.close()
+            self._sweep_sockets()
+        report = {
+            "n": config.n,
+            "t": self.params.t,
+            "workload": config.workload,
+            "seed": config.seed,
+            "epochs": epoch_reports,
+            "restarts": self.restarts,
+            "rejoins": self.rejoins,
+            "chain_entries": len(self.chain.entries),
+            "chain_validations": self.chain.validations,
+            "distinct_valid_payloads": self.chain.distinct_valid_payloads,
+            "wall_seconds": time.monotonic() - started_wall,
+            "exit_codes": exit_codes if self.spawn else {},
+            "transport": {
+                "frames_sent": transport.frames_sent,
+                "frames_received": transport.frames_received,
+                "auth_failures": transport.auth_failures,
+                "replay_rejections": transport.replay_rejections,
+            },
+        }
+        return report
+
+    async def _startup_barrier(self, transport: SocketTransport) -> None:
+        """Wait for every node's JOIN, then release them into epoch 0."""
+        config = self.config
+        deadline = time.monotonic() + config.join_timeout
+        while len(self._joined) < config.n:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = sorted(set(range(config.n)) - self._joined)
+                raise LivenessTimeout(
+                    f"cluster barrier: nodes {missing} never joined within "
+                    f"{config.join_timeout}s"
+                )
+            sender, message = await asyncio.wait_for(
+                transport.get(config.supervisor_id), remaining
+            )
+            if message.protocol == CLUSTER_PROTOCOL and message.mtype == JOIN:
+                self._joined.add(sender)
+        self._started = True
+        await self._broadcast(transport, Message(CLUSTER_PROTOCOL, EPOCH, 0, 0))
+        self._say(f"# cluster: all {config.n} nodes joined")
+
+    async def _broadcast(self, transport: SocketTransport, message: Message) -> None:
+        for node_id in range(self.config.n):
+            await transport.put(node_id, (self.config.supervisor_id, message))
+
+    async def _greet(
+        self, transport: SocketTransport, node_id: int, epoch: int
+    ) -> None:
+        """Answer a JOIN: tell the node which epoch to (re)start from."""
+        if self._started:
+            self.rejoins.append({"node": node_id, "epoch": epoch})
+            self._say(f"# cluster: node {node_id} rejoined, greeted with epoch {epoch}")
+        self._joined.add(node_id)
+        await transport.put(
+            node_id,
+            (
+                self.config.supervisor_id,
+                Message(CLUSTER_PROTOCOL, EPOCH, epoch, epoch),
+            ),
+        )
+
+    async def _idle(self, transport: SocketTransport, seconds: float, epoch: int) -> None:
+        """Pace the run by *withholding the COMMIT*: every node sits waiting
+        for it in the current epoch, so nothing but JOINs (greeted with that
+        epoch — they adopt via the imminent COMMIT) can arrive that matters.
+        Pacing this way keeps the run live long enough for a respawned
+        interpreter to boot and rejoin mid-run."""
+        deadline = time.monotonic() + seconds
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            try:
+                sender, message = await asyncio.wait_for(
+                    transport.get(self.config.supervisor_id), remaining
+                )
+            except asyncio.TimeoutError:
+                return
+            if message.protocol == CLUSTER_PROTOCOL and message.mtype == JOIN:
+                await self._greet(transport, sender, epoch)
+            # Anything else here is a late duplicate CERT for the already-
+            # consumed epoch; the chain keeps its consumed entry either way.
+
+    async def _await_rejoin(self, transport: SocketTransport) -> None:
+        """After the final epoch: if the crashed node's replacement has not
+        reconnected yet (interpreter boot can outlast short runs), wait for
+        its JOIN and greet it with the terminal epoch so it exits cleanly —
+        otherwise SHUTDOWN would race its connect and orphan it."""
+        crash = self.crash
+        if crash is None or not self.spawn:
+            return
+        if any(entry["node"] == crash.node for entry in self.rejoins):
+            return
+        deadline = time.monotonic() + self.config.join_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._say(
+                    f"# cluster: node {crash.node} never rejoined within "
+                    f"{self.config.join_timeout}s"
+                )
+                return
+            try:
+                sender, message = await asyncio.wait_for(
+                    transport.get(self.config.supervisor_id), remaining
+                )
+            except asyncio.TimeoutError:
+                continue
+            if message.protocol == CLUSTER_PROTOCOL and message.mtype == JOIN:
+                await self._greet(transport, sender, self.config.epochs)
+                if sender == crash.node:
+                    return
+
+    async def _inject_crash(self) -> None:
+        """SIGKILL the planned node mid-epoch, then respawn it."""
+        crash = self.crash
+        assert crash is not None
+        await asyncio.sleep(crash.after)
+        process = self.processes.get(crash.node)
+        if process is not None and process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+            process.wait()
+            self._say(f"# cluster: SIGKILLed node {crash.node} in epoch {crash.epoch}")
+        self._down.add(crash.node)
+        await asyncio.sleep(crash.restart_delay)
+        if self.spawn:
+            self.processes[crash.node] = self._spawn_node(crash.node)
+        self._down.discard(crash.node)
+        self.restarts.append({"node": crash.node, "epoch": self._epoch})
+        self._say(f"# cluster: respawned node {crash.node}")
+
+    async def _run_epoch(
+        self, transport: SocketTransport, epoch: int
+    ) -> Dict[str, Any]:
+        """Collect one epoch's certificates, validate, COMMIT."""
+        config = self.config
+        inputs = self.feed.inputs(epoch)
+        self.monitor.begin_epoch(epoch, inputs)
+        transport.advance_epoch(epoch)
+        mark = len(self.chain.entries)
+        cert_senders: List[int] = []
+        consumed: Optional[DoraCertificate] = None
+        deadline = time.monotonic() + config.epoch_timeout
+        grace_deadline: Optional[float] = None
+        while True:
+            now = time.monotonic()
+            if consumed is not None:
+                # Drain extra certificates briefly so slower-but-alive nodes
+                # land in the report; stop early once everyone expected did.
+                expected = set(range(config.n)) - self._down
+                if expected <= set(cert_senders) or now >= grace_deadline:
+                    break
+                remaining = min(grace_deadline, deadline) - now
+            else:
+                remaining = deadline - now
+            if remaining <= 0:
+                if consumed is not None:
+                    break
+                raise LivenessTimeout(
+                    f"cluster epoch {epoch}: no valid certificate within "
+                    f"{config.epoch_timeout}s "
+                    f"(certificates from {sorted(cert_senders)})",
+                )
+            try:
+                sender, message = await asyncio.wait_for(
+                    transport.get(config.supervisor_id), remaining
+                )
+            except asyncio.TimeoutError:
+                continue
+            if message.protocol != CLUSTER_PROTOCOL:
+                continue
+            if message.mtype == JOIN:
+                # A (re)joining node: greet it with the current epoch so it
+                # fast-forwards its feed and state to the live cluster.
+                await self._greet(transport, sender, epoch)
+                continue
+            if message.mtype != CERT:
+                continue
+            cert_epoch, rounded, certificate = message.payload
+            if int(cert_epoch) != epoch:
+                continue  # stale certificate from a committed epoch
+            self.chain.submit(sender, certificate)
+            if sender not in cert_senders:
+                cert_senders.append(sender)
+            if rounded is not None:
+                self.monitor.on_decide(sender, float(rounded), time.monotonic())
+            if consumed is None:
+                for entry in self.chain.entries[mark:]:
+                    if entry.valid:
+                        consumed = entry.payload
+                        break
+                if consumed is not None:
+                    grace_deadline = time.monotonic() + config.epoch_grace
+        assert consumed is not None
+        self.monitor.check_certificate(epoch, consumed)
+        if config.epoch_interval > 0 and epoch + 1 < config.epochs:
+            await self._idle(transport, config.epoch_interval, epoch)
+        await self._broadcast(
+            transport,
+            Message(
+                CLUSTER_PROTOCOL,
+                COMMIT,
+                epoch,
+                [epoch, consumed.value, consumed.aggregate],
+            ),
+        )
+        self._say(
+            f"  epoch {epoch}: value={consumed.value:.6g} "
+            f"signers={consumed.signer_count} certs_from={sorted(cert_senders)}"
+        )
+        return {
+            "epoch": epoch,
+            "value": float(consumed.value),
+            "signers": consumed.signer_count,
+            "cert_senders": sorted(cert_senders),
+        }
+
+    # -- teardown --------------------------------------------------------
+    async def _reap_children(self, timeout: float = 10.0) -> Dict[int, Optional[int]]:
+        """Wait for clean child exits after the final COMMIT + SHUTDOWN.
+
+        Polls with ``asyncio.sleep`` rather than the blocking
+        ``Popen.wait`` — the event loop must stay live here, because the
+        sender tasks are still flushing those very COMMIT/SHUTDOWN frames
+        the children are waiting for.  Stragglers are escalated SIGTERM →
+        SIGKILL so no child ever outlives the supervisor.
+        """
+        exit_codes: Dict[int, Optional[int]] = {}
+        deadline = time.monotonic() + timeout
+        pending = dict(self.processes)
+        while pending and time.monotonic() < deadline:
+            for node_id, process in list(pending.items()):
+                code = process.poll()
+                if code is not None:
+                    exit_codes[node_id] = code
+                    del pending[node_id]
+            if pending:
+                await asyncio.sleep(0.05)
+        for node_id, process in pending.items():
+            process.terminate()
+            try:
+                exit_codes[node_id] = process.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                exit_codes[node_id] = process.wait()
+        return exit_codes
+
+    def _kill_children(self) -> None:
+        """Last-resort teardown: no child may outlive the supervisor."""
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+    def _sweep_sockets(self) -> None:
+        """Remove Unix socket files a SIGKILLed child had no chance to
+        unlink (the kernel does not clean bound paths up on process death)."""
+        for address in self.config.addresses.values():
+            if address and address[0] == "unix":
+                try:
+                    os.unlink(address[1])
+                except OSError:
+                    pass
+
+
+def run_cluster(
+    config: ClusterConfig,
+    *,
+    spawn: bool = True,
+    crash: Optional[CrashPlan] = None,
+    progress: Any = None,
+) -> Dict[str, Any]:
+    """Convenience wrapper: build a supervisor and run the whole cluster."""
+    supervisor = ClusterSupervisor(config, spawn=spawn, crash=crash, progress=progress)
+    return supervisor.run()

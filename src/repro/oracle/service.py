@@ -287,6 +287,12 @@ class OracleService:
     latency / epoch_timeout:
         Asyncio-engine delivery latency model (``None`` = as fast as the
         loop allows) and per-epoch wall-clock budget.
+    transport_factory:
+        ``epoch -> transport`` for the asyncio engine; each epoch runs over
+        the returned transport instead of the default in-memory queues.
+        Passing ``lambda epoch: SocketTransport(...)`` runs every epoch
+        over real authenticated sockets (the transport-parity tests do
+        exactly this).  Deterministic engines ignore it.
     monitor:
         Attach the :class:`CertificateStreamMonitor` invariants (default).
     """
@@ -306,6 +312,7 @@ class OracleService:
         compute: Optional[ComputeModel] = None,
         latency: Optional[LatencyModel] = None,
         epoch_timeout: float = 30.0,
+        transport_factory: Optional[Callable[[int], Any]] = None,
         monitor: bool = True,
         workload_name: str = "custom",
     ) -> None:
@@ -337,6 +344,7 @@ class OracleService:
         self.compute = compute
         self.latency = latency
         self.epoch_timeout = epoch_timeout
+        self.transport_factory = transport_factory
         # Persistent service state: the PKI and the SMR chain outlive epochs.
         self.scheme = SignatureScheme(num_nodes=params.n)
         self.chain = SMRChannel(validator=self._validate_report)
@@ -412,12 +420,18 @@ class OracleService:
         nodes = self._build_nodes(epoch, inputs, scheme)
         byzantine = {node_id: CrashStrategy() for node_id in offline}
         if engine == "asyncio":
+            transport = (
+                self.transport_factory(epoch)
+                if self.transport_factory is not None
+                else None
+            )
             runtime = AsyncioRuntime(
                 nodes,
                 latency=self.latency,
                 timeout=self.epoch_timeout,
                 byzantine=byzantine,
                 observers=observers,
+                transport=transport,
             )
             return nodes, runtime.run()
         runtime = SimulationRuntime(

@@ -40,7 +40,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.adversary.base import AdversaryStrategy
-from repro.errors import LivenessTimeout, ReproError, SimulationError
+from repro.errors import (
+    LivenessTimeout,
+    ReproError,
+    SimulationError,
+    TransportClosedError,
+)
 from repro.net.latency import LatencyModel
 from repro.net.message import Envelope, Message, MessageTrace
 from repro.net.network import DeliveryPolicy
@@ -81,26 +86,54 @@ class AsyncioRunResult:
 class InMemoryTransport:
     """The default transport: one asyncio FIFO queue per node.
 
-    The transport seam is deliberately tiny — :meth:`open`, :meth:`put`,
-    :meth:`get`, :meth:`close` — so a socket-based transport (each node a
-    real process, as in the paper's tokio deployment) can slot in without
-    touching the runtime.  ``put``/``get`` move ``(sender, message)`` pairs;
-    delays are the *runtime's* concern (a socket transport has real ones).
+    The transport seam is deliberately tiny, so the socket transport
+    (:class:`~repro.net.socket_transport.SocketTransport` — each node a real
+    process, as in the paper's tokio deployment) slots in without touching
+    the runtime.  The contract every transport implements:
+
+    * ``open(node_ids)`` — (re)create the endpoints this transport hosts;
+      may be sync or async (the runtime awaits awaitables);
+    * ``put(target, (sender, message))`` — async, never blocks on the
+      network.  **After ``close``, ``put`` silently drops the pair and
+      counts it in ``dropped_after_close``** (best-effort semantics: late
+      sends racing teardown — or aimed at a crashed peer — are exactly the
+      crash fault model and must not raise);
+    * ``get(node_id)`` — async; next ``(sender, message)`` pair.  After
+      ``close`` it raises :class:`~repro.errors.TransportClosedError`
+      (the runtime cancels node loops *before* closing, so only external
+      callers — e.g. the cluster node loop — ever observe it);
+    * ``close()`` — sync or async; idempotent; releases every resource.
+
+    Delays are the *runtime's* concern for in-memory queues; a socket
+    transport has real ones.
     """
 
     def __init__(self) -> None:
         self._inboxes: Dict[int, asyncio.Queue] = {}
+        self._closed = True
+        #: ``put`` calls dropped because the transport was already closed.
+        self.dropped_after_close = 0
 
     def open(self, node_ids: Sequence[int]) -> None:
         """(Re)create one empty inbox per node; called at run start."""
         self._inboxes = {node_id: asyncio.Queue() for node_id in node_ids}
+        self._closed = False
 
     async def put(self, target: int, item: Tuple[int, Message]) -> None:
-        """Enqueue one ``(sender, message)`` pair for ``target``."""
+        """Enqueue one ``(sender, message)`` pair for ``target``.
+
+        Silently drops (and counts) the pair when the transport is closed —
+        see the class docstring for why this is the seam's contract.
+        """
+        if self._closed:
+            self.dropped_after_close += 1
+            return
         await self._inboxes[target].put(item)
 
     async def get(self, node_id: int) -> Tuple[int, Message]:
         """Dequeue the next ``(sender, message)`` pair for ``node_id``."""
+        if self._closed:
+            raise TransportClosedError(f"transport closed (get for node {node_id})")
         return await self._inboxes[node_id].get()
 
     def pending(self) -> int:
@@ -110,6 +143,7 @@ class InMemoryTransport:
     def close(self) -> None:
         """Drop all inboxes (and any undelivered messages)."""
         self._inboxes = {}
+        self._closed = True
 
 
 class AsyncioRuntime:
@@ -142,7 +176,10 @@ class AsyncioRuntime:
         extra delay and fault windows (partition holds, targeted delay,
         loss) are applied per delivery, on wall-clock time.
     transport:
-        Transport seam; defaults to :class:`InMemoryTransport`.
+        Transport seam; defaults to :class:`InMemoryTransport`.  Any object
+        implementing the four-method contract documented there works —
+        ``open``/``close`` may be coroutines (the runtime awaits them), which
+        is how :class:`~repro.net.socket_transport.SocketTransport` plugs in.
     """
 
     def __init__(
@@ -153,7 +190,7 @@ class AsyncioRuntime:
         byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
         observers: Optional[Sequence[SimObserver]] = None,
         policy: Optional[DeliveryPolicy] = None,
-        transport: Optional[InMemoryTransport] = None,
+        transport: Optional[Any] = None,
     ) -> None:
         if not nodes:
             raise SimulationError("at least one node is required")
@@ -221,7 +258,9 @@ class AsyncioRuntime:
         self._decision_times = {}
         self._events_processed = 0
         self._dropped = 0
-        self.transport.open(list(self.nodes))
+        opened = self.transport.open(list(self.nodes))
+        if asyncio.iscoroutine(opened) or isinstance(opened, asyncio.Future):
+            await opened
 
         node_tasks = [
             asyncio.create_task(self._node_loop(node_id)) for node_id in self.nodes
@@ -292,7 +331,9 @@ class AsyncioRuntime:
         self._delivery_tasks.clear()
         if self._failure is not None and not self._failure.done():
             self._failure.cancel()
-        self.transport.close()
+        closed = self.transport.close()
+        if asyncio.iscoroutine(closed) or isinstance(closed, asyncio.Future):
+            await closed
         return len(in_flight)
 
     def _raise_failure(self) -> None:
