@@ -85,6 +85,12 @@ class TransportClosedError(TransportError):
     silently dropped and counted (see the transport docstrings)."""
 
 
+class GatewayError(ReproError):
+    """The client-facing oracle gateway received a request it cannot serve:
+    a malformed HTTP head, an oversized body, a broken WebSocket handshake,
+    or a client API call against a closed gateway."""
+
+
 class ReplayError(AuthenticationError):
     """An authenticated channel received a frame whose sequence number was
     already consumed on this connection — a replayed (or badly reordered)

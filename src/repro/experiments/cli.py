@@ -56,6 +56,20 @@ Five subcommands:
     Run one oracle node process against a shared cluster config (spawned by
     ``repro cluster``, or started by docker-compose).
 
+``repro gateway``
+    Serve the oracle to clients: an HTTP/WebSocket gateway over the oracle
+    service, streaming SMR certificates to WebSocket subscribers with
+    per-client bounded queues (slow consumers are evicted, not allowed to
+    stall the stream), answering ``/certs`` queries from a bounded
+    certificate index, ingesting client ticks into epochs, and exporting a
+    ``/metrics`` JSON snapshot.
+
+``repro loadgen``
+    Load-test a gateway with thousands of concurrent WebSocket subscribers
+    (plus optional stalled clients and tick publishers); reports certs/sec,
+    p50/p99 delivery latency and the zero-loss invariant for non-evicted
+    subscribers, with an optional latency-histogram artifact.
+
 Examples
 --------
 ::
@@ -72,6 +86,8 @@ Examples
     PYTHONPATH=src python -m repro fuzz --budget 50 --min-margin 0.85 --output out
     PYTHONPATH=src python -m repro serve --workload bitcoin --epochs 10 --engine asyncio
     PYTHONPATH=src python -m repro serve --workload sensors --epochs 5 --churn 1 --json out/serve.json
+    PYTHONPATH=src python -m repro gateway --workload bitcoin --epochs 5 --port 8080
+    PYTHONPATH=src python -m repro loadgen --subscribers 1000 --epochs 3 --json out/load.json
 """
 
 from __future__ import annotations
@@ -491,6 +507,124 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_node.add_argument(
         "--node-id", type=int, required=True, help="this process's node id"
     )
+
+    gateway = subparsers.add_parser(
+        "gateway",
+        help="serve the oracle to HTTP/WebSocket clients (certificate stream, "
+        "queries, tick ingestion, /metrics)",
+    )
+    gateway.add_argument(
+        "--workload",
+        choices=sorted(SERVICE_WORKLOADS),
+        default="bitcoin",
+        help="base workload feeding epochs when too few client ticks are "
+        "pending (default: bitcoin)",
+    )
+    gateway.add_argument("--epochs", type=int, default=10, help="epochs to serve")
+    gateway.add_argument("--n", type=int, default=7, help="oracle network size")
+    gateway.add_argument(
+        "--engine",
+        choices=SERVICE_ENGINES,
+        default="fast",
+        help="epoch execution engine (default: fast — the gateway is the "
+        "serving layer; parity/cluster harnesses cover the others)",
+    )
+    gateway.add_argument("--seed", type=int, default=0)
+    gateway.add_argument(
+        "--churn", type=int, default=0, help="nodes offline per epoch (<= t)"
+    )
+    gateway.add_argument("--host", default="127.0.0.1", help="bind host")
+    gateway.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral, printed)"
+    )
+    gateway.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="per-subscriber send-queue bound; overflow evicts the "
+        "subscriber (default: 64)",
+    )
+    gateway.add_argument(
+        "--history-limit",
+        type=int,
+        default=1024,
+        help="certificate-index bound for /certs queries (default: 1024)",
+    )
+    gateway.add_argument(
+        "--epoch-interval",
+        type=float,
+        default=1.0,
+        help="pause between epochs in seconds (default: 1.0)",
+    )
+    gateway.add_argument(
+        "--epsilon", type=float, default=None, help="override the workload's epsilon"
+    )
+    gateway.add_argument(
+        "--delta-max", type=float, default=None, help="override the workload's Delta"
+    )
+    gateway.add_argument("--max-rounds", type=int, default=6)
+    gateway.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="load-test the gateway with concurrent WebSocket subscribers "
+        "and tick publishers",
+    )
+    loadgen.add_argument(
+        "--workload",
+        choices=sorted(SERVICE_WORKLOADS),
+        default="bitcoin",
+        help="workload for the self-hosted gateway (default: bitcoin)",
+    )
+    loadgen.add_argument(
+        "--engine",
+        choices=SERVICE_ENGINES,
+        default="fast",
+        help="service engine for the self-hosted gateway (default: fast)",
+    )
+    loadgen.add_argument("--n", type=int, default=7, help="oracle network size")
+    loadgen.add_argument("--epochs", type=int, default=3, help="epochs to serve")
+    loadgen.add_argument(
+        "--subscribers",
+        type=int,
+        default=1000,
+        help="healthy WebSocket subscribers (default: 1000)",
+    )
+    loadgen.add_argument(
+        "--stalled",
+        type=int,
+        default=0,
+        help="additional subscribers that never read (eviction load)",
+    )
+    loadgen.add_argument(
+        "--publishers",
+        type=int,
+        default=0,
+        help="concurrent tick publishers (default: 0)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="gateway per-subscriber queue bound (default: 64)",
+    )
+    loadgen.add_argument(
+        "--json", dest="json_path", help="write the full load report as JSON"
+    )
+    loadgen.add_argument(
+        "--histogram",
+        dest="histogram_path",
+        help="write the delivery-latency histogram artifact to this path",
+    )
+    loadgen.add_argument(
+        "--max-lost",
+        type=int,
+        default=0,
+        help="tolerated certificates lost by non-evicted subscribers "
+        "before exiting 1 (default: 0 — strict zero-loss)",
+    )
+    loadgen.add_argument("--quiet", action="store_true", help="suppress progress lines")
     return parser
 
 
@@ -901,6 +1035,109 @@ def _cmd_cluster_node(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.oracle.gateway import build_gateway
+
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+
+    async def serve() -> None:
+        gateway = build_gateway(
+            args.workload,
+            args.n,
+            engine=args.engine,
+            seed=args.seed,
+            churn=args.churn,
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            history_limit=args.history_limit,
+            epsilon=args.epsilon,
+            delta_max=args.delta_max,
+            max_rounds=args.max_rounds,
+        )
+        host, port = await gateway.start()
+        print(f"# gateway {args.workload} n={args.n} listening on {host}:{port}")
+        try:
+            await gateway.run_epochs(
+                args.epochs, interval=args.epoch_interval, progress=progress
+            )
+            metrics = gateway.metrics()
+            print(
+                f"# served {metrics['certs_published']} certificates to "
+                f"{metrics['subscribers_total']} subscribers "
+                f"({metrics['evictions']} evictions, "
+                f"{metrics['send_drops']} dropped sends)"
+            )
+        finally:
+            await gateway.close()
+
+    asyncio.run(serve())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.oracle.loadgen import run_loadgen, write_histogram
+
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    report = run_loadgen(
+        workload=args.workload,
+        engine=args.engine,
+        n=args.n,
+        epochs=args.epochs,
+        subscribers=args.subscribers,
+        stalled=args.stalled,
+        publishers=args.publishers,
+        seed=args.seed,
+        queue_limit=args.queue_limit,
+        progress=progress,
+    )
+    latency = report.latency_summary()
+    certs_per_sec = report.certs_per_sec
+    print(
+        f"# loadgen {report.workload} n={report.n}: {report.epochs} epochs to "
+        f"{report.subscribers} subscribers (+{report.stalled} stalled, "
+        f"{report.publishers} publishers) in {report.wall_seconds:.2f}s"
+    )
+    print(
+        f"# delivered {report.certs_received}/{report.certs_expected} certificates "
+        + (f"({certs_per_sec:,.0f} certs/sec) " if certs_per_sec else "")
+        + f"lost={report.certs_lost} evictions={report.evictions} "
+        f"drops={report.send_drops}"
+    )
+    if latency["samples"]:
+        print(
+            f"# delivery latency: p50 {latency['p50_ms']:.2f}ms, "
+            f"p99 {latency['p99_ms']:.2f}ms, max {latency['max_ms']:.2f}ms "
+            f"({latency['samples']} samples)"
+        )
+    if report.publishers:
+        print(
+            f"# ticks: {report.ticks_accepted} accepted, "
+            f"{report.epochs_from_ticks}/{report.epochs} epochs fed from ticks"
+        )
+    if args.json_path:
+        from pathlib import Path
+
+        path = Path(args.json_path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    if args.histogram_path:
+        write_histogram(report, args.histogram_path)
+        print(f"wrote {args.histogram_path}")
+    if report.certs_lost > args.max_lost:
+        print(
+            f"loadgen failed: {report.certs_lost} certificates lost by "
+            f"non-evicted subscribers (tolerated: {args.max_lost})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -924,6 +1161,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_cluster(args)
         if args.command == "cluster-node":
             return _cmd_cluster_node(args)
+        if args.command == "gateway":
+            return _cmd_gateway(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
     except ReproError as error:
         # Covers configuration mistakes and designed runtime failures such
         # as the perf suite's EquivalenceError — clean message, no traceback.

@@ -1,0 +1,279 @@
+"""Minimal HTTP/1.1 request/response and RFC 6455 WebSocket wire layer.
+
+The oracle gateway (:mod:`repro.oracle.gateway`) and its client helpers
+(:mod:`repro.oracle.clients`) speak plain HTTP for queries and WebSocket for
+the certificate stream, over stdlib ``asyncio`` streams — no third-party
+HTTP stack.  This module is the byte-level layer both sides share, in the
+same spirit as :mod:`repro.net.framing` for the node-to-node transport:
+
+**HTTP.**  :func:`parse_request_head` / :func:`parse_response_head` parse
+one request/status line plus headers from the bytes up to the blank line;
+:func:`read_head` reads exactly that much from a stream with a hard size
+cap, so a hostile client cannot buffer unbounded header bytes
+(:class:`~repro.errors.GatewayError` on overflow or malformed heads).
+Responses are always ``Connection: close`` — the gateway's hot path is the
+WebSocket stream, so plain HTTP stays one-shot and allocation-simple.
+
+**WebSocket.**  :func:`websocket_accept` derives the RFC 6455
+``Sec-WebSocket-Accept`` key; :func:`encode_ws_frame` emits single-frame
+text/binary/control messages (client frames masked, server frames not, per
+the RFC); :class:`WSParser` incrementally reassembles frames from arbitrary
+stream chunks with a payload-size cap enforced *before* buffering — the
+same no-memory-bomb discipline as :class:`repro.net.framing.FrameDecoder`.
+Fragmented messages (FIN=0 / continuation opcodes) are deliberately
+rejected: every message the gateway exchanges fits one frame, and refusing
+fragmentation keeps the parser state machine small enough to audit.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GatewayError
+
+#: RFC 6455 magic GUID appended to the client key before hashing.
+WS_MAGIC_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket frame opcodes (no continuation support — see module docstring).
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_CONTROL_OPCODES = (OP_CLOSE, OP_PING, OP_PONG)
+
+#: Default cap on one HTTP head (request/status line + headers).
+MAX_HEAD_BYTES = 16 * 1024
+
+#: Default cap on one WebSocket frame payload.
+MAX_WS_PAYLOAD = 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# HTTP heads
+# ----------------------------------------------------------------------
+async def read_head(
+    reader, max_bytes: int = MAX_HEAD_BYTES
+) -> Tuple[bytes, bytes]:
+    """Read one HTTP head from a stream; returns ``(head, overrun)``.
+
+    ``overrun`` is whatever body/frame bytes the final read pulled in past
+    the blank line — the caller must prepend them to its body or WebSocket
+    parser (stream reads do not respect message boundaries).
+
+    Raises
+    ------
+    GatewayError
+        If the head exceeds ``max_bytes`` or the stream ends before the
+        blank line.
+    """
+    head = bytearray()
+    while b"\r\n\r\n" not in head:
+        if len(head) > max_bytes:
+            raise GatewayError(f"HTTP head exceeds the {max_bytes}-byte cap")
+        chunk = await reader.read(1024)
+        if not chunk:
+            raise GatewayError("connection closed before the HTTP head completed")
+        head.extend(chunk)
+    split = head.index(b"\r\n\r\n") + 4
+    if split > max_bytes:
+        raise GatewayError(f"HTTP head exceeds the {max_bytes}-byte cap")
+    return bytes(head[:split]), bytes(head[split:])
+
+
+def _parse_headers(lines: List[bytes]) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(b":")
+        if not separator:
+            raise GatewayError(f"malformed HTTP header line {line!r}")
+        headers[name.decode("latin-1").strip().lower()] = (
+            value.decode("latin-1").strip()
+        )
+    return headers
+
+
+def parse_request_head(head: bytes) -> Tuple[str, str, Dict[str, str]]:
+    """Parse a request head into ``(method, target, headers)``.
+
+    Header names are lower-cased; duplicate headers keep the last value
+    (sufficient for the handful of headers the gateway consumes).
+    """
+    lines = head.split(b"\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith(b"HTTP/1."):
+        raise GatewayError(f"malformed HTTP request line {lines[0]!r}")
+    method = parts[0].decode("latin-1").upper()
+    target = parts[1].decode("latin-1")
+    return method, target, _parse_headers(lines[1:])
+
+
+def parse_response_head(head: bytes) -> Tuple[int, Dict[str, str]]:
+    """Parse a response head into ``(status_code, headers)``."""
+    lines = head.split(b"\r\n")
+    parts = lines[0].split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/1."):
+        raise GatewayError(f"malformed HTTP status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise GatewayError(f"malformed HTTP status code {parts[1]!r}") from None
+    return status, _parse_headers(lines[1:])
+
+
+def render_response(
+    status: int,
+    reason: str,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Render one complete ``Connection: close`` HTTP response."""
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    head = f"HTTP/1.1 {status} {reason}\r\n" + "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+def render_request(
+    method: str,
+    target: str,
+    host: str,
+    body: bytes = b"",
+    *,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Render one complete client request (``Connection: close`` unless the
+    caller overrides it, e.g. for a WebSocket upgrade)."""
+    headers = {"Host": host, "Connection": "close"}
+    if body:
+        headers["Content-Length"] = str(len(body))
+    if extra_headers:
+        headers.update(extra_headers)
+    head = f"{method} {target} HTTP/1.1\r\n" + "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+# ----------------------------------------------------------------------
+# WebSocket frames
+# ----------------------------------------------------------------------
+def websocket_accept(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1((key + WS_MAGIC_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def encode_ws_frame(opcode: int, payload: bytes, mask: Optional[bytes] = None) -> bytes:
+    """Encode one FIN=1 WebSocket frame.
+
+    ``mask`` is the 4-byte masking key a *client* must apply; servers pass
+    ``None`` (unmasked), per RFC 6455 §5.3.
+    """
+    if opcode in _CONTROL_OPCODES and len(payload) > 125:
+        raise GatewayError("control frame payloads are limited to 125 bytes")
+    header = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask is not None else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length <= 0xFFFF:
+        header.append(mask_bit | 126)
+        header.extend(length.to_bytes(2, "big"))
+    else:
+        header.append(mask_bit | 127)
+        header.extend(length.to_bytes(8, "big"))
+    if mask is None:
+        return bytes(header) + payload
+    if len(mask) != 4:
+        raise GatewayError("WebSocket masking key must be 4 bytes")
+    header.extend(mask)
+    masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + masked
+
+
+class WSParser:
+    """Incremental single-frame WebSocket parser for one byte stream.
+
+    ``feed`` consumes whatever chunk the socket produced and returns the
+    completed ``(opcode, payload)`` messages, unmasked.  ``require_mask``
+    enforces the RFC's direction rule (servers must reject unmasked client
+    frames).  The payload cap is enforced from the header, before any
+    payload bytes are buffered.
+    """
+
+    def __init__(
+        self, *, require_mask: bool, max_payload: int = MAX_WS_PAYLOAD
+    ) -> None:
+        self.require_mask = require_mask
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        self._buffer.extend(data)
+        messages: List[Tuple[int, bytes]] = []
+        while True:
+            parsed = self._parse_one()
+            if parsed is None:
+                return messages
+            messages.append(parsed)
+
+    def _parse_one(self) -> Optional[Tuple[int, bytes]]:
+        buffer = self._buffer
+        if len(buffer) < 2:
+            return None
+        first, second = buffer[0], buffer[1]
+        if not first & 0x80 or first & 0x70:
+            raise GatewayError(
+                "fragmented or reserved-bit WebSocket frames are not supported"
+            )
+        opcode = first & 0x0F
+        if opcode not in (OP_TEXT, OP_BINARY, OP_CLOSE, OP_PING, OP_PONG):
+            raise GatewayError(f"unsupported WebSocket opcode {opcode:#x}")
+        masked = bool(second & 0x80)
+        if masked != self.require_mask:
+            expectation = "masked" if self.require_mask else "unmasked"
+            raise GatewayError(f"expected {expectation} WebSocket frames")
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buffer) < 4:
+                return None
+            length = int.from_bytes(buffer[2:4], "big")
+            offset = 4
+        elif length == 127:
+            if len(buffer) < 10:
+                return None
+            length = int.from_bytes(buffer[2:10], "big")
+            offset = 10
+        if length > self.max_payload:
+            raise GatewayError(
+                f"WebSocket frame declares {length} bytes, cap is {self.max_payload}"
+            )
+        mask_key = b""
+        if masked:
+            if len(buffer) < offset + 4:
+                return None
+            mask_key = bytes(buffer[offset : offset + 4])
+            offset += 4
+        if len(buffer) < offset + length:
+            return None
+        payload = bytes(buffer[offset : offset + length])
+        del buffer[: offset + length]
+        if masked:
+            payload = bytes(b ^ mask_key[i % 4] for i, b in enumerate(payload))
+        return opcode, payload

@@ -48,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import os
 import pickle
+import random
 import time
 from typing import Any, Awaitable, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -94,6 +95,20 @@ def normalise_address(address: Sequence[Any]) -> Address:
     if len(parts) == 2 and parts[0] == "unix":
         return ("unix", str(parts[1]))
     raise ConfigurationError(f"malformed transport address {address!r}")
+
+
+def backoff_delay(base: float, cap: float, failures: int, rng: random.Random) -> float:
+    """Capped exponential backoff with jitter for redial scheduling.
+
+    ``failures`` counts consecutive connect failures (>= 1).  The raw delay
+    doubles per failure from ``base`` and saturates at ``cap``; the jitter
+    factor (drawn from ``rng``, uniform in ``[0.5, 1.5)``) decorrelates the
+    redial storms of many senders that lost the same peer at the same
+    moment.  With a seeded ``rng`` the sequence is fully deterministic.
+    """
+    exponent = min(max(failures, 1) - 1, 62)  # clamp before 2**k overflows
+    raw = min(cap, base * (2.0 ** exponent))
+    return raw * (0.5 + rng.random())
 
 
 def dumps_message(message: Message) -> bytes:
@@ -146,6 +161,14 @@ class _Sender:
         self.writer: Optional[asyncio.StreamWriter] = None
         self.codec: Optional[ChannelCodec] = None
         self.backoff_until = 0.0
+        #: Consecutive connect/write failures since the last good handshake;
+        #: drives the exponential redial backoff.
+        self.failures = 0
+        # Deterministic per-channel jitter: distinct (local, peer) channels
+        # de-synchronise even with the same transport-level seed.
+        self._backoff_rng = random.Random(
+            (transport.backoff_seed << 16) ^ (local_id << 8) ^ peer
+        )
         self.task = asyncio.create_task(self._run())
 
     # -- connection management -----------------------------------------
@@ -189,6 +212,10 @@ class _Sender:
         self.transport.note_peer_epoch(self.peer, peer_epoch)
         self.writer = writer
         self.codec = ChannelCodec(key, nonce, ack_nonce)
+        # A completed handshake proves the peer is back: restart the
+        # backoff schedule from its base for the next outage.
+        self.failures = 0
+        self.backoff_until = 0.0
 
     def _disconnect(self) -> None:
         if self.writer is not None:
@@ -207,8 +234,19 @@ class _Sender:
             except Exception:  # noqa: BLE001 - unreachable peer, typed drop below
                 if attempt + 1 < transport.dial_retries:
                     await asyncio.sleep(transport.dial_retry_delay)
-        self.backoff_until = time.monotonic() + transport.redial_backoff
+        self._note_failure()
         return False
+
+    def _note_failure(self) -> None:
+        """Schedule the next redial attempt: exponential, capped, jittered."""
+        self.failures += 1
+        delay = backoff_delay(
+            self.transport.redial_backoff,
+            self.transport.redial_backoff_max,
+            self.failures,
+            self._backoff_rng,
+        )
+        self.backoff_until = time.monotonic() + delay
 
     # -- the sender loop -----------------------------------------------
     async def _run(self) -> None:
@@ -235,7 +273,7 @@ class _Sender:
                 raise
             except Exception:  # noqa: BLE001 - peer died mid-write
                 self._disconnect()
-                self.backoff_until = time.monotonic() + transport.redial_backoff
+                self._note_failure()
                 transport.dropped_unreachable += 1
 
     def close(self) -> None:
@@ -266,6 +304,15 @@ class SocketTransport:
     epoch:
         Epoch tag carried in this transport's handshakes (see
         :meth:`advance_epoch`).
+    redial_backoff / redial_backoff_max / backoff_seed:
+        Redial scheduling for unreachable peers: after every failed connect
+        cycle (or mid-write disconnect) the next attempt is pushed out by a
+        capped exponential backoff — base ``redial_backoff`` seconds
+        doubling per consecutive failure up to ``redial_backoff_max`` —
+        with deterministic jitter seeded from ``backoff_seed`` and the
+        channel's ``(local, peer)`` pair (:func:`backoff_delay`).  A
+        successful handshake resets the schedule, so a recovered peer is
+        redialled promptly after its next outage.
     on_hello:
         Optional callback ``(local_id, peer_id, peer_epoch)`` fired when an
         authenticated inbound HELLO lands (may return an awaitable).  The
@@ -286,6 +333,8 @@ class SocketTransport:
         dial_retries: int = 5,
         dial_retry_delay: float = 0.2,
         redial_backoff: float = 0.5,
+        redial_backoff_max: float = 8.0,
+        backoff_seed: int = 0,
         on_hello: Optional[Callable[[int, int, int], Any]] = None,
     ) -> None:
         self._addresses: Dict[int, Address] = {}
@@ -304,6 +353,8 @@ class SocketTransport:
         self.dial_retries = dial_retries
         self.dial_retry_delay = dial_retry_delay
         self.redial_backoff = redial_backoff
+        self.redial_backoff_max = redial_backoff_max
+        self.backoff_seed = backoff_seed
         self.on_hello = on_hello
         # Live state (built in open()).
         self._inboxes: Dict[int, asyncio.Queue] = {}

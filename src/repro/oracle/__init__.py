@@ -1,5 +1,6 @@
 """Oracle-network application layer: the SMR (blockchain) channel, the
-one-shot price-reporting pipeline and the multi-epoch oracle service."""
+one-shot price-reporting pipeline, the multi-epoch oracle service and the
+client-facing HTTP/WebSocket gateway."""
 
 from repro.oracle.smr import SMRChannel, SMREntry
 from repro.oracle.network import OracleNetwork, OracleReport
@@ -10,15 +11,21 @@ from repro.oracle.service import (
     ServiceResult,
     build_service,
 )
+from repro.oracle.gateway import OracleGateway, build_gateway
+from repro.oracle.clients import GatewaySubscriber, http_request
 
 __all__ = [
     "EpochNode",
     "EpochReport",
+    "GatewaySubscriber",
+    "OracleGateway",
     "OracleNetwork",
     "OracleReport",
     "OracleService",
     "SMRChannel",
     "SMREntry",
     "ServiceResult",
+    "build_gateway",
     "build_service",
+    "http_request",
 ]

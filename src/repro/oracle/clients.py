@@ -1,0 +1,214 @@
+"""Client helpers for the oracle gateway: HTTP queries + WebSocket stream.
+
+These are the *consumer* half of :mod:`repro.oracle.gateway`, built on the
+same stdlib-only wire layer (:mod:`repro.net.http_ws`):
+
+* :func:`http_request` issues one ``Connection: close`` request and returns
+  the decoded JSON body — enough for ``/healthz``, ``/metrics``, ``/certs``
+  and ``POST /ticks``;
+* :class:`GatewaySubscriber` holds one WebSocket subscription to the
+  certificate stream: it performs the RFC 6455 handshake (verifying the
+  ``Sec-WebSocket-Accept`` echo), masks every client frame as the RFC
+  requires, transparently answers pings, and yields decoded certificate
+  dicts from :meth:`recv`.  :meth:`send_ticks` pushes tick batches on the
+  same connection.
+
+The load generator (:mod:`repro.oracle.loadgen`) drives thousands of these
+concurrently; tests use them as the reference client implementation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import GatewayError
+from repro.net.http_ws import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    WSParser,
+    encode_ws_frame,
+    parse_response_head,
+    read_head,
+    render_request,
+    websocket_accept,
+)
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    payload: Optional[Dict[str, Any]] = None,
+    *,
+    timeout: float = 10.0,
+) -> Tuple[int, Any]:
+    """One one-shot HTTP request; returns ``(status, decoded_json_body)``."""
+    body = b""
+    extra = None
+    if payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+        extra = {"Content-Type": "application/json"}
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(
+            render_request(method, target, f"{host}:{port}", body, extra_headers=extra)
+        )
+        await writer.drain()
+        head, overrun = await asyncio.wait_for(read_head(reader), timeout)
+        status, headers = parse_response_head(head)
+        length = int(headers.get("content-length", "0") or 0)
+        data = bytearray(overrun)
+        while len(data) < length:
+            chunk = await asyncio.wait_for(reader.read(length - len(data)), timeout)
+            if not chunk:
+                # Server died mid-body: surface whatever arrived.
+                break
+            data.extend(chunk)
+        decoded: Any = None
+        if data:
+            try:
+                decoded = json.loads(bytes(data[:length]).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = None
+        return status, decoded
+    finally:
+        writer.close()
+
+
+class GatewaySubscriber:
+    """One WebSocket subscription to a gateway's certificate stream.
+
+    Use as an async context manager, or call :meth:`connect` / :meth:`close`
+    explicitly.  ``since`` (when not ``None``) asks the gateway to replay
+    its certificate index from that sequence number before live frames.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        since: Optional[int] = None,
+        timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.since = since
+        self.timeout = timeout
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self._parser = WSParser(require_mask=False)  # server frames unmasked
+        self._inbound: List[Tuple[int, bytes]] = []
+        self._closed = False
+
+    async def __aenter__(self) -> "GatewaySubscriber":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        """Dial and complete the RFC 6455 handshake."""
+        target = "/ws" if self.since is None else f"/ws?since={self.since}"
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        self.reader, self.writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        self.writer.write(
+            render_request(
+                "GET",
+                target,
+                f"{self.host}:{self.port}",
+                extra_headers={
+                    "Connection": "Upgrade",
+                    "Upgrade": "websocket",
+                    "Sec-WebSocket-Key": key,
+                    "Sec-WebSocket-Version": "13",
+                },
+            )
+        )
+        await self.writer.drain()
+        head, overrun = await asyncio.wait_for(read_head(self.reader), self.timeout)
+        status, headers = parse_response_head(head)
+        if status != 101:
+            raise GatewayError(f"WebSocket upgrade refused with status {status}")
+        expected = websocket_accept(key)
+        if headers.get("sec-websocket-accept") != expected:
+            raise GatewayError("gateway returned a bad Sec-WebSocket-Accept")
+        if overrun:
+            self._inbound.extend(self._parser.feed(overrun))
+
+    def _require_open(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._closed or self.reader is None or self.writer is None:
+            raise GatewayError("subscriber is not connected")
+        return self.reader, self.writer
+
+    async def send_ticks(self, values: Sequence[float]) -> None:
+        """Push one tick batch over the subscription (masked text frame)."""
+        _, writer = self._require_open()
+        payload = json.dumps({"op": "ticks", "values": list(values)}).encode("utf-8")
+        writer.write(encode_ws_frame(OP_TEXT, payload, mask=os.urandom(4)))
+        await writer.drain()
+
+    async def ping(self, payload: bytes = b"hb") -> None:
+        """Send one masked ping (the gateway answers with a pong)."""
+        _, writer = self._require_open()
+        writer.write(encode_ws_frame(OP_PING, payload, mask=os.urandom(4)))
+        await writer.drain()
+
+    async def recv(self, *, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Next certificate dict from the stream, or ``None`` at EOF.
+
+        Pings are answered and pongs are swallowed transparently; a close
+        frame (or socket EOF) ends the stream with ``None``.
+        """
+        reader, writer = self._require_open()
+        deadline = timeout if timeout is not None else self.timeout
+        while True:
+            while self._inbound:
+                opcode, payload = self._inbound.pop(0)
+                if opcode == OP_TEXT:
+                    try:
+                        return json.loads(payload.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                        raise GatewayError(
+                            f"undecodable certificate frame: {error}"
+                        ) from error
+                if opcode == OP_PING:
+                    writer.write(encode_ws_frame(OP_PONG, payload, mask=os.urandom(4)))
+                    await writer.drain()
+                    continue
+                if opcode == OP_PONG:
+                    continue
+                if opcode == OP_CLOSE:
+                    return None
+            chunk = await asyncio.wait_for(reader.read(65536), deadline)
+            if not chunk:
+                return None
+            self._inbound.extend(self._parser.feed(chunk))
+
+    async def close(self) -> None:
+        """Send a close frame (best effort) and drop the connection."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.writer is not None:
+            try:
+                self.writer.write(encode_ws_frame(OP_CLOSE, b"", mask=os.urandom(4)))
+                await self.writer.drain()
+            except Exception:  # noqa: BLE001 - gateway may already be gone
+                pass
+            try:
+                self.writer.close()
+            except Exception:  # pragma: no cover
+                pass

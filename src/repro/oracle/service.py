@@ -684,7 +684,7 @@ def build_service(
     parity_engine: Optional[str] = None
     if parity:
         parity_engine = "reference" if engine == "fast" else "fast"
-    latency = ConstantLatency(latency_seconds) if latency_seconds else None
+    latency = ConstantLatency(latency_seconds) if latency_seconds is not None else None
     return OracleService(
         params,
         feed,

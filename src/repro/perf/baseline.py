@@ -1,12 +1,17 @@
 """Committed perf baselines and regression gating.
 
-``benchmarks/perf_baseline.json`` records events/sec for each perf scenario
-as measured on the reference machine when the fast path landed, plus the
-pre-fast-path ("pre-PR") throughput for context.  CI runs
-``python -m repro perf --quick --check benchmarks/perf_baseline.json`` and
-fails when any scenario drops below ``baseline / max_regression`` — loose
+``benchmarks/perf_baseline.json`` records, for each perf scenario, the
+throughput measured on the reference machine when the scenario landed —
+``events_per_sec`` plus optional domain-rate floors in ``aux_floors``
+(e.g. the gateway's ``certs_delivered_per_sec``) — and optional wall-clock
+ceilings in ``latency_ceilings_ms`` (e.g. the gateway's p99 delivery
+latency, read from the scenario's non-fingerprinted metrics side-channel).
+CI runs ``python -m repro perf --quick --check benchmarks/perf_baseline.json``
+and fails when any floor metric drops below ``baseline / max_regression``
+or any ceiling metric rises above ``baseline * max_regression`` — loose
 enough (2x by default) to absorb runner-hardware variance, tight enough to
-catch an accidental return to per-message payload walks.
+catch an accidental return to per-message payload walks or a serving-path
+stall.
 """
 
 from __future__ import annotations
@@ -27,25 +32,38 @@ DEFAULT_MAX_REGRESSION = 2.0
 
 @dataclass(frozen=True)
 class BaselineCheck:
-    """One scenario's comparison against the committed baseline."""
+    """One metric's comparison against the committed baseline.
+
+    ``kind`` selects the direction: ``"floor"`` metrics (throughput) must
+    stay above ``baseline / max_regression``; ``"ceiling"`` metrics
+    (latency) must stay below ``baseline * max_regression``.  The field
+    names keep the original events/sec spelling for the common case; for
+    other metrics ``metric`` carries the displayed name and unit.
+    """
 
     name: str
     current_events_per_sec: Optional[float]
     baseline_events_per_sec: float
     max_regression: float
+    metric: str = "events/sec"
+    kind: str = "floor"
 
     @property
     def ratio(self) -> Optional[float]:
-        """current / baseline (>= 1.0 means at least as fast as recorded)."""
+        """current / baseline (for floors, >= 1.0 means at least as fast)."""
         if self.current_events_per_sec is None or self.baseline_events_per_sec <= 0:
             return None
         return self.current_events_per_sec / self.baseline_events_per_sec
 
     @property
     def ok(self) -> bool:
-        """Whether the scenario is within the tolerated regression."""
+        """Whether the metric is within the tolerated regression."""
         ratio = self.ratio
-        return ratio is not None and ratio >= 1.0 / self.max_regression
+        if ratio is None:
+            return False
+        if self.kind == "ceiling":
+            return ratio <= self.max_regression
+        return ratio >= 1.0 / self.max_regression
 
     def describe(self) -> str:
         ratio = self.ratio
@@ -53,8 +71,8 @@ class BaselineCheck:
         verdict = "ok" if self.ok else "REGRESSION"
         return (
             f"{self.name}: {shown} of baseline "
-            f"({self.current_events_per_sec or 0:,.0f} vs "
-            f"{self.baseline_events_per_sec:,.0f} events/sec) -> {verdict}"
+            f"({self.current_events_per_sec or 0:,.2f} vs "
+            f"{self.baseline_events_per_sec:,.2f} {self.metric}) -> {verdict}"
         )
 
 
@@ -76,6 +94,11 @@ def load_baseline(path: str) -> Dict[str, Any]:
         raise ConfigurationError(
             f"baseline file {path} is missing the events_per_sec table"
         )
+    for optional_table in ("aux_floors", "latency_ceilings_ms"):
+        if optional_table in payload and not isinstance(payload[optional_table], dict):
+            raise ConfigurationError(
+                f"baseline file {path}: {optional_table} must be a table"
+            )
     return payload
 
 
@@ -84,24 +107,54 @@ def compare_to_baseline(
 ) -> List[BaselineCheck]:
     """Compare suite results against a loaded baseline.
 
-    Scenarios absent from the baseline table are skipped (new scenarios can
-    land before their baseline is recorded); scenarios in the baseline that
-    did not run are also skipped (``--quick`` runs a subset).
+    Scenarios absent from the baseline tables are skipped (new scenarios
+    can land before their baseline is recorded); scenarios in the baseline
+    that did not run are also skipped (``--quick`` runs a subset).
     """
     table = baseline["events_per_sec"]
+    aux_floors = baseline.get("aux_floors", {})
+    latency_ceilings = baseline.get("latency_ceilings_ms", {})
     max_regression = float(baseline.get("max_regression", DEFAULT_MAX_REGRESSION))
     checks: List[BaselineCheck] = []
     for result in results:
-        recorded = table.get(result.name)
-        if recorded is None:
-            continue
         entry = result.as_dict()
-        checks.append(
-            BaselineCheck(
-                name=result.name,
-                current_events_per_sec=entry.get("fast_events_per_sec"),
-                baseline_events_per_sec=float(recorded),
-                max_regression=max_regression,
+        recorded = table.get(result.name)
+        if recorded is not None:
+            checks.append(
+                BaselineCheck(
+                    name=result.name,
+                    current_events_per_sec=entry.get("fast_events_per_sec"),
+                    baseline_events_per_sec=float(recorded),
+                    max_regression=max_regression,
+                )
             )
-        )
+        for metric, floor in (aux_floors.get(result.name) or {}).items():
+            current = entry.get(metric)
+            checks.append(
+                BaselineCheck(
+                    name=result.name,
+                    current_events_per_sec=(
+                        float(current) if isinstance(current, (int, float)) else None
+                    ),
+                    baseline_events_per_sec=float(floor),
+                    max_regression=max_regression,
+                    metric=metric,
+                    kind="floor",
+                )
+            )
+        metrics = entry.get("metrics") or {}
+        for metric, ceiling in (latency_ceilings.get(result.name) or {}).items():
+            current = metrics.get(metric)
+            checks.append(
+                BaselineCheck(
+                    name=result.name,
+                    current_events_per_sec=(
+                        float(current) if isinstance(current, (int, float)) else None
+                    ),
+                    baseline_events_per_sec=float(ceiling),
+                    max_regression=max_regression,
+                    metric=f"{metric} latency (ms)",
+                    kind="ceiling",
+                )
+            )
     return checks

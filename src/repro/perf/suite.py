@@ -20,7 +20,13 @@ The basket covers the paper's hot spots:
   network, including DORA attestation and the SMR channel;
 * ``oracle-service-e4-n7-churn`` — four epochs of the epoch-pipelined
   oracle service (persistent PKI, epoch-tagged messages, rotating one-node
-  churn, certificate-stream monitors) — the serving layer itself.
+  churn, certificate-stream monitors) — the serving layer itself;
+* ``oracle-gateway-n7`` — three epochs of the client-facing gateway
+  streamed to 50 live WebSocket subscribers over real sockets.  The
+  fingerprint covers the certified values and delivery totals (identical
+  across engines); wall-clock delivery latency travels in the
+  **non-fingerprinted** ``metrics`` side-channel, gated by the baseline's
+  ``latency_ceilings_ms`` table rather than the equivalence check.
 """
 
 from __future__ import annotations
@@ -81,8 +87,12 @@ class PerfScenario:
     """One entry of the perf basket.
 
     ``run`` executes the scenario under the given engine name and returns
-    ``(events_processed, fingerprint_projection)``; the suite adds timing.
-    ``quick`` marks scenarios included in the CI smoke basket.
+    ``(events_processed, fingerprint_projection)`` — or a 3-tuple with a
+    trailing ``metrics`` dict of wall-clock measurements (latency
+    percentiles) that are reported in the artifact but deliberately **kept
+    out of the fingerprint**, since wall time can never be byte-identical
+    across engines.  The suite adds timing.  ``quick`` marks scenarios
+    included in the CI smoke basket.
     """
 
     name: str
@@ -199,6 +209,53 @@ def _oracle_service(n: int, epochs: int) -> Callable[[str], Tuple[int, Dict[str,
     return runner
 
 
+def _oracle_gateway(
+    n: int, epochs: int, subscribers: int
+) -> Callable[[str], Tuple[int, Dict[str, Any], Dict[str, Any]]]:
+    def runner(engine: str) -> Tuple[int, Dict[str, Any], Dict[str, Any]]:
+        import asyncio
+
+        from repro.oracle.gateway import build_gateway
+        from repro.oracle.loadgen import run_loadgen_async
+
+        async def drive():
+            # Generous queue bound and no tick publishers: nothing
+            # timing-dependent (evictions, tick-fed epochs) may leak into
+            # the fingerprinted projection.
+            gateway = build_gateway(
+                "bitcoin", n, engine=engine, seed=7, queue_limit=4096
+            )
+            await gateway.start()
+            try:
+                report = await run_loadgen_async(
+                    workload="bitcoin",
+                    engine=engine,
+                    n=n,
+                    epochs=epochs,
+                    subscribers=subscribers,
+                    publishers=0,
+                    gateway=gateway,
+                )
+                certificates = [
+                    {key: value for key, value in entry.items() if key != "published_at"}
+                    for entry in gateway.history(since=0, limit=epochs)
+                ]
+            finally:
+                await gateway.close()
+            return report, certificates
+
+        report, certificates = asyncio.run(drive())
+        projection = {
+            "certificates": certificates,
+            "subscribers": subscribers,
+            "delivered": report.certs_received,
+            "lost": report.certs_lost,
+        }
+        return report.certs_received, projection, report.latency_summary()
+
+    return runner
+
+
 #: The perf basket, in execution order.
 SCENARIOS: Tuple[PerfScenario, ...] = (
     PerfScenario(
@@ -234,6 +291,15 @@ SCENARIOS: Tuple[PerfScenario, ...] = (
         quick=True,
         run=_oracle_service(7, epochs=4),
     ),
+    PerfScenario(
+        name="oracle-gateway-n7",
+        description=(
+            "3 epochs of the client-facing gateway streamed to 50 live "
+            "WebSocket subscribers, n=7, bitcoin workload"
+        ),
+        quick=True,
+        run=_oracle_gateway(7, epochs=3, subscribers=50),
+    ),
 )
 
 
@@ -255,6 +321,11 @@ class ScenarioResult:
     #: Scenario-specific counters (e.g. the oracle service's epochs and
     #: certificates), used to derive domain throughput in the artifact.
     aux: Optional[Dict[str, int]] = None
+    #: Wall-clock measurements from the fast run's metrics side-channel
+    #: (e.g. the gateway's delivery-latency percentiles).  Reported in the
+    #: artifact and gated by the baseline's latency ceilings, but never
+    #: part of the equivalence fingerprint.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -288,32 +359,46 @@ class ScenarioResult:
             entry.update(self.aux)
             for key, count in self.aux.items():
                 entry[f"{key}_per_sec"] = count / seconds if seconds else None
+        if self.metrics is not None:
+            entry["metrics"] = self.metrics
         if self.profile is not None:
             entry["profile"] = self.profile
         return entry
 
 
 def _scenario_aux(projection: Any) -> Optional[Dict[str, int]]:
-    """Domain counters for throughput reporting (oracle-service shape)."""
+    """Domain counters for throughput reporting (oracle-layer shapes)."""
     if isinstance(projection, dict) and "reports" in projection and "chain_entries" in projection:
         return {
             "epochs": len(projection["reports"]),
             "certificates": int(projection["chain_entries"]),
         }
+    if isinstance(projection, dict) and "certificates" in projection and "delivered" in projection:
+        return {
+            "epochs": len(projection["certificates"]),
+            "certs_delivered": int(projection["delivered"]),
+        }
     return None
 
 
-def _run_engine(scenario: PerfScenario, engine: str) -> Tuple[RunOutcome, Any]:
+def _run_engine(scenario: PerfScenario, engine: str) -> Tuple[RunOutcome, Any, Optional[Dict[str, Any]]]:
     started = time.perf_counter()
-    events, projection = scenario.run(engine)
+    outcome = scenario.run(engine)
     elapsed = time.perf_counter() - started
-    outcome = RunOutcome(
+    # 2-tuple (events, projection) or 3-tuple with a trailing wall-clock
+    # metrics dict that stays out of the fingerprint.
+    if len(outcome) == 3:
+        events, projection, metrics = outcome
+    else:
+        events, projection = outcome
+        metrics = None
+    run = RunOutcome(
         engine=engine,
         wall_seconds=elapsed,
         events=events,
         fingerprint=_fingerprint(projection),
     )
-    return outcome, projection
+    return run, projection, metrics
 
 
 def run_scenario(
@@ -337,13 +422,13 @@ def run_scenario(
     """
     say = progress or (lambda message: None)
     say(f"[perf] {scenario.name}: fast engine ...")
-    fast, fast_projection = _run_engine(scenario, "fast")
+    fast, fast_projection, fast_metrics = _run_engine(scenario, "fast")
     events = fast.events or 0
     reference: Optional[RunOutcome] = None
     equivalent: Optional[bool] = None
     if verify:
         say(f"[perf] {scenario.name}: reference engine (equivalence oracle) ...")
-        reference, _ = _run_engine(scenario, "reference")
+        reference, _, _ = _run_engine(scenario, "reference")
         equivalent = reference.fingerprint == fast.fingerprint
         if not equivalent:
             raise EquivalenceError(
@@ -368,6 +453,7 @@ def run_scenario(
         equivalent=equivalent,
         profile=attribution,
         aux=_scenario_aux(fast_projection),
+        metrics=fast_metrics,
     )
 
 

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.workloads.bitcoin import BitcoinPriceFeed, ExchangeQuote
 from repro.workloads.drone import DroneLocalisationWorkload, DroneObservation
 from repro.workloads.sensors import SensorGridWorkload
+from repro.workloads.ticks import TickBufferWorkload
 
 #: Workloads the oracle service can stream, with their per-epoch feed
 #: factory and the paper-derived Delphi defaults for that input process
@@ -64,5 +65,6 @@ __all__ = [
     "EPOCH_WORKLOADS",
     "ExchangeQuote",
     "SensorGridWorkload",
+    "TickBufferWorkload",
     "make_epoch_workload",
 ]

@@ -1,0 +1,159 @@
+"""Client-fed epoch workload: batched tick ingestion for the gateway.
+
+The oracle gateway (:mod:`repro.oracle.gateway`) lets clients *push* raw
+workload ticks (exchange quotes, sensor readings) over HTTP/WebSocket.
+:class:`TickBufferWorkload` is the adapter that turns that firehose into the
+``epoch_inputs(n)`` contract the oracle service consumes:
+
+* ticks are validated on ingestion (finite floats, optional absolute
+  bounds) and buffered in a **bounded** pending pool — under overload the
+  oldest ticks are discarded and counted, so a tick flood cannot grow
+  memory;
+* at each epoch boundary the pool is drained.  If at least ``n`` mutually
+  coherent ticks are pending, the epoch is fed entirely from the ``n``
+  newest of them ("client epoch"); otherwise the epoch falls back entirely
+  to the wrapped base feed ("feed epoch").  Epochs are never mixed: honest
+  inputs within one epoch must share a hull, and client ticks carry no
+  relationship to the synthetic feed's current level;
+* coherence is enforced with a median window: ticks farther than
+  ``max_spread / 2`` from the pending pool's median are rejected and
+  counted, so a single hostile tick can neither abort the service through
+  the certificate-stream monitor's validity hull nor drag the consumed
+  window open.
+
+All mutating entry points take an internal lock: the gateway pushes ticks
+from the event-loop thread while the oracle service drains epochs from a
+worker thread.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class TickBufferWorkload:
+    """Wrap a base epoch feed with a bounded, client-fed tick buffer.
+
+    Parameters
+    ----------
+    base:
+        Any epoch feed exposing ``epoch_inputs(n)``; used whenever too few
+        coherent ticks are pending.
+    max_pending:
+        Bound on the pending tick pool; beyond it the *oldest* ticks are
+        discarded (newest data wins) and counted in ``ticks_discarded``.
+    max_spread:
+        Width of the coherence window: a tick farther than ``max_spread/2``
+        from the pending pool's median is rejected.  ``None`` disables the
+        window (finiteness and ``bounds`` still apply).
+    bounds:
+        Optional absolute ``(low, high)`` bounds on accepted tick values.
+    """
+
+    def __init__(
+        self,
+        base,
+        *,
+        max_pending: int = 4096,
+        max_spread: Optional[float] = None,
+        bounds: Optional[Tuple[float, float]] = None,
+    ) -> None:
+        if max_pending <= 0:
+            raise ConfigurationError("max_pending must be positive")
+        if max_spread is not None and max_spread <= 0:
+            raise ConfigurationError("max_spread must be positive")
+        if bounds is not None and not bounds[0] < bounds[1]:
+            raise ConfigurationError(f"malformed tick bounds {bounds!r}")
+        self.base = base
+        self.max_pending = max_pending
+        self.max_spread = max_spread
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._pending: Deque[float] = deque()
+        # Ingestion / consumption counters (all monotonic).
+        self.ticks_received = 0
+        self.ticks_accepted = 0
+        self.ticks_rejected = 0
+        self.ticks_discarded = 0
+        self.ticks_consumed = 0
+        self.epochs_from_ticks = 0
+        self.epochs_from_feed = 0
+
+    # ------------------------------------------------------------------
+    def _acceptable(self, value: float) -> bool:
+        if not math.isfinite(value):
+            return False
+        if self.bounds is not None and not (self.bounds[0] <= value <= self.bounds[1]):
+            return False
+        if self.max_spread is not None and self._pending:
+            ordered = sorted(self._pending)
+            median = ordered[len(ordered) // 2]
+            if abs(value - median) > self.max_spread / 2:
+                return False
+        return True
+
+    def push(self, values: Sequence[float]) -> int:
+        """Ingest a batch of client ticks; returns how many were accepted."""
+        accepted = 0
+        with self._lock:
+            for raw in values:
+                self.ticks_received += 1
+                try:
+                    value = float(raw)
+                except (TypeError, ValueError):
+                    self.ticks_rejected += 1
+                    continue
+                if not self._acceptable(value):
+                    self.ticks_rejected += 1
+                    continue
+                self._pending.append(value)
+                self.ticks_accepted += 1
+                accepted += 1
+                if len(self._pending) > self.max_pending:
+                    self._pending.popleft()
+                    self.ticks_discarded += 1
+        return accepted
+
+    @property
+    def pending(self) -> int:
+        """Ticks currently buffered for the next epoch."""
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def epoch_inputs(self, num_nodes: int) -> List[float]:
+        """One epoch of inputs: the newest ``num_nodes`` ticks when enough
+        are pending, else the base feed (the pool is drained either way)."""
+        with self._lock:
+            ticks = list(self._pending)
+            self._pending.clear()
+        if len(ticks) >= num_nodes:
+            chosen = ticks[-num_nodes:]
+            with self._lock:
+                self.ticks_consumed += len(chosen)
+                self.ticks_discarded += len(ticks) - len(chosen)
+                self.epochs_from_ticks += 1
+            return chosen
+        with self._lock:
+            self.ticks_discarded += len(ticks)
+            self.epochs_from_feed += 1
+        return [float(value) for value in self.base.epoch_inputs(num_nodes)]
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-safe counter snapshot (surfaced by the gateway's /metrics)."""
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "received": self.ticks_received,
+                "accepted": self.ticks_accepted,
+                "rejected": self.ticks_rejected,
+                "discarded": self.ticks_discarded,
+                "consumed": self.ticks_consumed,
+                "epochs_from_ticks": self.epochs_from_ticks,
+                "epochs_from_feed": self.epochs_from_feed,
+            }

@@ -11,11 +11,13 @@ from repro.crypto.signatures import SignatureScheme
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.experiments.cli import main
 from repro.faults.monitors import CertificateStreamMonitor
+from repro.net.latency import ConstantLatency
 from repro.net.message import Message
 from repro.oracle.service import (
     EpochNode,
     KNOWN_SERVICE_ENGINES,
     OracleService,
+    ServiceResult,
     build_service,
 )
 from repro.workloads import EPOCH_WORKLOADS, make_epoch_workload
@@ -339,3 +341,55 @@ class TestServeCli:
             ["serve", "--workload", "sensors", "--n", "4", "--churn", "3", "--quiet"]
         )
         assert code == 2
+
+
+class TestBuildServiceLatency:
+    def test_zero_latency_is_not_dropped(self):
+        """latency_seconds=0.0 is a real request for zero-delay delivery;
+        the old truthiness check (`if latency_seconds`) silently discarded
+        it and left the engine on its default latency model."""
+        service = small_service(engine="asyncio", latency_seconds=0.0)
+        assert isinstance(service.latency, ConstantLatency)
+        assert service.latency.seconds == 0.0
+
+    def test_positive_latency_still_wired(self):
+        service = small_service(engine="asyncio", latency_seconds=0.25)
+        assert isinstance(service.latency, ConstantLatency)
+        assert service.latency.seconds == 0.25
+
+    def test_default_latency_is_engine_choice(self):
+        assert small_service().latency is None
+
+    def test_zero_latency_service_still_converges(self):
+        service = small_service(engine="asyncio", latency_seconds=0.0)
+        report = service.run_epoch()
+        assert report.certificate is not None
+
+
+class TestServiceResultRates:
+    def test_zero_wall_seconds_yields_none_rates(self):
+        """A zero-duration run (all epochs served faster than the clock
+        resolution, or an empty run) must report null rates, not divide by
+        zero."""
+        result = ServiceResult(workload="sensors", engine="fast", n=4)
+        assert result.wall_seconds == 0.0
+        assert result.epochs_per_sec is None
+        assert result.certs_per_sec is None
+
+    def test_zero_wall_seconds_survives_json(self):
+        result = ServiceResult(workload="sensors", engine="fast", n=4)
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["epochs_per_sec"] is None
+        assert payload["certs_per_sec"] is None
+
+    def test_positive_wall_seconds_rates(self):
+        result = ServiceResult(
+            workload="sensors",
+            engine="fast",
+            n=4,
+            wall_seconds=2.0,
+            chain_entries=6,
+        )
+        result.reports = [None] * 4  # only len() is used by the property
+        assert result.epochs_per_sec == 2.0
+        assert result.certs_per_sec == 3.0

@@ -208,3 +208,132 @@ class TestPerfCli:
         results = run_suite(quick=True, verify=True)
         assert len(results) == 1
         assert results[0].equivalent is True
+
+
+def tiny_metrics_scenario(name="tiny-metrics", latency_ms=5.0):
+    """Like tiny_scenario but returning the optional 3-tuple: the trailing
+    metrics dict is wall-clock (engine-dependent) and must stay out of the
+    equivalence fingerprint."""
+    base = tiny_scenario(name=name)
+
+    def run(engine):
+        events, projection = base.run(engine)
+        metrics = {"p99_ms": latency_ms if engine == "fast" else latency_ms * 100}
+        return events, projection, metrics
+
+    return PerfScenario(
+        name=name, description="tiny metrics scenario", quick=True, run=run
+    )
+
+
+class TestMetricsSideChannel:
+    def test_three_tuple_scenario_supported(self):
+        result = run_scenario(tiny_metrics_scenario(), verify=False)
+        assert result.metrics == {"p99_ms": 5.0}
+        assert result.as_dict()["metrics"] == {"p99_ms": 5.0}
+
+    def test_metrics_never_enter_the_fingerprint(self):
+        # Identical projections, wildly different metrics across engines:
+        # the equivalence check must still pass, and the fingerprint must
+        # equal the plain 2-tuple scenario's.
+        with_metrics = run_scenario(tiny_metrics_scenario(), verify=True)
+        assert with_metrics.equivalent
+        plain = run_scenario(tiny_scenario(), verify=False)
+        assert with_metrics.fast.fingerprint == plain.fast.fingerprint
+
+    def test_two_tuple_scenarios_have_no_metrics(self):
+        result = run_scenario(tiny_scenario(), verify=False)
+        assert result.metrics is None
+        assert "metrics" not in result.as_dict()
+
+
+class _StubResult:
+    """Minimal stand-in for ScenarioResult in compare_to_baseline tests."""
+
+    def __init__(self, name, entry):
+        self.name = name
+        self._entry = entry
+
+    def as_dict(self):
+        return dict(self._entry)
+
+
+class TestAuxAndLatencyGates:
+    def _baseline(self, tmp_path, payload):
+        payload = {"schema": BASELINE_SCHEMA, "max_regression": 2.0, **payload}
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(payload))
+        return load_baseline(str(path))
+
+    def test_aux_floor_checked_floor_direction(self, tmp_path):
+        baseline = self._baseline(
+            tmp_path,
+            {
+                "events_per_sec": {},
+                "aux_floors": {"gw": {"certs_delivered_per_sec": 100.0}},
+            },
+        )
+        ok = compare_to_baseline(
+            [_StubResult("gw", {"certs_delivered_per_sec": 50.0})], baseline
+        )
+        bad = compare_to_baseline(
+            [_StubResult("gw", {"certs_delivered_per_sec": 49.0})], baseline
+        )
+        (check,) = ok
+        assert check.ok and check.kind == "floor"
+        assert check.metric == "certs_delivered_per_sec"
+        (check,) = bad
+        assert not check.ok
+
+    def test_latency_ceiling_checked_ceiling_direction(self, tmp_path):
+        baseline = self._baseline(
+            tmp_path,
+            {
+                "events_per_sec": {},
+                "latency_ceilings_ms": {"gw": {"p99_ms": 10.0}},
+            },
+        )
+        ok = compare_to_baseline(
+            [_StubResult("gw", {"metrics": {"p99_ms": 20.0}})], baseline
+        )
+        bad = compare_to_baseline(
+            [_StubResult("gw", {"metrics": {"p99_ms": 20.1}})], baseline
+        )
+        (check,) = ok
+        assert check.ok and check.kind == "ceiling"
+        assert "latency" in check.metric
+        (check,) = bad
+        assert not check.ok
+        assert "REGRESSION" in check.describe()
+
+    def test_missing_metric_counts_as_regression(self, tmp_path):
+        baseline = self._baseline(
+            tmp_path,
+            {
+                "events_per_sec": {},
+                "latency_ceilings_ms": {"gw": {"p99_ms": 10.0}},
+            },
+        )
+        (check,) = compare_to_baseline([_StubResult("gw", {})], baseline)
+        assert not check.ok  # a gated metric that vanished is a failure
+
+    def test_malformed_tables_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": BASELINE_SCHEMA,
+                    "events_per_sec": {},
+                    "aux_floors": ["not", "a", "table"],
+                }
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(path))
+
+    def test_committed_baseline_tables_name_basket_scenarios(self):
+        baseline = load_baseline("benchmarks/perf_baseline.json")
+        basket = {scenario.name for scenario in SCENARIOS}
+        assert set(baseline.get("aux_floors", {})) <= basket
+        assert set(baseline.get("latency_ceilings_ms", {})) <= basket
+        assert "oracle-gateway-n7" in baseline["events_per_sec"]

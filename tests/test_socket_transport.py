@@ -5,6 +5,9 @@ InMemory-vs-Socket DORA parity run."""
 
 import asyncio
 import os
+import random
+import socket as socket_module
+import time
 
 import pytest
 
@@ -30,7 +33,12 @@ from repro.net.framing import (
     verify_ack,
 )
 from repro.net.message import Message
-from repro.net.socket_transport import SocketTransport, dumps_message, loads_message
+from repro.net.socket_transport import (
+    SocketTransport,
+    backoff_delay,
+    dumps_message,
+    loads_message,
+)
 from repro.oracle.service import EpochNode, OracleService
 from repro.sim.asyncio_runtime import AsyncioRuntime, InMemoryTransport
 
@@ -459,3 +467,104 @@ class TestTransportParity:
         memory = values(None)
         socket = values(lambda epoch: SocketTransport(epoch=epoch))
         assert memory == socket
+
+
+# ----------------------------------------------------------------------
+# Redial backoff: capped exponential schedule with deterministic jitter
+# ----------------------------------------------------------------------
+class _HalfRng:
+    """Stand-in rng whose jitter factor is exactly 1.0 (0.5 + 0.5)."""
+
+    def random(self):
+        return 0.5
+
+
+class TestRedialBackoff:
+    def test_backoff_doubles_then_saturates(self):
+        rng = _HalfRng()
+        delays = [backoff_delay(0.5, 8.0, failures, rng) for failures in range(1, 8)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_zero_failures_treated_as_first(self):
+        assert backoff_delay(0.5, 8.0, 0, _HalfRng()) == 0.5
+
+    def test_huge_failure_count_does_not_overflow(self):
+        # 2**failures would overflow a float for large counts; the exponent
+        # clamp keeps the arithmetic finite and the result at the cap.
+        assert backoff_delay(0.5, 8.0, 10**6, _HalfRng()) == 8.0
+
+    def test_jitter_bounded_and_seed_deterministic(self):
+        first = [backoff_delay(0.5, 8.0, k, random.Random(42)) for k in range(1, 6)]
+        second = [backoff_delay(0.5, 8.0, k, random.Random(42)) for k in range(1, 6)]
+        assert first == second  # same seed -> identical schedule
+        rng = random.Random(7)
+        for failures in range(1, 10):
+            raw = min(8.0, 0.5 * 2.0 ** (failures - 1))
+            delay = backoff_delay(0.5, 8.0, failures, rng)
+            assert 0.5 * raw <= delay < 1.5 * raw
+
+    def test_failures_accumulate_then_reset_on_recovery(self):
+        """An unreachable peer pushes the channel's redial schedule out
+        exponentially; the first completed handshake after the peer returns
+        resets it to the base."""
+
+        async def scenario():
+            probe = socket_module.socket()
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+            probe.close()
+            addresses = {
+                0: ("tcp", "127.0.0.1", 0),
+                1: ("tcp", "127.0.0.1", port),  # nothing listening yet
+            }
+            sender_side = SocketTransport(
+                addresses=addresses,
+                local_ids=[0],
+                dial_timeout=0.5,
+                dial_retries=1,
+                dial_retry_delay=0.0,
+                redial_backoff=0.02,
+                redial_backoff_max=0.1,
+                backoff_seed=7,
+            )
+            await sender_side.open([0])
+
+            await sender_side.put(1, (0, msg(payload="lost-1")))
+            key = (0, 1)
+            assert await until(
+                lambda: key in sender_side._senders
+                and sender_side._senders[key].failures == 1
+            )
+            channel = sender_side._senders[key]
+            assert channel.backoff_until > 0.0
+
+            # Wait out the backoff window, fail again: the count grows.
+            assert await until(lambda: time.monotonic() >= channel.backoff_until)
+            await sender_side.put(1, (0, msg(payload="lost-2")))
+            assert await until(lambda: channel.failures == 2)
+
+            # Peer comes up at the advertised address; messages dropped
+            # during backoff are gone (fire-and-forget transport), so keep
+            # offering fresh ones until one lands.
+            receiver_side = SocketTransport(addresses=addresses, local_ids=[1])
+            await receiver_side.open([1])
+            delivered = None
+            for attempt in range(200):
+                await sender_side.put(1, (0, msg(payload=f"retry-{attempt}")))
+                try:
+                    delivered = await asyncio.wait_for(receiver_side.get(1), 0.05)
+                    break
+                except asyncio.TimeoutError:
+                    continue
+            assert delivered is not None
+            sender_id, message = delivered
+            assert sender_id == 0
+            assert message.payload.startswith("retry-")
+            # Handshake succeeded: the schedule restarts from the base.
+            assert channel.failures == 0
+            assert channel.backoff_until == 0.0
+
+            await sender_side.close()
+            await receiver_side.close()
+
+        run(scenario())
