@@ -14,6 +14,16 @@ class ConfigurationError(ReproError):
     """A protocol or testbed was configured with invalid parameters."""
 
 
+class CertificateShortfall(ConfigurationError):
+    """An oracle epoch finished its run without producing a valid attested
+    certificate — fewer than ``t + 1`` honest signatures materialised.
+
+    Subclasses :class:`ConfigurationError` because historically the service
+    raised that type here (callers catching it keep working); the dedicated
+    type lets the resilience layer retry or skip the epoch instead of
+    aborting the stream."""
+
+
 class ProtocolError(ReproError):
     """A protocol state machine received input it cannot process."""
 

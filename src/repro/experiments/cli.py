@@ -56,6 +56,17 @@ Five subcommands:
     Run one oracle node process against a shared cluster config (spawned by
     ``repro cluster``, or started by docker-compose).
 
+``repro chaos``
+    Soak a live multi-process cluster (optionally with a gateway front)
+    under a seeded chaos schedule: repeated SIGKILL/respawn, SIGSTOP/SIGCONT
+    pauses and wire-level faults (loss windows, partitions, corruption),
+    with every epoch audited by the liveness monitor — certified within
+    budget or explicitly skipped-and-accounted.  Writes a
+    ``CHAOS_<seed>.json`` verdict whose deterministic section is
+    byte-identical across same-seed runs; exits non-zero on any monitor
+    violation or unaccounted epoch.  ``--soak`` loops freshly-seeded
+    iterations until a wall-clock budget is spent.
+
 ``repro gateway``
     Serve the oracle to clients: an HTTP/WebSocket gateway over the oracle
     service, streaming SMR certificates to WebSocket subscribers with
@@ -86,6 +97,8 @@ Examples
     PYTHONPATH=src python -m repro fuzz --budget 50 --min-margin 0.85 --output out
     PYTHONPATH=src python -m repro serve --workload bitcoin --epochs 10 --engine asyncio
     PYTHONPATH=src python -m repro serve --workload sensors --epochs 5 --churn 1 --json out/serve.json
+    PYTHONPATH=src python -m repro chaos --workload sensors --n 7 --epochs 6 --standard --seed 5
+    PYTHONPATH=src python -m repro chaos --n 4 --epochs 4 --kill 1:2.0 --pause 2:4.0:1.0 --loss 0.2:6.0:8.0
     PYTHONPATH=src python -m repro gateway --workload bitcoin --epochs 5 --port 8080
     PYTHONPATH=src python -m repro loadgen --subscribers 1000 --epochs 3 --json out/load.json
 """
@@ -507,6 +520,125 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_node.add_argument(
         "--node-id", type=int, required=True, help="this process's node id"
     )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="soak a live multi-process cluster under a seeded chaos "
+        "schedule (SIGKILL/SIGSTOP + wire faults) with liveness auditing",
+    )
+    chaos.add_argument(
+        "--workload",
+        choices=sorted(SERVICE_WORKLOADS),
+        default="sensors",
+        help="streaming workload feeding per-epoch inputs (default: sensors)",
+    )
+    chaos.add_argument(
+        "--n", type=int, default=4, help="oracle network size (minimum 4)"
+    )
+    chaos.add_argument("--epochs", type=int, default=4, help="epochs to run")
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="chaos seed (default: 0, or the --schedule file's own seed)",
+    )
+    chaos.add_argument(
+        "--schedule",
+        dest="schedule_path",
+        default=None,
+        help="load the chaos schedule from this JSON file",
+    )
+    chaos.add_argument(
+        "--standard",
+        action="store_true",
+        help="use the built-in standard schedule: 2 SIGKILLs, one SIGSTOP "
+        "pause, one partition window, one 20%% loss window",
+    )
+    chaos.add_argument(
+        "--kill",
+        action="append",
+        dest="kills",
+        metavar="NODE:AT[:RESTART]",
+        help="SIGKILL the node AT seconds after the barrier, respawn it "
+        "RESTART seconds later (repeatable; default restart 0.5)",
+    )
+    chaos.add_argument(
+        "--pause",
+        action="append",
+        dest="pauses",
+        metavar="NODE:AT[:DURATION]",
+        help="SIGSTOP the node AT seconds after the barrier, SIGCONT it "
+        "DURATION seconds later (repeatable; default duration 1.0)",
+    )
+    chaos.add_argument(
+        "--loss",
+        action="append",
+        dest="losses",
+        metavar="PROB:START:END",
+        help="probabilistic frame-loss window on the node wire clocks "
+        "(repeatable)",
+    )
+    chaos.add_argument(
+        "--transport",
+        choices=("unix", "tcp"),
+        default="unix",
+        help="socket family for the node mesh (default: unix)",
+    )
+    chaos.add_argument(
+        "--runtime-dir",
+        default=None,
+        help="directory for sockets, configs and node logs "
+        "(default: a fresh temporary directory)",
+    )
+    chaos.add_argument(
+        "--output",
+        default=".",
+        help="directory for the CHAOS_<seed>.json verdict artifact(s)",
+    )
+    chaos.add_argument(
+        "--no-artifact", action="store_true", help="do not write verdict files"
+    )
+    chaos.add_argument(
+        "--epoch-timeout",
+        type=float,
+        default=15.0,
+        help="wall-clock budget per epoch in seconds (default: 15)",
+    )
+    chaos.add_argument(
+        "--epoch-interval",
+        type=float,
+        default=1.0,
+        help="pause between epochs; pacing lets respawned processes rejoin "
+        "live (default: 1.0)",
+    )
+    chaos.add_argument(
+        "--epoch-resyncs",
+        type=int,
+        default=3,
+        help="node-side resyncs (re-JOIN + re-offer CERT) per epoch before "
+        "a node gives up (default: 3)",
+    )
+    chaos.add_argument(
+        "--gateway-port",
+        type=int,
+        default=None,
+        help="serve a gateway front on this port during the run "
+        "(0 = ephemeral); certified epochs are published to it and its "
+        "/healthz reflects the chaos run",
+    )
+    chaos.add_argument(
+        "--soak",
+        action="store_true",
+        help="loop freshly-seeded iterations of the schedule until "
+        "--soak-budget is spent",
+    )
+    chaos.add_argument(
+        "--soak-budget",
+        type=float,
+        default=120.0,
+        help="soak wall-clock budget in seconds (default: 120)",
+    )
+    chaos.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     gateway = subparsers.add_parser(
         "gateway",
@@ -1035,6 +1167,127 @@ def _cmd_cluster_node(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_timed_spec(text: str, flag: str, fields: int) -> List[float]:
+    """Parse a ``NODE:AT[:EXTRA]`` / ``PROB:START:END`` style CLI value."""
+    parts = text.split(":")
+    if not 2 <= len(parts) <= fields:
+        raise ConfigurationError(
+            f"malformed --{flag} {text!r} (expected colon-separated numbers)"
+        )
+    try:
+        return [float(part) for part in parts]
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed --{flag} {text!r} (expected colon-separated numbers)"
+        )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.faults.spec import LossSpec
+    from repro.net.chaos import WireFaults
+    from repro.oracle.chaos import (
+        ChaosSchedule,
+        KillSpec,
+        PauseSpec,
+        run_chaos,
+        standard_schedule,
+        write_verdict,
+    )
+    from repro.oracle.cluster import build_cluster_config
+
+    if args.n < 4:
+        raise ConfigurationError(f"chaos runs need n >= 4, got {args.n}")
+    if args.schedule_path is not None:
+        schedule = ChaosSchedule.load(args.schedule_path)
+    elif args.standard:
+        schedule = standard_schedule(args.n)
+    else:
+        kills = tuple(
+            KillSpec(int(f[0]), f[1], *(f[2:3]))
+            for f in (_parse_timed_spec(s, "kill", 3) for s in args.kills or ())
+        )
+        pauses = tuple(
+            PauseSpec(int(f[0]), f[1], *(f[2:3]))
+            for f in (_parse_timed_spec(s, "pause", 3) for s in args.pauses or ())
+        )
+        losses = tuple(
+            LossSpec(start=f[1], end=f[2], probability=f[0])
+            for f in (_parse_timed_spec(s, "loss", 3) for s in args.losses or ())
+        )
+        schedule = ChaosSchedule(
+            kills=kills, pauses=pauses, wire=WireFaults(losses=losses)
+        )
+    seed = args.seed if args.seed is not None else schedule.seed
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    runtime_root = Path(args.runtime_dir or tempfile.mkdtemp(prefix="repro-chaos-"))
+    started = time.monotonic()
+    failed: List[int] = []
+    iteration = 0
+    while True:
+        iter_schedule = schedule.with_seed(seed + iteration)
+        iter_dir = runtime_root / f"iter-{iteration}" if args.soak else runtime_root
+        config = build_cluster_config(
+            args.workload,
+            args.n,
+            epochs=args.epochs,
+            seed=iter_schedule.seed,
+            transport=args.transport,
+            runtime_dir=iter_dir,
+            epoch_timeout=args.epoch_timeout,
+            epoch_interval=args.epoch_interval,
+        )
+        config.epoch_resyncs = args.epoch_resyncs
+        gateway = None
+        if args.gateway_port is not None:
+            from repro.oracle.gateway import build_gateway
+
+            gateway = build_gateway(
+                args.workload,
+                args.n,
+                engine="fast",
+                seed=iter_schedule.seed,
+                port=args.gateway_port,
+            )
+        verdict = run_chaos(
+            config, iter_schedule, progress=progress, gateway=gateway
+        )
+        certified = sum(
+            1 for entry in verdict["epochs"] if entry["outcome"] == "certified"
+        )
+        skipped = [
+            entry for entry in verdict["epochs"] if entry["outcome"] == "skipped"
+        ]
+        print(
+            f"# chaos seed={verdict['seed']} n={verdict['n']} "
+            f"workload={verdict['workload']}: "
+            f"{certified}/{verdict['epochs_planned']} epochs certified, "
+            f"{len(skipped)} skipped, {len(verdict['violations'])} violations, "
+            f"ok={verdict['ok']}"
+        )
+        for entry in skipped:
+            print(f"  epoch {entry['epoch']}: skipped ({entry['reason']})")
+        for violation in verdict["violations"]:
+            print(f"!! {violation['monitor']}: {violation['detail']}")
+        if not args.no_artifact:
+            print(f"wrote {write_verdict(args.output, verdict)}")
+        if not verdict["ok"]:
+            failed.append(verdict["seed"])
+        iteration += 1
+        if not args.soak or time.monotonic() - started >= args.soak_budget:
+            break
+    if args.soak:
+        print(
+            f"# soak: {iteration} iterations in "
+            f"{time.monotonic() - started:.1f}s, {len(failed)} failed"
+            + (f" (seeds {failed})" if failed else "")
+        )
+    return 1 if failed else 0
+
+
 def _cmd_gateway(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -1161,6 +1414,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_cluster(args)
         if args.command == "cluster-node":
             return _cmd_cluster_node(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "gateway":
             return _cmd_gateway(args)
         if args.command == "loadgen":

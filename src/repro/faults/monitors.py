@@ -358,6 +358,123 @@ class CertificateStreamMonitor(InvariantMonitor):
             )
 
 
+class ClusterLivenessMonitor(InvariantMonitor):
+    """Liveness accounting for a live (chaos-injected) cluster run.
+
+    Complements :class:`CertificateStreamMonitor` (which audits *what* gets
+    certified) with *whether and when*: every planned epoch must end either
+    **certified** within the per-epoch deadline or **explicitly skipped**
+    with a recorded reason, and every node the chaos layer killed must be
+    seen rejoining (or be accounted as still down at run end).  Silent
+    outcomes — an epoch that just vanishes, a kill with no rejoin record —
+    are exactly the failure modes a chaos soak exists to catch.
+
+    The controller drives the hooks directly (there is no simulator run to
+    observe): :meth:`begin_epoch` / :meth:`on_certified` / :meth:`on_skipped`
+    per epoch, :meth:`on_kill` / :meth:`on_rejoin` per process fault, and
+    :meth:`finalize` once the run ends.
+
+    Margin channel ``certify_margin``: ``deadline - slowest certification``
+    — how much per-epoch budget the worst epoch left unspent.
+    """
+
+    name = "cluster-liveness"
+
+    def __init__(self, epochs: int, deadline: float) -> None:
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
+        self.epochs = epochs
+        self.deadline = deadline
+        self.outcomes: Dict[int, str] = {}
+        self.skip_reasons: Dict[int, str] = {}
+        self.kills: List[int] = []
+        self._rejoined: Dict[int, int] = {}
+        self._began: Dict[int, float] = {}
+        self._slowest = 0.0
+
+    # -- epoch accounting ------------------------------------------------
+    def begin_epoch(self, epoch: int, wall: float) -> None:
+        self._began[epoch] = wall
+
+    def on_certified(self, epoch: int, wall: float) -> None:
+        self.outcomes[epoch] = "certified"
+        began = self._began.get(epoch)
+        if began is None:
+            self.violation(f"epoch {epoch} certified without begin_epoch")
+        took = wall - began
+        self._slowest = max(self._slowest, took)
+        if took > self.deadline:
+            self.violation(
+                f"epoch {epoch} certified after {took:.3f}s, beyond the "
+                f"{self.deadline:.3f}s deadline",
+                time=wall,
+            )
+
+    def on_skipped(self, epoch: int, reason: str) -> None:
+        self.outcomes[epoch] = "skipped"
+        self.skip_reasons[epoch] = reason
+
+    # -- process-fault accounting ---------------------------------------
+    def on_kill(self, node: int) -> None:
+        self.kills.append(node)
+
+    def on_rejoin(self, node: int) -> None:
+        self._rejoined[node] = self._rejoined.get(node, 0) + 1
+
+    def unrejoined(self) -> List[int]:
+        """Killed nodes with fewer rejoins than kills, in kill order."""
+        pending: Dict[int, int] = {}
+        for node in self.kills:
+            pending[node] = pending.get(node, 0) + 1
+        return sorted(
+            node
+            for node, count in pending.items()
+            if self._rejoined.get(node, 0) < count
+        )
+
+    # -- run-end checks --------------------------------------------------
+    def finalize(self) -> None:
+        """Raise on any unaccounted epoch (neither certified nor skipped)."""
+        missing = [
+            epoch for epoch in range(self.epochs) if epoch not in self.outcomes
+        ]
+        if missing:
+            self.violation(
+                f"epochs {missing} ended neither certified nor "
+                "explicitly skipped"
+            )
+
+    def summary(self) -> Dict[str, Any]:
+        """Non-raising JSON-safe accounting snapshot for the verdict."""
+        return {
+            "epochs_planned": self.epochs,
+            "certified": sorted(
+                e for e, o in self.outcomes.items() if o == "certified"
+            ),
+            "skipped": {
+                str(e): self.skip_reasons.get(e, "")
+                for e, o in sorted(self.outcomes.items())
+                if o == "skipped"
+            },
+            "unaccounted": [
+                e for e in range(self.epochs) if e not in self.outcomes
+            ],
+            "kills": list(self.kills),
+            "unrejoined": self.unrejoined(),
+            "slowest_certify_seconds": self._slowest,
+        }
+
+    def margin_channels(self) -> Dict[str, float]:
+        return {"certify_margin": self.deadline - self._slowest}
+
+    def margin_ratios(self) -> Dict[str, float]:
+        return {
+            "certify_margin": _ratio(self.deadline - self._slowest, self.deadline)
+        }
+
+
 #: Protocols whose agreement property is ε-agreement on scalars.
 APPROXIMATE_PROTOCOLS = ("delphi", "dora", "abraham", "dolev")
 

@@ -266,6 +266,7 @@ class _Sender:
                     self.codec.seal(dumps_message(message)),
                     transport.max_frame_bytes,
                 )
+                frame = transport._maybe_corrupt(self.local_id, self.peer, frame)
                 self.writer.write(frame)
                 await self.writer.drain()
                 transport.frames_sent += 1
@@ -374,6 +375,10 @@ class SocketTransport:
         self.auth_failures = 0
         self.replay_rejections = 0
         self.frame_errors = 0
+        self.frames_corrupted = 0
+        self.connections_reset = 0
+        #: Armed wire-level corruptions: ``(local, peer) -> frames left``.
+        self._corrupt_pending: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     def address_of(self, node_id: int) -> Address:
@@ -407,6 +412,48 @@ class SocketTransport:
         """Tag future handshakes with ``epoch`` (existing connections keep
         flowing; only *reconnects* re-handshake, carrying the new tag)."""
         self.epoch = epoch
+
+    # ------------------------------------------------------------------
+    # Wire-level fault hooks (driven by repro.net.chaos.ChaosTransport)
+    # ------------------------------------------------------------------
+    def corrupt_next_frame(self, sender: int, target: int, count: int = 1) -> None:
+        """Arm bit-flip corruption on the ``sender -> target`` channel.
+
+        The next ``count`` sealed frames get one bit flipped *after* the
+        HMAC seal, so the receiver's :meth:`ChannelCodec.open` rejects them
+        with :class:`AuthenticationError` and drops the connection — the
+        sender's subsequent write fails and the redial/backoff machinery
+        must recover the channel.  This is how chaos campaigns prove the
+        authenticated channel actually protects the protocol layer.
+        """
+        key = (sender, target)
+        self._corrupt_pending[key] = self._corrupt_pending.get(key, 0) + count
+
+    def reset_connection(self, sender: int, target: int) -> bool:
+        """Sever the live ``sender -> target`` connection mid-stream.
+
+        Returns ``True`` when a connection existed to reset.  The sender's
+        next frame triggers a fresh dial + handshake (no backoff penalty:
+        unlike a *failed* connect, a reset does not advance the failure
+        count), exercising the epoch-tagged reconnect path.
+        """
+        channel = self._senders.get((sender, target))
+        if channel is None or channel.writer is None:
+            return False
+        channel._disconnect()  # noqa: SLF001 - same-module channel teardown
+        self.connections_reset += 1
+        return True
+
+    def _maybe_corrupt(self, sender: int, target: int, frame: bytes) -> bytes:
+        """Apply one armed corruption to ``frame`` (length prefix kept
+        intact so the receiver reads a complete-but-tampered body)."""
+        key = (sender, target)
+        pending = self._corrupt_pending.get(key, 0)
+        if pending <= 0:
+            return frame
+        self._corrupt_pending[key] = pending - 1
+        self.frames_corrupted += 1
+        return frame[:-1] + bytes([frame[-1] ^ 0x01])
 
     # ------------------------------------------------------------------
     # The transport seam

@@ -69,6 +69,7 @@ from repro.errors import (
     TransportClosedError,
 )
 from repro.faults.monitors import CertificateStreamMonitor
+from repro.net.chaos import ChaosTransport, WireFaults
 from repro.net.message import Message
 from repro.net.socket_transport import SocketTransport
 from repro.oracle.service import EpochNode
@@ -135,6 +136,17 @@ class ClusterConfig:
     #: 0 runs epochs back-to-back.
     epoch_interval: float = 0.0
     runtime_dir: str = "."
+    #: Wire-level chaos for node processes: ``{"seed": int, "wire": {...}}``
+    #: (the :class:`~repro.net.chaos.WireFaults` dict form).  ``None`` runs
+    #: the transport bare.  The supervisor's own transport is never wrapped
+    #: — the control plane stays reliable so the audit itself cannot be the
+    #: thing that fails.
+    chaos: Optional[Dict[str, Any]] = None
+    #: How many times a node may *resync* (re-JOIN and re-offer its CERT)
+    #: after an epoch deadline instead of dying with ``LivenessTimeout``.
+    #: Chaos schedules set this > 0 so a node stranded by a partition or a
+    #: SIGSTOP pause degrades gracefully rather than crashing.
+    epoch_resyncs: int = 0
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -209,6 +221,8 @@ class ClusterConfig:
             "epoch_grace": self.epoch_grace,
             "epoch_interval": self.epoch_interval,
             "runtime_dir": self.runtime_dir,
+            "chaos": self.chaos,
+            "epoch_resyncs": self.epoch_resyncs,
         }
 
     def write(self, path: os.PathLike) -> Path:
@@ -341,7 +355,15 @@ async def run_node(
     supervisor = config.supervisor_id
     peers = list(range(config.n))
     feed = EpochInputFeed(config.workload, config.seed, config.n)
-    transport = config.make_transport(node_id)
+    transport: Any = config.make_transport(node_id)
+    chaos = config.chaos or {}
+    wire = WireFaults.from_dict(chaos.get("wire") or {})
+    if wire.active:
+        # Wire-level chaos is injected on the node's own sender side; the
+        # supervisor's transport stays bare (see ClusterConfig.chaos).
+        transport = ChaosTransport(
+            transport, wire, seed=int(chaos.get("seed", config.seed))
+        )
     await transport.open([node_id])
     committed: Dict[int, float] = {}
     #: Early messages for epochs we have not entered yet.
@@ -390,6 +412,7 @@ async def run_node(
                 )
             reported = False
             advance_to: Optional[int] = None
+            resyncs_used = 0
             deadline = time.monotonic() + config.epoch_timeout
             while advance_to is None:
                 if node.certificate is not None and not reported:
@@ -408,9 +431,30 @@ async def run_node(
                     )
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    if resyncs_used < config.epoch_resyncs:
+                        # Graceful degradation: instead of dying, re-JOIN so
+                        # the supervisor re-greets us with the live epoch
+                        # (we may have been partitioned or SIGSTOPped past
+                        # a COMMIT), and re-offer our certificate.
+                        resyncs_used += 1
+                        reported = False
+                        await transport.put(
+                            supervisor,
+                            (
+                                node_id,
+                                Message(CLUSTER_PROTOCOL, JOIN, epoch, epoch),
+                            ),
+                        )
+                        deadline = time.monotonic() + config.epoch_timeout
+                        say(
+                            f"node {node_id}: epoch {epoch} stalled, resync "
+                            f"{resyncs_used}/{config.epoch_resyncs}"
+                        )
+                        continue
                     raise LivenessTimeout(
                         f"node {node_id}: epoch {epoch} saw no COMMIT within "
-                        f"{config.epoch_timeout}s"
+                        f"{config.epoch_timeout}s "
+                        f"(after {resyncs_used} resyncs)"
                     )
                 sender, message = await asyncio.wait_for(
                     transport.get(node_id), remaining
@@ -504,6 +548,9 @@ class ClusterSupervisor:
         self.processes: Dict[int, subprocess.Popen] = {}
         self.restarts: List[Dict[str, int]] = []
         self.rejoins: List[Dict[str, int]] = []
+        #: Consumed certificate of the most recent epoch (the chaos
+        #: controller publishes it to an optional gateway front).
+        self.last_certificate: Optional[DoraCertificate] = None
         self._config_path: Optional[Path] = None
         self._epoch = 0
         self._started = False
@@ -793,6 +840,7 @@ class ClusterSupervisor:
                 if consumed is not None:
                     grace_deadline = time.monotonic() + config.epoch_grace
         assert consumed is not None
+        self.last_certificate = consumed
         self.monitor.check_certificate(epoch, consumed)
         if config.epoch_interval > 0 and epoch + 1 < config.epochs:
             await self._idle(transport, config.epoch_interval, epoch)
@@ -817,31 +865,51 @@ class ClusterSupervisor:
         }
 
     # -- teardown --------------------------------------------------------
-    async def _reap_children(self, timeout: float = 10.0) -> Dict[int, Optional[int]]:
+    @staticmethod
+    def _collect_exits(
+        pending: Dict[int, subprocess.Popen],
+        exit_codes: Dict[int, Optional[int]],
+    ) -> None:
+        """Move every already-exited child from ``pending`` to ``exit_codes``."""
+        for node_id, process in list(pending.items()):
+            code = process.poll()
+            if code is not None:
+                exit_codes[node_id] = code
+                del pending[node_id]
+
+    async def _reap_children(
+        self, timeout: float = 10.0, term_grace: float = 2.0
+    ) -> Dict[int, Optional[int]]:
         """Wait for clean child exits after the final COMMIT + SHUTDOWN.
 
         Polls with ``asyncio.sleep`` rather than the blocking
         ``Popen.wait`` — the event loop must stay live here, because the
         sender tasks are still flushing those very COMMIT/SHUTDOWN frames
         the children are waiting for.  Stragglers are escalated SIGTERM →
-        SIGKILL so no child ever outlives the supervisor.
+        SIGKILL *collectively*: every straggler gets its SIGTERM at once and
+        shares one ``term_grace`` window, then every survivor gets SIGKILL —
+        so a cluster of k wedged children (a SIGSTOPped node, a child
+        ignoring SIGTERM) costs ``term_grace`` once, not ``k`` serial waits.
         """
         exit_codes: Dict[int, Optional[int]] = {}
         deadline = time.monotonic() + timeout
         pending = dict(self.processes)
         while pending and time.monotonic() < deadline:
-            for node_id, process in list(pending.items()):
-                code = process.poll()
-                if code is not None:
-                    exit_codes[node_id] = code
-                    del pending[node_id]
+            self._collect_exits(pending, exit_codes)
             if pending:
                 await asyncio.sleep(0.05)
-        for node_id, process in pending.items():
-            process.terminate()
-            try:
-                exit_codes[node_id] = process.wait(timeout=2.0)
-            except subprocess.TimeoutExpired:
+        self._collect_exits(pending, exit_codes)
+        if pending:
+            for process in pending.values():
+                process.terminate()
+            grace_deadline = time.monotonic() + term_grace
+            while pending and time.monotonic() < grace_deadline:
+                self._collect_exits(pending, exit_codes)
+                if pending:
+                    await asyncio.sleep(0.05)
+            for node_id, process in pending.items():
+                # SIGKILL cannot be ignored (and also fells a SIGSTOPped
+                # child SIGTERM never reached), so this wait is immediate.
                 process.kill()
                 exit_codes[node_id] = process.wait()
         return exit_codes
@@ -853,15 +921,22 @@ class ClusterSupervisor:
                 process.kill()
                 process.wait()
 
-    def _sweep_sockets(self) -> None:
+    def _sweep_sockets(self) -> int:
         """Remove Unix socket files a SIGKILLed child had no chance to
-        unlink (the kernel does not clean bound paths up on process death)."""
+        unlink (the kernel does not clean bound paths up on process death).
+        Tolerates paths — or the whole runtime directory — already being
+        gone; returns how many socket files were actually removed."""
+        removed = 0
         for address in self.config.addresses.values():
             if address and address[0] == "unix":
                 try:
                     os.unlink(address[1])
+                    removed += 1
+                except FileNotFoundError:
+                    pass  # never created, or the directory was swept whole
                 except OSError:
                     pass
+        return removed
 
 
 def run_cluster(

@@ -56,7 +56,7 @@ from repro.net.http_ws import (
     render_response,
     websocket_accept,
 )
-from repro.oracle.service import EpochReport, OracleService
+from repro.oracle.service import EpochReport, OracleService, SkippedEpoch
 from repro.workloads import EPOCH_WORKLOADS, make_epoch_workload
 from repro.workloads.ticks import TickBufferWorkload
 
@@ -71,6 +71,11 @@ DEFAULT_LATENCY_RESERVOIR = 65536
 
 #: Cap on a plain-HTTP request body (tick batches are small).
 MAX_BODY_BYTES = 1024 * 1024
+
+#: How far past the service's ``epoch_timeout`` a running epoch may stretch
+#: before ``/healthz`` declares the runner wedged (the margin absorbs
+#: executor-thread scheduling slack on a loaded host).
+EPOCH_STALL_FACTOR = 1.5
 
 
 def _percentile(ordered: List[float], fraction: float) -> float:
@@ -164,6 +169,13 @@ class OracleGateway:
         self._closed = False
         self._failure: Optional[str] = None
         self._serving = False
+        #: Wall-clock start of the epoch currently running on the executor
+        #: (``None`` between epochs) — the stalled-epoch detector's input.
+        self._epoch_started_at: Optional[float] = None
+        #: Optional external health contributor (the chaos controller wires
+        #: one in when it fronts a live cluster with this gateway): a
+        #: callable returning ``(status, reasons)`` merged into /healthz.
+        self.health_source: Optional[Callable[[], Tuple[str, List[str]]]] = None
         # Observability counters (all monotonic).
         self.certs_published = 0
         self.certs_delivered = 0
@@ -172,6 +184,7 @@ class OracleGateway:
         self.subscribers_total = 0
         self.requests_served = 0
         self.bad_requests = 0
+        self.handler_errors = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -218,31 +231,50 @@ class OracleGateway:
         *,
         interval: float = 0.0,
         progress: Optional[Callable[[str], None]] = None,
+        resilient: bool = False,
     ) -> List[EpochReport]:
         """Serve ``epochs`` consecutive epochs, publishing each certificate.
 
         Each epoch runs on a worker thread so the event loop keeps serving
         clients; a service failure (e.g. an invariant violation triggered by
         hostile ticks) is recorded and re-raised after marking the gateway
-        unhealthy for ``/healthz``.
+        unhealthy for ``/healthz``.  With ``resilient=True`` epochs run
+        through the service's watchdog
+        (:meth:`~repro.oracle.service.OracleService.run_epoch_resilient`):
+        recoverable failures retry then skip-and-account (degrading
+        ``/healthz``) instead of killing the loop.
         """
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive, got {epochs}")
         say = progress or (lambda message: None)
         loop = asyncio.get_running_loop()
+        runner = (
+            self.service.run_epoch_resilient if resilient else self.service.run_epoch
+        )
         self._serving = True
         reports: List[EpochReport] = []
         try:
             for _ in range(epochs):
+                self._epoch_started_at = time.monotonic()
                 try:
-                    report = await loop.run_in_executor(None, self.service.run_epoch)
+                    outcome = await loop.run_in_executor(None, runner)
                 except Exception as error:
                     self._failure = f"{type(error).__name__}: {error}"
                     raise
-                reports.append(report)
-                self.publish(report)
+                finally:
+                    self._epoch_started_at = None
+                if isinstance(outcome, SkippedEpoch):
+                    # The service's own epochs_skipped counter already
+                    # accounts this skip; /healthz and /metrics read it.
+                    say(
+                        f"[gateway] epoch {outcome.epoch}: SKIPPED "
+                        f"({outcome.reason})"
+                    )
+                    continue
+                reports.append(outcome)
+                self.publish(outcome)
                 say(
-                    f"[gateway] epoch {report.epoch}: value={report.value:.6g} "
+                    f"[gateway] epoch {outcome.epoch}: value={outcome.value:.6g} "
                     f"-> {len(self._subscribers)} subscribers"
                 )
                 if interval > 0:
@@ -334,12 +366,63 @@ class OracleGateway:
             "max_ms": samples[-1] * 1000.0,
         }
 
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """The ``/healthz`` verdict: ``(http_status, body)``.
+
+        * **unhealthy** (503) — the epoch runner died (its exception is in
+          ``failure``; a dead executor thread surfaces the same way) or the
+          running epoch has stalled past ``epoch_timeout * 1.5``;
+        * **degraded** (200) — serving, but the tick-pool circuit breaker is
+          open or epochs have been skipped (the external ``health_source``
+          can contribute both degraded and unhealthy reasons);
+        * **ok** (200) — none of the above.
+        """
+        reasons: List[str] = []
+        degraded: List[str] = []
+        if self._failure is not None:
+            reasons.append(f"epoch runner failed: {self._failure}")
+        started = self._epoch_started_at
+        if started is not None:
+            budget = self.service.epoch_timeout * EPOCH_STALL_FACTOR
+            elapsed = time.monotonic() - started
+            if elapsed > budget:
+                reasons.append(
+                    f"epoch stalled: running for {elapsed:.1f}s, budget "
+                    f"{budget:.1f}s (epoch_timeout * {EPOCH_STALL_FACTOR})"
+                )
+        if self.ticks is not None and self.ticks.breaker_open:
+            degraded.append("tick-pool circuit breaker open")
+        skipped = self.service.epochs_skipped
+        if skipped:
+            degraded.append(f"{skipped} epochs skipped")
+        if self.health_source is not None:
+            source_status, source_reasons = self.health_source()
+            if source_status == "unhealthy":
+                reasons.extend(source_reasons)
+            elif source_status == "degraded":
+                degraded.extend(source_reasons)
+        if reasons:
+            status, http_status = "unhealthy", 503
+        elif degraded:
+            status, http_status = "degraded", 200
+        else:
+            status, http_status = "ok", 200
+        return http_status, {
+            "status": status,
+            "reasons": reasons + degraded,
+            "serving": self._serving,
+            "failure": self._failure,
+            "epochs_served": self.certs_published,
+            "epochs_skipped": skipped,
+        }
+
     def metrics(self) -> Dict[str, Any]:
         """The ``/metrics`` JSON body."""
         depths = [s.queue.qsize() for s in self._subscribers.values()]
         body: Dict[str, Any] = {
             "serving": self._serving,
             "failure": self._failure,
+            "health": self.health()[1]["status"],
             "certs_published": self.certs_published,
             "certs_delivered": self.certs_delivered,
             "active_subscribers": len(self._subscribers),
@@ -352,6 +435,9 @@ class OracleGateway:
             "history_size": len(self._history),
             "requests_served": self.requests_served,
             "bad_requests": self.bad_requests,
+            "handler_errors": self.handler_errors,
+            "epochs_skipped": self.service.epochs_skipped,
+            "epochs_failed": self.service.epochs_failed,
             "delivery_latency": self.latency_snapshot(),
         }
         if self.ticks is not None:
@@ -410,7 +496,11 @@ class OracleGateway:
             self.bad_requests += 1
             await self._try_error(writer, 400, str(error))
         except Exception:  # noqa: BLE001 - a broken client must not crash us
-            self.bad_requests += 1
+            # Not a malformed-request rejection (those are GatewayError ->
+            # 400) but a handler bug or poisoned input reaching code that
+            # did not expect it: counted separately so /metrics surfaces
+            # what this except would otherwise swallow silently.
+            self.handler_errors += 1
             await self._try_error(writer, 500, "internal gateway error")
         finally:
             try:
@@ -446,22 +536,15 @@ class OracleGateway:
 
     @staticmethod
     def _json_response(status: int, payload: Any) -> bytes:
-        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error", 405: "Method Not Allowed"}
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error", 405: "Method Not Allowed", 503: "Service Unavailable"}
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         return render_response(status, reasons.get(status, "OK"), body)
 
     def _route(self, method: str, parsed, body: bytes) -> bytes:
         path = parsed.path.rstrip("/") or "/"
         if method == "GET" and path == "/healthz":
-            status = "failed" if self._failure else ("serving" if self._serving else "idle")
-            return self._json_response(
-                200,
-                {
-                    "status": status,
-                    "failure": self._failure,
-                    "epochs_served": self.certs_published,
-                },
-            )
+            http_status, body_payload = self.health()
+            return self._json_response(http_status, body_payload)
         if method == "GET" and path == "/metrics":
             return self._json_response(200, self.metrics())
         if method == "GET" and path == "/certs/latest":

@@ -60,7 +60,12 @@ from repro.adversary.strategies import CrashStrategy
 from repro.analysis.parameters import DelphiParameters, derive_parameters
 from repro.core.dora import DoraCertificate, DoraNode
 from repro.crypto.signatures import SignatureScheme
-from repro.errors import ConfigurationError, EquivalenceError
+from repro.errors import (
+    CertificateShortfall,
+    ConfigurationError,
+    EquivalenceError,
+    LivenessTimeout,
+)
 from repro.faults.monitors import CertificateStreamMonitor
 from repro.net.latency import ConstantLatency, LatencyModel, UniformLatency
 from repro.net.message import Message
@@ -209,6 +214,20 @@ class EpochReport:
         return entry
 
 
+@dataclass(frozen=True)
+class SkippedEpoch:
+    """An epoch the resilient service gave up on — explicitly accounted,
+    never silently dropped (the stream's epoch numbers stay contiguous
+    because the skipped number is consumed)."""
+
+    epoch: int
+    reason: str
+    attempts: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"epoch": self.epoch, "reason": self.reason, "attempts": self.attempts}
+
+
 @dataclass
 class ServiceResult:
     """Everything a ``serve`` run produced, with throughput accounting."""
@@ -217,6 +236,7 @@ class ServiceResult:
     engine: str
     n: int
     reports: List[EpochReport] = field(default_factory=list)
+    skipped: List[SkippedEpoch] = field(default_factory=list)
     wall_seconds: float = 0.0
     chain_entries: int = 0
     chain_validations: int = 0
@@ -254,6 +274,7 @@ class ServiceResult:
             "chain_entries": self.chain_entries,
             "chain_validations": self.chain_validations,
             "reports": [report.as_dict() for report in self.reports],
+            "skipped": [skip.as_dict() for skip in self.skipped],
         }
 
 
@@ -315,6 +336,8 @@ class OracleService:
         transport_factory: Optional[Callable[[int], Any]] = None,
         monitor: bool = True,
         workload_name: str = "custom",
+        epoch_retries: int = 0,
+        retry_backoff: float = 0.1,
     ) -> None:
         if engine not in KNOWN_SERVICE_ENGINES:
             raise ConfigurationError(
@@ -328,6 +351,14 @@ class OracleService:
         if churn < 0 or churn > params.t:
             raise ConfigurationError(
                 f"churn must be in [0, t={params.t}] to preserve liveness, got {churn}"
+            )
+        if epoch_retries < 0:
+            raise ConfigurationError(
+                f"epoch_retries must be >= 0, got {epoch_retries}"
+            )
+        if retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
             )
         self.params = params
         self.workload = workload
@@ -350,6 +381,11 @@ class OracleService:
         self.chain = SMRChannel(validator=self._validate_report)
         self.monitor = CertificateStreamMonitor(params) if monitor else None
         self._epoch = 0
+        # Epoch-watchdog (graceful-degradation) knobs and accounting.
+        self.epoch_retries = epoch_retries
+        self.retry_backoff = retry_backoff
+        self.epochs_failed = 0
+        self.epochs_skipped = 0
 
     # ------------------------------------------------------------------
     def _validate_report(self, payload: object) -> bool:
@@ -462,7 +498,7 @@ class OracleService:
                 payload = entry.payload
                 assert isinstance(payload, DoraCertificate)
                 return payload
-        raise ConfigurationError("epoch produced no valid attested certificate")
+        raise CertificateShortfall("epoch produced no valid attested certificate")
 
     def _parity_value(
         self, epoch: int, inputs: Sequence[float], offline: Tuple[int, ...]
@@ -612,12 +648,54 @@ class OracleService:
             parity=parity,
         )
 
+    def run_epoch_resilient(self) -> "EpochReport | SkippedEpoch":
+        """Serve one epoch with the epoch watchdog: bounded retry, then skip.
+
+        A *recoverable* epoch failure — the run timed out before certifying
+        (:class:`LivenessTimeout`) or finished without ``t + 1`` signatures
+        (:class:`CertificateShortfall`) — is retried up to ``epoch_retries``
+        times with exponential backoff.  Each retry reuses the same epoch
+        number but draws *fresh* workload inputs (the stream has moved on;
+        replaying stale inputs would re-certify old data as current).  On
+        exhaustion the epoch is explicitly skipped and accounted — the
+        service stays up instead of aborting the stream.  Everything else
+        (invariant violations, engine bugs) still raises: chaos must be
+        survived, corruption must not.
+        """
+        epoch = self._epoch
+        last_error: Optional[Exception] = None
+        for attempt in range(self.epoch_retries + 1):
+            try:
+                return self.run_epoch()
+            except (LivenessTimeout, CertificateShortfall) as error:
+                self.epochs_failed += 1
+                last_error = error
+                # run_epoch already advanced the counter; retries reuse the
+                # failed epoch's number so the stream stays contiguous.
+                self._epoch = epoch
+                if attempt < self.epoch_retries and self.retry_backoff > 0:
+                    time.sleep(self.retry_backoff * (2 ** attempt))
+        self.epochs_skipped += 1
+        self._epoch = epoch + 1
+        return SkippedEpoch(
+            epoch=epoch,
+            reason=f"{type(last_error).__name__}: {last_error}",
+            attempts=self.epoch_retries + 1,
+        )
+
     def serve(
         self,
         epochs: int,
         progress: Optional[Callable[[str], None]] = None,
+        *,
+        resilient: bool = False,
     ) -> ServiceResult:
-        """Serve ``epochs`` consecutive epochs and return the full result."""
+        """Serve ``epochs`` consecutive epochs and return the full result.
+
+        With ``resilient=True`` each epoch runs through
+        :meth:`run_epoch_resilient`, so recoverable failures retry and then
+        skip-and-account instead of aborting the stream.
+        """
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive, got {epochs}")
         say = progress or (lambda message: None)
@@ -629,7 +707,18 @@ class OracleService:
         validations_before = self.chain.validations
         started = time.perf_counter()
         for _ in range(epochs):
-            report = self.run_epoch()
+            if resilient:
+                outcome = self.run_epoch_resilient()
+                if isinstance(outcome, SkippedEpoch):
+                    result.skipped.append(outcome)
+                    say(
+                        f"[serve] epoch {outcome.epoch}: SKIPPED after "
+                        f"{outcome.attempts} attempts ({outcome.reason})"
+                    )
+                    continue
+                report = outcome
+            else:
+                report = self.run_epoch()
             result.reports.append(report)
             parity = "" if report.parity is None else f" parity={report.parity}"
             offline = (
@@ -663,6 +752,8 @@ def build_service(
     max_rounds: Optional[int] = 6,
     latency_seconds: Optional[float] = None,
     epoch_timeout: float = 30.0,
+    epoch_retries: int = 0,
+    retry_backoff: float = 0.1,
     network_factory: Optional[Callable[[int], AsynchronousNetwork]] = None,
 ) -> OracleService:
     """Assemble an :class:`OracleService` for a named workload.
@@ -695,6 +786,8 @@ def build_service(
         strict_parity=strict_parity,
         latency=latency,
         epoch_timeout=epoch_timeout,
+        epoch_retries=epoch_retries,
+        retry_backoff=retry_backoff,
         network_factory=network_factory,
         workload_name=workload,
     )

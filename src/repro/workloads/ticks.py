@@ -53,6 +53,17 @@ class TickBufferWorkload:
         window (finiteness and ``bounds`` still apply).
     bounds:
         Optional absolute ``(low, high)`` bounds on accepted tick values.
+    breaker_threshold:
+        Consecutive *starved* epochs (some ticks pending, but fewer than
+        ``n`` — each one burning the whole pool for nothing) that trip the
+        circuit breaker.  While open, epochs serve the base feed *without
+        draining the pool*, so a trickle of clients can accumulate back to
+        a full epoch.  ``None`` disables the breaker.  Epochs with zero
+        pending ticks are pure feed mode, not starvation — a tick-less
+        gateway never degrades.
+    breaker_recovery:
+        Consecutive open-state epochs with a full pool (``>= n`` pending)
+        required before the breaker re-closes and tick serving resumes.
     """
 
     def __init__(
@@ -62,6 +73,8 @@ class TickBufferWorkload:
         max_pending: int = 4096,
         max_spread: Optional[float] = None,
         bounds: Optional[Tuple[float, float]] = None,
+        breaker_threshold: Optional[int] = 3,
+        breaker_recovery: int = 2,
     ) -> None:
         if max_pending <= 0:
             raise ConfigurationError("max_pending must be positive")
@@ -69,10 +82,16 @@ class TickBufferWorkload:
             raise ConfigurationError("max_spread must be positive")
         if bounds is not None and not bounds[0] < bounds[1]:
             raise ConfigurationError(f"malformed tick bounds {bounds!r}")
+        if breaker_threshold is not None and breaker_threshold <= 0:
+            raise ConfigurationError("breaker_threshold must be positive or None")
+        if breaker_recovery <= 0:
+            raise ConfigurationError("breaker_recovery must be positive")
         self.base = base
         self.max_pending = max_pending
         self.max_spread = max_spread
         self.bounds = bounds
+        self.breaker_threshold = breaker_threshold
+        self.breaker_recovery = breaker_recovery
         self._lock = threading.Lock()
         self._pending: Deque[float] = deque()
         # Ingestion / consumption counters (all monotonic).
@@ -83,6 +102,12 @@ class TickBufferWorkload:
         self.ticks_consumed = 0
         self.epochs_from_ticks = 0
         self.epochs_from_feed = 0
+        # Circuit-breaker state.
+        self.breaker_open = False
+        self.breaker_trips = 0
+        self.epochs_short_circuited = 0
+        self._starved_streak = 0
+        self._clean_streak = 0
 
     # ------------------------------------------------------------------
     def _acceptable(self, value: float) -> bool:
@@ -128,7 +153,30 @@ class TickBufferWorkload:
     # ------------------------------------------------------------------
     def epoch_inputs(self, num_nodes: int) -> List[float]:
         """One epoch of inputs: the newest ``num_nodes`` ticks when enough
-        are pending, else the base feed (the pool is drained either way)."""
+        are pending, else the base feed (the pool is drained — unless the
+        circuit breaker is open, in which case the pool is left to refill
+        while the feed serves)."""
+        with self._lock:
+            if self.breaker_open:
+                if len(self._pending) >= num_nodes:
+                    self._clean_streak += 1
+                else:
+                    self._clean_streak = 0
+                if self._clean_streak >= self.breaker_recovery:
+                    # Recovered: the pool held a full epoch for
+                    # breaker_recovery consecutive epochs; resume serving
+                    # ticks from this epoch on.
+                    self.breaker_open = False
+                    self._clean_streak = 0
+                    self._starved_streak = 0
+                else:
+                    self.epochs_short_circuited += 1
+                    self.epochs_from_feed += 1
+                    short_circuit = True
+            if not self.breaker_open:
+                short_circuit = False
+        if short_circuit:
+            return [float(value) for value in self.base.epoch_inputs(num_nodes)]
         with self._lock:
             ticks = list(self._pending)
             self._pending.clear()
@@ -138,10 +186,20 @@ class TickBufferWorkload:
                 self.ticks_consumed += len(chosen)
                 self.ticks_discarded += len(ticks) - len(chosen)
                 self.epochs_from_ticks += 1
+                self._starved_streak = 0
             return chosen
         with self._lock:
             self.ticks_discarded += len(ticks)
             self.epochs_from_feed += 1
+            if self.breaker_threshold is not None and ticks:
+                # A starved epoch: a partial pool was burned for nothing.
+                self._starved_streak += 1
+                if self._starved_streak >= self.breaker_threshold:
+                    self.breaker_open = True
+                    self.breaker_trips += 1
+                    self._clean_streak = 0
+            else:
+                self._starved_streak = 0
         return [float(value) for value in self.base.epoch_inputs(num_nodes)]
 
     def stats(self) -> Dict[str, int]:
@@ -156,4 +214,7 @@ class TickBufferWorkload:
                 "consumed": self.ticks_consumed,
                 "epochs_from_ticks": self.epochs_from_ticks,
                 "epochs_from_feed": self.epochs_from_feed,
+                "breaker_open": self.breaker_open,
+                "breaker_trips": self.breaker_trips,
+                "epochs_short_circuited": self.epochs_short_circuited,
             }

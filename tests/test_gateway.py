@@ -5,10 +5,11 @@ stream over real sockets, and the slow-consumer backpressure contract
 
 import asyncio
 import json
+import threading
 
 import pytest
 
-from repro.errors import ConfigurationError, GatewayError
+from repro.errors import ConfigurationError, GatewayError, LivenessTimeout
 from repro.net.http_ws import (
     MAX_HEAD_BYTES,
     OP_BINARY,
@@ -249,7 +250,8 @@ class TestGatewayEndpoints:
             gateway = _gateway()
             host, port = await gateway.start()
             status, body = await http_request(host, port, "GET", "/healthz")
-            assert (status, body["status"]) == (200, "idle")
+            assert (status, body["status"]) == (200, "ok")
+            assert body["reasons"] == []
             status, body = await http_request(host, port, "GET", "/certs/latest")
             assert status == 404  # nothing served yet
             await gateway.run_epochs(2)
@@ -321,6 +323,136 @@ class TestGatewayEndpoints:
             OracleGateway(service, queue_limit=0)
         with pytest.raises(ConfigurationError):
             run(_gateway().run_epochs(0))
+
+
+class TestGatewayDegradation:
+    """The /healthz tri-state contract: a wedged or dead epoch runner is a
+    503, skipped epochs and an open tick breaker degrade, and handler bugs
+    reached by poisoned frames are counted instead of silently swallowed."""
+
+    def test_stalled_epoch_runner_is_unhealthy_then_recovers(self):
+        async def scenario():
+            gateway = _gateway()
+            gateway.service.epoch_timeout = 0.05  # stall budget = 0.075s
+            release = threading.Event()
+            real_run_epoch = gateway.service.run_epoch
+
+            def wedged():
+                release.wait(5.0)
+                return real_run_epoch()
+
+            gateway.service.run_epoch = wedged
+            host, port = await gateway.start()
+            task = asyncio.create_task(gateway.run_epochs(1))
+            assert await until(lambda: gateway._epoch_started_at is not None)
+            await asyncio.sleep(0.15)  # sail past epoch_timeout * 1.5
+            status, body = await http_request(host, port, "GET", "/healthz")
+            assert (status, body["status"]) == (503, "unhealthy")
+            assert any("epoch stalled" in reason for reason in body["reasons"])
+            gateway.service.epoch_timeout = 30.0  # un-wedge and finish
+            release.set()
+            await task
+            status, body = await http_request(host, port, "GET", "/healthz")
+            assert (status, body["status"]) == (200, "ok")
+            await gateway.close()
+
+        run(scenario())
+
+    def test_dead_epoch_runner_is_unhealthy_not_silently_ok(self):
+        """Regression for the /healthz blind spot: the runner dying used to
+        leave /healthz reporting 200 ok forever."""
+
+        async def scenario():
+            gateway = _gateway()
+
+            def dead():
+                raise RuntimeError("executor died")
+
+            gateway.service.run_epoch = dead
+            host, port = await gateway.start()
+            with pytest.raises(RuntimeError):
+                await gateway.run_epochs(3)
+            status, body = await http_request(host, port, "GET", "/healthz")
+            assert (status, body["status"]) == (503, "unhealthy")
+            assert "RuntimeError: executor died" in body["failure"]
+            assert any("epoch runner failed" in r for r in body["reasons"])
+            await gateway.close()
+
+        run(scenario())
+
+    def test_skipped_epochs_degrade_but_keep_serving(self):
+        async def scenario():
+            gateway = _gateway()
+            real_run_epoch = gateway.service.run_epoch
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    gateway.service._epoch += 1  # advance-then-fail, like the real one
+                    raise LivenessTimeout("transient stall")
+                return real_run_epoch()
+
+            gateway.service.run_epoch = flaky
+            host, port = await gateway.start()
+            reports = await gateway.run_epochs(2, resilient=True)
+            assert len(reports) == 1  # epoch 0 skipped, epoch 1 certified
+            status, body = await http_request(host, port, "GET", "/healthz")
+            assert (status, body["status"]) == (200, "degraded")
+            assert any("skipped" in reason for reason in body["reasons"])
+            assert body["epochs_skipped"] == 1
+            _status, metrics = await http_request(host, port, "GET", "/metrics")
+            assert metrics["epochs_skipped"] == 1  # single-counted
+            assert metrics["epochs_failed"] == 1
+            await gateway.close()
+
+        run(scenario())
+
+    def test_external_health_source_merges_by_severity(self):
+        async def scenario():
+            gateway = _gateway()
+            verdict = {"status": "ok", "reasons": []}
+            gateway.health_source = lambda: (verdict["status"], verdict["reasons"])
+            host, port = await gateway.start()
+            status, body = await http_request(host, port, "GET", "/healthz")
+            assert (status, body["status"]) == (200, "ok")
+            verdict.update(status="degraded", reasons=["epochs skipped: [2]"])
+            status, body = await http_request(host, port, "GET", "/healthz")
+            assert (status, body["status"]) == (200, "degraded")
+            verdict.update(status="unhealthy", reasons=["invariant violated"])
+            status, body = await http_request(host, port, "GET", "/healthz")
+            assert (status, body["status"]) == (503, "unhealthy")
+            assert "invariant violated" in body["reasons"]
+            await gateway.close()
+
+        run(scenario())
+
+    def test_poisoned_frame_counts_handler_error_not_bad_request(self):
+        """A frame that parses as a head but explodes deeper in (here:
+        an unparseable Content-Length raising ValueError) must land in
+        handler_errors with a 500 — and the gateway must keep serving."""
+
+        async def scenario():
+            gateway = _gateway()
+            host, port = await gateway.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"GET /metrics HTTP/1.1\r\n"
+                b"Host: x\r\n"
+                b"Content-Length: abc\r\n\r\n"
+            )
+            await writer.drain()
+            head, _overrun = await read_head(reader)
+            status, _headers = parse_response_head(head)
+            assert status == 500
+            writer.close()
+            assert gateway.handler_errors == 1
+            assert gateway.bad_requests == 0  # distinct from 400 accounting
+            status, metrics = await http_request(host, port, "GET", "/metrics")
+            assert (status, metrics["handler_errors"]) == (200, 1)
+            await gateway.close()
+
+        run(scenario())
 
 
 class TestGatewayStream:
