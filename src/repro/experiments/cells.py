@@ -32,7 +32,6 @@ from repro.adversary.strategies import (
     RandomBitStrategy,
     SpamStrategy,
 )
-from repro.analysis.parameters import derive_parameters
 from repro.analysis.range_analysis import analyse_ranges, validity_margin
 from repro.distributions.fitting import fit_distributions, histogram
 from repro.distributions.thin_tailed import NormalInputs
@@ -40,15 +39,8 @@ from repro.errors import ConfigurationError
 from repro.faults.spec import fault_spec_of
 from repro.net.latency import UniformLatency
 from repro.net.network import AsynchronousNetwork, DeliveryPolicy
-from repro.runner import (
-    ProtocolRunResult,
-    run_abraham,
-    run_delphi,
-    run_dolev,
-    run_dora,
-    run_fin,
-    run_hbbft,
-)
+from repro.protocols.registry import RunRequest, get_protocol
+from repro.runner import ProtocolRunResult
 from repro.sim.runtime import ComputeModel, SimulationConfig
 from repro.testbed.aws import AwsTestbed
 from repro.testbed.cps import CpsTestbed
@@ -187,53 +179,19 @@ def _run_named_protocol(
     byzantine = build_adversary(spec)
     if extra_byzantine:
         byzantine = {**(byzantine or {}), **extra_byzantine}
-    derived: Dict[str, Any] = {}
-    if spec.protocol in ("delphi", "dora"):
-        params = derive_parameters(
-            n=spec.n,
-            epsilon=spec.epsilon,
-            rho0=spec.rho0,
-            delta_max=spec.delta_max,
-            max_rounds=spec.max_rounds,
-        )
-        derived = {"levels": params.level_count, "rounds": params.rounds}
-        runner = run_delphi if spec.protocol == "delphi" else run_dora
-        result = runner(
-            params,
-            inputs,
+    runner = get_protocol(spec.protocol)
+    derived: Dict[str, Any] = runner.derived(spec) if runner.derived else {}
+    result = runner.run(
+        RunRequest(
+            spec=spec,
+            inputs=inputs,
             network=network,
             byzantine=byzantine,
             compute=compute,
             config=config,
             observers=observers,
         )
-    elif spec.protocol in ("abraham", "dolev"):
-        runner = run_abraham if spec.protocol == "abraham" else run_dolev
-        result = runner(
-            spec.n,
-            inputs,
-            epsilon=spec.epsilon,
-            delta_max=spec.delta_max,
-            rounds=spec.max_rounds,
-            network=network,
-            byzantine=byzantine,
-            compute=compute,
-            config=config,
-            observers=observers,
-        )
-    elif spec.protocol in ("fin", "hbbft"):
-        runner = run_fin if spec.protocol == "fin" else run_hbbft
-        result = runner(
-            spec.n,
-            inputs,
-            network=network,
-            byzantine=byzantine,
-            compute=compute,
-            config=config,
-            observers=observers,
-        )
-    else:
-        raise ConfigurationError(f"unknown protocol {spec.protocol!r}")
+    )
     return result, derived
 
 

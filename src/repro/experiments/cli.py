@@ -1,6 +1,6 @@
 """Command-line interface for the experiment harness: ``python -m repro``.
 
-Five subcommands:
+Subcommands:
 
 ``repro list-scenarios``
     Show every registered preset sweep with its description and cell count.
@@ -36,6 +36,13 @@ Five subcommands:
     shrink the winners, and emit a deterministic near-miss leaderboard
     artifact; ``--update-corpus`` promotes shrunk schedules into the
     committed adversarial corpus replayed by tier-1.
+
+``repro sharded-smoke``
+    Run one large two-level ``sharded-delphi`` cell (default n=1000,
+    groups of 32) on the fast engine with the hierarchical
+    epsilon-agreement monitor attached; prints a verdict JSON and exits
+    non-zero unless the monitor stays green.  ``--reference`` replays the
+    cell on the reference engine and asserts byte-identical results.
 
 ``repro serve``
     Run the epoch-pipelined oracle service: agree on a streaming workload
@@ -95,6 +102,7 @@ Examples
     PYTHONPATH=src python -m repro faults --replay fault-artifacts/bundles/VIOLATION_xyz.json
     PYTHONPATH=src python -m repro fuzz --budget 200 --protocol delphi --seed 0
     PYTHONPATH=src python -m repro fuzz --budget 50 --min-margin 0.85 --output out
+    PYTHONPATH=src python -m repro sharded-smoke --n 1000 --group-size 32 --output out/sharded_smoke.json
     PYTHONPATH=src python -m repro serve --workload bitcoin --epochs 10 --engine asyncio
     PYTHONPATH=src python -m repro serve --workload sensors --epochs 5 --churn 1 --json out/serve.json
     PYTHONPATH=src python -m repro chaos --workload sensors --n 7 --epochs 6 --standard --seed 5
@@ -273,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(CI passes $GITHUB_STEP_SUMMARY)"
         ),
     )
+    perf.add_argument(
+        "--sharding-table",
+        action="store_true",
+        help=(
+            "measure the flat-vs-sharded Delphi comparison across "
+            "n in {40,160,400,1000} and embed the table in the artifact"
+        ),
+    )
     perf.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     faults = subparsers.add_parser(
@@ -358,6 +374,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-artifact", action="store_true", help="print results without writing a file"
     )
     fuzz.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    sharded = subparsers.add_parser(
+        "sharded-smoke",
+        help=(
+            "run one large two-level sharded-delphi cell on the fast engine "
+            "with the hierarchical agreement monitor attached"
+        ),
+    )
+    sharded.add_argument("--n", type=int, default=1000, help="total node count")
+    sharded.add_argument(
+        "--group-size", type=int, default=32, help="consistent-hash group size"
+    )
+    sharded.add_argument("--testbed", choices=KNOWN_TESTBEDS, default="lan")
+    sharded.add_argument("--epsilon", type=float, default=1.0)
+    sharded.add_argument("--delta-max", type=float, default=16.0)
+    sharded.add_argument("--seed", type=int, default=0)
+    sharded.add_argument(
+        "--reference",
+        action="store_true",
+        help="also run the reference engine and assert fingerprint parity",
+    )
+    sharded.add_argument(
+        "--output",
+        default=None,
+        help="write the verdict JSON to this path (default: stdout only)",
+    )
+    sharded.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -766,7 +811,23 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(f"{'preset'.ljust(width)}  cells  description")
     for name, description, count in rows:
         print(f"{name.ljust(width)}  {count:>5}  {description}")
+    print()
+    print(_render_protocol_table())
     return 0
+
+
+def _render_protocol_table() -> str:
+    """The registered protocol runners, one line each (registry-driven)."""
+    from repro.protocols.registry import list_protocols
+
+    runners = list_protocols()
+    width = max(len(runner.name) for runner in runners)
+    lines = [f"{'protocol'.ljust(width)}  agreement     description"]
+    for runner in runners:
+        lines.append(
+            f"{runner.name.ljust(width)}  {runner.agreement:<12}  {runner.description}"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -865,6 +926,13 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         profile=args.profile,
         progress=progress,
     )
+    extra_sections = None
+    if args.sharding_table:
+        from repro.perf import render_sharding_table, sharding_comparison
+
+        table = sharding_comparison(progress=progress)
+        extra_sections = {"sharding_comparison": table}
+        print(render_sharding_table(table))
     for result in results:
         entry = result.as_dict()
         fast_eps = entry.get("fast_events_per_sec")
@@ -883,7 +951,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         if result.profile is not None:
             print(render_attribution(result.name, result.profile))
     if not args.no_artifact:
-        path = write_bench(results, output_dir=args.output, quick=args.quick)
+        path = write_bench(
+            results, output_dir=args.output, quick=args.quick, extra=extra_sections
+        )
         print(f"wrote {path}")
     exit_code = 0
     if old is not None:
@@ -928,6 +998,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"{'campaign'.ljust(width)}  cells  description")
         for name, description, count in rows:
             print(f"{name.ljust(width)}  {count:>5}  {description}")
+        print()
+        print(_render_protocol_table())
         return 0
 
     if args.bundle_path:
@@ -971,6 +1043,77 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         path = result.write_json(str(Path(args.output) / f"FAULTS_{result.name}.json"))
         print(f"wrote {path}")
     return 0 if result.passed else 1
+
+
+def _cmd_sharded_smoke(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.faults.campaign import run_cell_engine
+    from repro.protocols.sharded_delphi import sharded_topology_of
+
+    spec = ScenarioSpec(
+        protocol="sharded-delphi",
+        n=args.n,
+        epsilon=args.epsilon,
+        delta_max=args.delta_max,
+        testbed=args.testbed,
+        seed=args.seed,
+        name=f"sharded-smoke-n{args.n}",
+        extras={"group_size": args.group_size},
+    )
+    topology = sharded_topology_of(spec)
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    if progress:
+        progress(
+            f"sharded-smoke: n={spec.n} groups={topology.num_groups} "
+            f"(size {args.group_size}) on the fast engine"
+        )
+    started = time.perf_counter()
+    outcome = run_cell_engine(spec, "fast")
+    elapsed = time.perf_counter() - started
+    verdict = {
+        "schema": "repro-sharded-smoke/1",
+        "spec": spec.to_dict(),
+        "spec_hash": spec.spec_hash(),
+        "n": spec.n,
+        "num_groups": topology.num_groups,
+        "group_size": args.group_size,
+        "status": outcome.status,
+        "wall_seconds": round(elapsed, 3),
+        "margins": outcome.margins,
+        "margin_ratios": outcome.margin_ratios,
+    }
+    if outcome.violation is not None:
+        verdict["violation"] = outcome.violation
+    if outcome.projection is not None:
+        projection = dict(outcome.projection)
+        # Per-node maps and id lists bloat the artifact at n=1000; keep counts.
+        outputs = projection.pop("outputs", {})
+        values = [float(value) for value in outputs.values()]
+        projection["decided"] = len(projection.pop("decided", outputs))
+        projection["honest"] = len(projection.pop("honest", ()))
+        projection["byzantine"] = len(projection.pop("byzantine", ()))
+        if values:
+            projection["output_spread"] = max(values) - min(values)
+        verdict["metrics"] = projection
+    if args.reference:
+        if progress:
+            progress("sharded-smoke: replaying on the reference engine")
+        reference = run_cell_engine(spec, "reference")
+        verdict["engines_equivalent"] = (
+            outcome.comparable() == reference.comparable()
+        )
+        if not verdict["engines_equivalent"]:
+            verdict["status"] = "engine-mismatch"
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    return 0 if verdict["status"] == "ok" else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -1408,6 +1551,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_faults(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "sharded-smoke":
+            return _cmd_sharded_smoke(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "cluster":

@@ -39,6 +39,7 @@ from repro.faults.spec import (
     fault_spec_of,
     scenario_corrupted_ids,
 )
+from repro.protocols.topology import ShardedTopology
 from repro.sim.observers import TraceRecorder
 from repro.sim.runtime import SimulationConfig
 
@@ -559,6 +560,77 @@ def smoke_campaign() -> FaultCampaign:
     )
 
 
+def sharded_campaign() -> FaultCampaign:
+    """Two-level sharded-Delphi matrix: Byzantine representatives and
+    whole-group partitions on top of the common baseline.
+
+    The representative-targeting cases pin explicit node ids (the elected
+    reps depend on the topology seed, not the highest-ids convention).  A
+    crashed representative stalls its group *and* the inter-group round —
+    no honest node decides a wrong value, but liveness is lost, so those
+    cells set ``expect_termination=False`` and must come back "stalled"
+    with clean margins.  A delaying representative and an in-budget member
+    crash must still terminate; so must a healed whole-group partition.
+    """
+    n = 12
+    group_size = 4
+    topology = ShardedTopology(n, group_size=group_size, seed=0)
+    reps = topology.representatives
+    cases = [
+        FaultCase("baseline", FaultSpec()),
+        FaultCase(
+            "rep-crash",
+            FaultSpec(
+                corruptions=(CorruptionSpec("crash", nodes=(reps[0],)),),
+                expect_termination=False,
+            ),
+        ),
+        FaultCase(
+            # The holdback strategy keeps its last batches queued forever,
+            # so a delaying representative starves its group of the FINAL
+            # fan-down: the other groups decide, this one stalls.  Clean
+            # margins, no termination guarantee.
+            "rep-delay-holdback",
+            FaultSpec(
+                corruptions=(CorruptionSpec("delay", nodes=(reps[1],)),),
+                expect_termination=False,
+            ),
+        ),
+        FaultCase(
+            "members-crash-in-budget",
+            FaultSpec(
+                corruptions=(
+                    CorruptionSpec(
+                        "crash", nodes=topology.safe_corrupted_ids(2)
+                    ),
+                ),
+            ),
+        ),
+        FaultCase(
+            "group-partition-heal",
+            FaultSpec(
+                partitions=(
+                    PartitionSpec(
+                        start=0.0, end=0.05, groups=(topology.groups[1],)
+                    ),
+                )
+            ),
+        ),
+    ]
+    return FaultCampaign(
+        name="sharded",
+        base=_base_scenario().replace(group_size=group_size),
+        protocols=("sharded-delphi",),
+        sizes=(n,),
+        cases=cases,
+        seeds=(0,),
+        description=(
+            "sharded-delphi n=12 (3 groups of 4): Byzantine reps, in-budget "
+            "member crashes, whole-group partition"
+        ),
+    )
+
+
 def full_campaign() -> FaultCampaign:
     """The larger overnight matrix (more protocols, sizes and seeds)."""
     return FaultCampaign(
@@ -576,6 +648,10 @@ def full_campaign() -> FaultCampaign:
 CAMPAIGNS: Dict[str, Tuple[Callable[[], FaultCampaign], str]] = {
     "tiny": (tiny_campaign, "minimal matrix for tests (delphi n=4)"),
     "smoke": (smoke_campaign, "CI matrix: delphi+fin x faults x {4,7}"),
+    "sharded": (
+        sharded_campaign,
+        "two-level matrix: sharded-delphi x {byz reps, group partition}",
+    ),
     "full": (full_campaign, "overnight matrix: 4 protocols x faults x sizes x seeds"),
 }
 

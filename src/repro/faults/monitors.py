@@ -41,6 +41,13 @@ from repro.core.aggregation import round_to_epsilon
 from repro.errors import InvariantViolation
 from repro.protocols.binary_ba import ba_safety_violation
 from repro.protocols.rbc import rbc_safety_violation
+from repro.protocols.registry import (
+    EPSILON_AGREEMENT,
+    EXACT_AGREEMENT,
+    HIERARCHICAL_AGREEMENT,
+    agreement_kind,
+    protocols_by_agreement,
+)
 from repro.sim.observers import SimObserver
 
 
@@ -475,11 +482,121 @@ class ClusterLivenessMonitor(InvariantMonitor):
         }
 
 
-#: Protocols whose agreement property is ε-agreement on scalars.
-APPROXIMATE_PROTOCOLS = ("delphi", "dora", "abraham", "dolev")
+class HierarchicalAgreementMonitor(InvariantMonitor):
+    """Two-level epsilon agreement for sharded protocols.
+
+    Checks two layers on every honest decision:
+
+    - **per-group agreement** — members of one group must agree within
+      ``epsilon`` (sharded Delphi fans the representative's value down
+      verbatim, so in clean runs the per-group spread is 0);
+    - **cross-group agreement** — the *end-to-end* property: all honest
+      outputs across all groups must agree within ``epsilon``.
+
+    Margin channels: ``epsilon_margin`` (the global, end-to-end margin —
+    same channel name as the flat monitor so fuzz fitness and campaign
+    tables compose) and ``group_epsilon_margin`` (the worst per-group
+    margin).
+    """
+
+    name = "hierarchical-epsilon-agreement"
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence[int]],
+        epsilon: float,
+        tolerance: float = 1e-9,
+    ) -> None:
+        self.epsilon = epsilon
+        self.tolerance = tolerance
+        self.groups = [tuple(group) for group in groups]
+        self._group_of = {
+            node: index
+            for index, group in enumerate(self.groups)
+            for node in group
+        }
+        self._decided: Dict[int, float] = {}
+        self._group_decided: Dict[int, Dict[int, float]] = {}
+        self.min_margin = epsilon
+        self.min_group_margin = epsilon
+
+    def margin_channels(self) -> Dict[str, float]:
+        return {
+            "epsilon_margin": self.min_margin,
+            "group_epsilon_margin": self.min_group_margin,
+        }
+
+    def margin_ratios(self) -> Dict[str, float]:
+        return {
+            "epsilon_margin": _ratio(self.min_margin, self.epsilon),
+            "group_epsilon_margin": _ratio(self.min_group_margin, self.epsilon),
+        }
+
+    def on_decide(self, node_id: int, output: Any, time: float) -> None:
+        value = _scalar(output)
+        if value is None:
+            return
+        group = self._group_of.get(node_id)
+        if group is None:
+            self.violation(
+                f"node {node_id} decided but belongs to no group",
+                time=time,
+                node=node_id,
+            )
+        decided_in_group = self._group_decided.setdefault(group, {})
+        decided_in_group[node_id] = value
+        group_values = decided_in_group.values()
+        group_spread = max(group_values) - min(group_values)
+        self.min_group_margin = min(
+            self.min_group_margin, self.epsilon - group_spread
+        )
+        if group_spread > self.epsilon + self.tolerance:
+            pairs = ", ".join(
+                f"node {n} -> {v:.6g}" for n, v in sorted(decided_in_group.items())
+            )
+            self.violation(
+                f"group {group} spread {group_spread:.6g} exceeds epsilon "
+                f"{self.epsilon:.6g} ({pairs})",
+                time=time,
+                node=node_id,
+            )
+        self._decided[node_id] = value
+        spread = max(self._decided.values()) - min(self._decided.values())
+        self.min_margin = min(self.min_margin, self.epsilon - spread)
+        if spread > self.epsilon + self.tolerance:
+            lows = min(self._decided, key=self._decided.get)
+            highs = max(self._decided, key=self._decided.get)
+            self.violation(
+                f"cross-group spread {spread:.6g} exceeds epsilon "
+                f"{self.epsilon:.6g} (node {lows} [group "
+                f"{self._group_of.get(lows)}] -> {self._decided[lows]:.6g}, "
+                f"node {highs} [group {self._group_of.get(highs)}] -> "
+                f"{self._decided[highs]:.6g})",
+                time=time,
+                node=node_id,
+            )
+
+
+#: Protocols whose agreement property is ε-agreement on scalars (from the
+#: protocol-runner registry; kept as module constants for compatibility).
+APPROXIMATE_PROTOCOLS = protocols_by_agreement(EPSILON_AGREEMENT)
 
 #: Protocols whose agreement property is exact (common-subset medians).
-EXACT_PROTOCOLS = ("fin", "hbbft")
+EXACT_PROTOCOLS = protocols_by_agreement(EXACT_AGREEMENT)
+
+
+def _approximate_relaxation(
+    scenario: Any, honest_inputs: Sequence[float], levels: int = 1
+) -> float:
+    """Theorem IV.3's validity bound, composed over ``levels`` rounds."""
+    input_range = max(honest_inputs) - min(honest_inputs) if honest_inputs else 0.0
+    rho0 = scenario.rho0 if scenario.rho0 is not None else scenario.epsilon
+    return float(
+        scenario.extras.get(
+            "validity_relaxation",
+            levels * (max(rho0, input_range) + scenario.epsilon),
+        )
+    )
 
 
 def build_monitors(
@@ -490,27 +607,40 @@ def build_monitors(
     """The monitor set for one experiment cell.
 
     ``honest_inputs`` are the inputs of the nodes that stay honest for the
-    whole run.  The validity relaxation for the approximate protocols follows
-    the test-suite convention ``max(rho0, honest input range) + epsilon``
-    (Theorem IV.3's bound with Byzantine value injection); cells can override
-    it through ``extras['validity_relaxation']``.
+    whole run.  The protocol's agreement classification comes from the
+    protocol-runner registry.  The validity relaxation for the approximate
+    protocols follows the test-suite convention ``max(rho0, honest input
+    range) + epsilon`` (Theorem IV.3's bound with Byzantine value
+    injection); hierarchical protocols compose that bound over two levels;
+    cells can override it through ``extras['validity_relaxation']``.
     """
     monitors: List[InvariantMonitor] = []
     protocol = scenario.protocol
-    if protocol in APPROXIMATE_PROTOCOLS:
+    kind = agreement_kind(protocol)
+    if kind == EPSILON_AGREEMENT:
         monitors.append(EpsilonAgreementMonitor(scenario.epsilon))
-        input_range = (
-            max(honest_inputs) - min(honest_inputs) if honest_inputs else 0.0
-        )
-        rho0 = scenario.rho0 if scenario.rho0 is not None else scenario.epsilon
-        relaxation = float(
-            scenario.extras.get(
-                "validity_relaxation",
-                max(rho0, input_range) + scenario.epsilon,
+        monitors.append(
+            ValidityMonitor(
+                honest_inputs,
+                relaxation=_approximate_relaxation(scenario, honest_inputs),
             )
         )
-        monitors.append(ValidityMonitor(honest_inputs, relaxation=relaxation))
-    elif protocol in EXACT_PROTOCOLS:
+    elif kind == HIERARCHICAL_AGREEMENT:
+        from repro.protocols.sharded_delphi import sharded_topology_of
+
+        topology = sharded_topology_of(scenario)
+        monitors.append(
+            HierarchicalAgreementMonitor(topology.groups, scenario.epsilon)
+        )
+        monitors.append(
+            ValidityMonitor(
+                honest_inputs,
+                relaxation=_approximate_relaxation(
+                    scenario, honest_inputs, levels=2
+                ),
+            )
+        )
+    elif kind == EXACT_AGREEMENT:
         monitors.append(EpsilonAgreementMonitor(0.0))
         # ACS medians: with at most t Byzantine values in an agreed set of
         # >= 2t+1, the median cannot leave the honest-input hull.

@@ -48,6 +48,12 @@ from repro.faults.spec import (
     fault_spec_of,
 )
 from repro.protocols.base import byzantine_bound
+from repro.protocols.registry import (
+    HIERARCHICAL_AGREEMENT,
+    agreement_kind,
+    is_known_protocol,
+    protocol_names,
+)
 from repro.sim.observers import ScheduleDigest
 
 #: Schema tag of the fuzz leaderboard artifact.
@@ -459,7 +465,7 @@ def replay_corpus_entry(entry: Mapping[str, Any]) -> Tuple[CellVerdict, List[str
 def _base_spec(protocol: str) -> ScenarioSpec:
     """Per-protocol starting point — mirrors the fixed campaigns' base cell
     so fuzz margins are directly comparable to the smoke-matrix baseline."""
-    return ScenarioSpec(
+    spec = ScenarioSpec(
         protocol=protocol,
         n=4,
         testbed="lan",
@@ -469,6 +475,11 @@ def _base_spec(protocol: str) -> ScenarioSpec:
         max_rounds=4,
         seed=0,
     )
+    if agreement_kind(protocol) == HIERARCHICAL_AGREEMENT:
+        # Two-level protocols need at least two groups to exercise the
+        # representative round; the resize mutator keeps the group size.
+        spec = spec.replace(n=8, group_size=4)
+    return spec
 
 
 @dataclass
@@ -538,6 +549,12 @@ class ScheduleSearch:
             raise ConfigurationError(f"fuzz budget must be >= 1, got {budget}")
         if not protocols:
             raise ConfigurationError("fuzz needs at least one protocol")
+        for protocol in protocols:
+            if not is_known_protocol(protocol):
+                raise ConfigurationError(
+                    f"unknown protocol {protocol!r} "
+                    f"(known: {', '.join(protocol_names())})"
+                )
         self.protocols = tuple(protocols)
         self.budget = budget
         self.seed = seed

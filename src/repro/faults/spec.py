@@ -143,20 +143,33 @@ class CorruptionSpec:
     budget, so one spec can ride a sweep across system sizes.
     ``activation_time > 0`` makes the corruption *adaptive*: the nodes behave
     honestly until that simulated time.
+    ``nodes`` pins the corruption to explicit node ids instead of the
+    highest-ids convention — sharded fault cells use it to target elected
+    representatives (whose ids depend on the topology seed).  When set, it
+    overrides ``count``.
     """
 
     strategy: str = "crash"
     count: int = FULL_BUDGET
     activation_time: float = 0.0
     options: Mapping[str, Any] = field(default_factory=dict)
+    nodes: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.activation_time < 0:
             raise ConfigurationError(
                 f"activation_time must be >= 0, got {self.activation_time}"
             )
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", tuple(int(v) for v in self.nodes))
+            if len(set(self.nodes)) != len(self.nodes):
+                raise ConfigurationError(
+                    f"corruption nodes contain duplicates: {self.nodes}"
+                )
 
     def resolved_count(self, n: int) -> int:
+        if self.nodes is not None:
+            return len(self.nodes)
         if self.count == FULL_BUDGET:
             return byzantine_bound(n)
         if self.count < 0:
@@ -166,9 +179,40 @@ class CorruptionSpec:
             )
         return self.count
 
+    def resolved_nodes(self, n: int, taken: "set[int]") -> List[int]:
+        """The node ids this group corrupts, honouring explicit targets.
+
+        ``taken`` holds ids claimed by earlier groups; implicit groups keep
+        the historical highest-ids-first convention, skipping claimed ids.
+        """
+        if self.nodes is not None:
+            for node in self.nodes:
+                if not 0 <= node < n:
+                    raise ConfigurationError(
+                        f"corruption node {node} outside [0, {n})"
+                    )
+                if node in taken:
+                    raise ConfigurationError(
+                        f"corruption node {node} claimed by multiple groups"
+                    )
+            return list(self.nodes)
+        ids: List[int] = []
+        next_id = n - 1
+        for _ in range(self.resolved_count(n)):
+            while next_id >= 0 and next_id in taken:
+                next_id -= 1
+            if next_id < 0:
+                raise ConfigurationError(
+                    f"fault spec corrupts more than n={n} nodes"
+                )
+            ids.append(next_id)
+            next_id -= 1
+        return ids
+
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
         data["options"] = dict(self.options)
+        data["nodes"] = None if self.nodes is None else list(self.nodes)
         return data
 
 
@@ -318,27 +362,43 @@ class FaultSpec:
             losses=tuple(spec.to_window() for spec in self.losses),
         )
 
-    def corrupted_ids(self, n: int) -> List[int]:
-        """Deterministic corrupted-node assignment: highest ids first,
-        one contiguous block per corruption group (matching the existing
-        ``num_byzantine`` convention of the experiment cells)."""
-        ids: List[int] = []
-        next_id = n - 1
-        for corruption in self.corruptions:
-            count = corruption.resolved_count(n)
-            for _ in range(count):
-                if next_id < 0:
-                    raise ConfigurationError(
-                        f"fault spec corrupts more than n={n} nodes"
-                    )
-                ids.append(next_id)
-                next_id -= 1
-        if not self.allow_over_budget and len(ids) > byzantine_bound(n):
+    def _assignments(self, n: int) -> List[Tuple[CorruptionSpec, List[int]]]:
+        """Per-group corrupted-node assignment: explicit ``nodes`` targets
+        claim their ids first, then implicit groups fill highest ids first
+        in one contiguous block per group (matching the existing
+        ``num_byzantine`` convention of the experiment cells), skipping any
+        explicitly claimed id."""
+        taken: set = set()
+        resolved: Dict[int, List[int]] = {}
+        for index, corruption in enumerate(self.corruptions):
+            if corruption.nodes is None:
+                continue
+            ids = corruption.resolved_nodes(n, taken)
+            taken.update(ids)
+            resolved[index] = ids
+        for index, corruption in enumerate(self.corruptions):
+            if corruption.nodes is not None:
+                continue
+            ids = corruption.resolved_nodes(n, taken)
+            taken.update(ids)
+            resolved[index] = ids
+        total = sum(len(ids) for ids in resolved.values())
+        if not self.allow_over_budget and total > byzantine_bound(n):
             raise ConfigurationError(
-                f"fault spec corrupts {len(ids)} nodes, exceeding the "
+                f"fault spec corrupts {total} nodes, exceeding the "
                 f"t={byzantine_bound(n)} budget for n={n} "
                 "(set allow_over_budget=True to explore beyond the model)"
             )
+        return [
+            (corruption, resolved[index])
+            for index, corruption in enumerate(self.corruptions)
+        ]
+
+    def corrupted_ids(self, n: int) -> List[int]:
+        """Deterministic corrupted-node assignment (see :meth:`_assignments`)."""
+        ids: List[int] = []
+        for _, group_ids in self._assignments(n):
+            ids.extend(group_ids)
         return ids
 
     def build_strategies(
@@ -347,8 +407,7 @@ class FaultSpec:
         """Instantiate the per-node strategy map for the simulation runtime."""
         t = byzantine_bound(n)
         assignment: Dict[int, AdversaryStrategy] = {}
-        next_id = n - 1
-        for corruption in self.corruptions:
+        for corruption, group_ids in self._assignments(n):
             try:
                 factory = STRATEGY_FACTORIES[corruption.strategy]
             except KeyError:
@@ -357,9 +416,9 @@ class FaultSpec:
                     f"unknown corruption strategy {corruption.strategy!r} "
                     f"(known: {known})"
                 )
-            for _ in range(corruption.resolved_count(n)):
+            for node_id in group_ids:
                 context = StrategyContext(
-                    node_id=next_id,
+                    node_id=node_id,
                     n=n,
                     t=t,
                     seed=seed,
@@ -369,10 +428,7 @@ class FaultSpec:
                 strategy = factory(context)
                 if corruption.activation_time > 0.0:
                     strategy = ScheduledStrategy(strategy, corruption.activation_time)
-                assignment[next_id] = strategy
-                next_id -= 1
-        # Reuse corrupted_ids for the budget/size validation.
-        self.corrupted_ids(n)
+                assignment[node_id] = strategy
         return assignment
 
     def terminating(self) -> bool:
@@ -406,6 +462,7 @@ class FaultSpec:
                 count=int(entry.get("count", FULL_BUDGET)),
                 activation_time=float(entry.get("activation_time", 0.0)),
                 options=dict(entry.get("options", {})),
+                nodes=_opt_tuple(entry.get("nodes")),
             )
             for entry in data.get("corruptions", ())
         )

@@ -22,6 +22,7 @@ from repro.perf.compare import (
     render_markdown_table,
 )
 from repro.perf.profiling import attribute_stats, classify_entry, profile_scenario
+from repro.perf.sharding import render_sharding_table, sharding_comparison
 from repro.perf.suite import (
     SCENARIOS,
     PerfScenario,
@@ -45,6 +46,8 @@ __all__ = [
     "load_comparable",
     "profile_scenario",
     "render_markdown_table",
+    "render_sharding_table",
     "run_suite",
+    "sharding_comparison",
     "write_bench",
 ]

@@ -5,7 +5,10 @@ throughput measured on the reference machine when the scenario landed —
 ``events_per_sec`` plus optional domain-rate floors in ``aux_floors``
 (e.g. the gateway's ``certs_delivered_per_sec``) — and optional wall-clock
 ceilings in ``latency_ceilings_ms`` (e.g. the gateway's p99 delivery
-latency, read from the scenario's non-fingerprinted metrics side-channel).
+latency, read from the scenario's non-fingerprinted metrics side-channel),
+plus an optional ``fingerprints`` table pinning a scenario's committed
+result fingerprint — an exact-match determinism gate (used by the sharded
+n=1000 cell, whose outputs must be byte-stable across machines).
 CI runs ``python -m repro perf --quick --check benchmarks/perf_baseline.json``
 and fails when any floor metric drops below ``baseline / max_regression``
 or any ceiling metric rises above ``baseline * max_regression`` — loose
@@ -94,7 +97,7 @@ def load_baseline(path: str) -> Dict[str, Any]:
         raise ConfigurationError(
             f"baseline file {path} is missing the events_per_sec table"
         )
-    for optional_table in ("aux_floors", "latency_ceilings_ms"):
+    for optional_table in ("aux_floors", "latency_ceilings_ms", "fingerprints"):
         if optional_table in payload and not isinstance(payload[optional_table], dict):
             raise ConfigurationError(
                 f"baseline file {path}: {optional_table} must be a table"
@@ -114,6 +117,7 @@ def compare_to_baseline(
     table = baseline["events_per_sec"]
     aux_floors = baseline.get("aux_floors", {})
     latency_ceilings = baseline.get("latency_ceilings_ms", {})
+    fingerprints = baseline.get("fingerprints", {})
     max_regression = float(baseline.get("max_regression", DEFAULT_MAX_REGRESSION))
     checks: List[BaselineCheck] = []
     for result in results:
@@ -155,6 +159,22 @@ def compare_to_baseline(
                     max_regression=max_regression,
                     metric=f"{metric} latency (ms)",
                     kind="ceiling",
+                )
+            )
+        recorded_fingerprint = fingerprints.get(result.name)
+        if recorded_fingerprint is not None:
+            # Determinism gate: the committed fingerprint must reproduce
+            # exactly.  Encoded as a floor at 1.0 with zero tolerance so it
+            # reuses the floor machinery (1.0 = match, 0.0 = mismatch).
+            matches = entry.get("fingerprint") == recorded_fingerprint
+            checks.append(
+                BaselineCheck(
+                    name=result.name,
+                    current_events_per_sec=1.0 if matches else 0.0,
+                    baseline_events_per_sec=1.0,
+                    max_regression=1.0,
+                    metric="fingerprint match",
+                    kind="floor",
                 )
             )
     return checks

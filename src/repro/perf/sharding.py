@@ -1,0 +1,176 @@
+"""Flat-vs-sharded Delphi comparison table.
+
+Flat Delphi broadcasts every BUNDLE to all ``n`` nodes, so its traffic
+grows as O(n^2); the two-level sharded variant keeps broadcasts inside
+groups of ``m`` plus one representative round, cutting the per-node fan
+out to O(m + n/m).  This module measures both variants on the AWS model
+and renders the comparison across n ∈ {40, 160, 400, 1000}.
+
+Flat cells are *measured* up to n=160 (the paper's largest system size —
+also the practical ceiling for the quadratic basket) and *extrapolated*
+quadratically above it: messages and bandwidth scale with the square of
+``n`` at fixed round count, so the n=160 measurement times ``(n/160)^2``
+is the honest estimate of what a flat run would cost.  Extrapolated rows
+carry ``"flat_basis": "extrapolated"`` and no flat runtime (simulated
+runtime does not follow the quadratic law).  Sharded cells are measured
+at every size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: Sizes the comparison table covers (the acceptance sweep).
+COMPARISON_SIZES = (40, 160, 400, 1000)
+
+#: Largest flat cell actually executed; larger flat cells are extrapolated.
+FLAT_MEASURE_CEILING = 160
+
+#: Schema tag for the embedded table.
+SHARDING_TABLE_SCHEMA = "repro-sharding-comparison/1"
+
+
+def _run_flat(n: int, engine: str) -> Dict[str, Any]:
+    from repro.analysis.parameters import derive_parameters
+    from repro.experiments.cells import build_inputs, build_network
+    from repro.experiments.spec import ScenarioSpec
+    from repro.runner import run_delphi
+    from repro.sim.runtime import SimulationConfig
+
+    spec = ScenarioSpec(protocol="delphi", n=n, testbed="aws", seed=1)
+    inputs = build_inputs(spec)
+    network, compute = build_network(spec)
+    params = derive_parameters(
+        n=n,
+        epsilon=spec.epsilon,
+        rho0=spec.rho0,
+        delta_max=spec.delta_max,
+        max_rounds=spec.max_rounds,
+    )
+    result = run_delphi(
+        params,
+        inputs,
+        network=network,
+        compute=compute,
+        config=SimulationConfig(engine=engine),
+    )
+    return {
+        "message_count": result.message_count,
+        "megabytes": result.total_megabytes,
+        "runtime_seconds": result.runtime_seconds,
+    }
+
+
+def _run_sharded(n: int, group_size: int, engine: str) -> Dict[str, Any]:
+    from repro.experiments.cells import build_inputs, build_network
+    from repro.experiments.spec import ScenarioSpec
+    from repro.protocols.sharded_delphi import sharded_parameters_of
+    from repro.runner import run_sharded_delphi
+    from repro.sim.runtime import SimulationConfig
+
+    spec = ScenarioSpec(
+        protocol="sharded-delphi",
+        n=n,
+        testbed="aws",
+        seed=1,
+        extras={"group_size": group_size},
+    )
+    inputs = build_inputs(spec)
+    network, compute = build_network(spec)
+    params = sharded_parameters_of(spec)
+    result = run_sharded_delphi(
+        params,
+        inputs,
+        network=network,
+        compute=compute,
+        config=SimulationConfig(engine=engine),
+    )
+    return {
+        "message_count": result.message_count,
+        "megabytes": result.total_megabytes,
+        "runtime_seconds": result.runtime_seconds,
+        "num_groups": params.topology.num_groups,
+    }
+
+
+def sharding_comparison(
+    sizes: Sequence[int] = COMPARISON_SIZES,
+    group_size: int = 32,
+    engine: str = "fast",
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Measure/extrapolate both variants and return the comparison table.
+
+    Each row carries flat and sharded message counts, bandwidth and (for
+    measured cells) simulated runtime, plus the message-count reduction
+    factor ``flat / sharded`` — the acceptance criterion is >= 5x at
+    n=1000.
+    """
+    say = progress or (lambda message: None)
+    flat_basis: Optional[Dict[str, Any]] = None
+    basis_n = max(
+        (n for n in sizes if n <= FLAT_MEASURE_CEILING), default=FLAT_MEASURE_CEILING
+    )
+    rows: List[Dict[str, Any]] = []
+    for n in sizes:
+        if n <= FLAT_MEASURE_CEILING:
+            say(f"[sharding] flat delphi n={n} ({engine} engine) ...")
+            flat = _run_flat(n, engine)
+            flat["basis"] = "measured"
+            if n == basis_n:
+                flat_basis = dict(flat)
+        else:
+            if flat_basis is None:
+                say(f"[sharding] flat delphi n={basis_n} (extrapolation basis) ...")
+                flat_basis = _run_flat(basis_n, engine)
+                flat_basis["basis"] = "measured"
+            scale = (n / basis_n) ** 2
+            flat = {
+                "message_count": int(round(flat_basis["message_count"] * scale)),
+                "megabytes": round(flat_basis["megabytes"] * scale, 6),
+                "runtime_seconds": None,  # not quadratic; no honest estimate
+                "basis": "extrapolated",
+            }
+        say(f"[sharding] sharded delphi n={n} groups of {group_size} ({engine} engine) ...")
+        sharded = _run_sharded(n, group_size, engine)
+        rows.append(
+            {
+                "n": n,
+                "flat": flat,
+                "sharded": sharded,
+                "message_reduction": (
+                    flat["message_count"] / sharded["message_count"]
+                    if sharded["message_count"]
+                    else None
+                ),
+                "bandwidth_reduction": (
+                    flat["megabytes"] / sharded["megabytes"]
+                    if sharded["megabytes"]
+                    else None
+                ),
+            }
+        )
+    return {
+        "schema": SHARDING_TABLE_SCHEMA,
+        "engine": engine,
+        "group_size": group_size,
+        "flat_measure_ceiling": FLAT_MEASURE_CEILING,
+        "rows": rows,
+    }
+
+
+def render_sharding_table(table: Dict[str, Any]) -> str:
+    """Markdown rendering of a :func:`sharding_comparison` table."""
+    lines = [
+        "| n | flat msgs | flat MB | sharded msgs | sharded MB | msg reduction | flat basis |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in table["rows"]:
+        flat, sharded = row["flat"], row["sharded"]
+        reduction = row["message_reduction"]
+        lines.append(
+            f"| {row['n']} | {flat['message_count']:,} | {flat['megabytes']:.1f} "
+            f"| {sharded['message_count']:,} | {sharded['megabytes']:.1f} "
+            f"| {reduction:.1f}x | {flat['basis']} |"
+        )
+    return "\n".join(lines)

@@ -15,6 +15,10 @@ The basket covers the paper's hot spots:
 * ``delphi-n40-aws`` / ``delphi-n160-aws`` — Fig. 6a's AWS oracle sweep at
   a medium and the largest system size (the n=160 cell is the acceptance
   scenario for hot-path work);
+* ``sharded-delphi-n1000`` — the two-level sharded variant at n=1000
+  (groups of 32), the scale-out cell flat Delphi's O(n^2) broadcasts
+  cannot reach (see :mod:`repro.perf.sharding` for the flat-vs-sharded
+  comparison table);
 * ``abraham-n40-aws`` — one round-heavy baseline protocol;
 * ``oracle-smr-e3-n13-aws`` — three epochs of the end-to-end oracle
   network, including DORA attestation and the SMR channel;
@@ -118,6 +122,35 @@ def _delphi_aws(n: int) -> Callable[[str], Tuple[int, Dict[str, Any]]]:
             max_rounds=spec.max_rounds,
         )
         result = run_delphi(
+            params,
+            inputs,
+            network=network,
+            compute=compute,
+            config=SimulationConfig(engine=engine),
+        )
+        return result.events_processed, _protocol_projection(result)
+
+    return runner
+
+
+def _sharded_delphi_aws(
+    n: int, group_size: int
+) -> Callable[[str], Tuple[int, Dict[str, Any]]]:
+    def runner(engine: str) -> Tuple[int, Dict[str, Any]]:
+        from repro.protocols.sharded_delphi import sharded_parameters_of
+        from repro.runner import run_sharded_delphi
+
+        spec = ScenarioSpec(
+            protocol="sharded-delphi",
+            n=n,
+            testbed="aws",
+            seed=1,
+            extras={"group_size": group_size},
+        )
+        inputs = build_inputs(spec)
+        network, compute = build_network(spec)
+        params = sharded_parameters_of(spec)
+        result = run_sharded_delphi(
             params,
             inputs,
             network=network,
@@ -269,6 +302,15 @@ SCENARIOS: Tuple[PerfScenario, ...] = (
         description="Delphi n=160 on the AWS model (Fig. 6a largest cell)",
         quick=False,
         run=_delphi_aws(160),
+    ),
+    PerfScenario(
+        name="sharded-delphi-n1000",
+        description=(
+            "Two-level sharded Delphi n=1000 (groups of 32) on the AWS "
+            "model — the scale-out cell flat Delphi cannot reach"
+        ),
+        quick=False,
+        run=_sharded_delphi_aws(1000, group_size=32),
     ),
     PerfScenario(
         name="abraham-n40-aws",
@@ -491,10 +533,17 @@ def run_suite(
 
 
 def bench_payload(
-    results: Sequence[ScenarioResult], quick: bool = False
+    results: Sequence[ScenarioResult],
+    quick: bool = False,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """The BENCH artifact body (see README "Performance" for the schema)."""
-    return {
+    """The BENCH artifact body (see README "Performance" for the schema).
+
+    ``extra`` merges additional top-level sections into the payload (the
+    CLI uses it for the flat-vs-sharded comparison table); it may not
+    override the core keys.
+    """
+    payload = {
         "schema": BENCH_SCHEMA,
         "generated_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "repro_version": __version__,
@@ -503,6 +552,25 @@ def bench_payload(
         "quick": quick,
         "scenarios": [result.as_dict() for result in results],
     }
+    for key, value in (extra or {}).items():
+        if key in payload:
+            raise ConfigurationError(f"extra payload section {key!r} shadows a core key")
+        payload[key] = value
+    return payload
+
+
+def _bench_path(directory: Path, stamp: str) -> Path:
+    """First free ``BENCH_<stamp>.json`` path, suffixing ``-2``, ``-3``, ...
+
+    Same-day reruns used to silently clobber the earlier artifact — bad
+    when the first run of the day is the committed record.
+    """
+    path = directory / f"BENCH_{stamp}.json"
+    suffix = 2
+    while path.exists():
+        path = directory / f"BENCH_{stamp}-{suffix}.json"
+        suffix += 1
+    return path
 
 
 def write_bench(
@@ -510,12 +578,17 @@ def write_bench(
     output_dir: str = ".",
     quick: bool = False,
     date: Optional[datetime.date] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Path:
-    """Write ``BENCH_<date>.json`` into ``output_dir`` and return its path."""
+    """Write ``BENCH_<date>.json`` into ``output_dir`` and return its path.
+
+    An existing same-day artifact is never overwritten; the new file gets
+    a ``-2`` (``-3``, ...) suffix instead.
+    """
     stamp = (date or datetime.date.today()).isoformat()
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"BENCH_{stamp}.json"
-    payload = bench_payload(results, quick=quick)
+    path = _bench_path(directory, stamp)
+    payload = bench_payload(results, quick=quick, extra=extra)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

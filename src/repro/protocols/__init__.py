@@ -1,17 +1,56 @@
-"""Agreement protocol building blocks and baseline protocols."""
+"""Agreement protocol building blocks, baseline protocols, the protocol
+registry and the topology abstraction."""
 
 from repro.protocols.base import BROADCAST, Outbound, ProtocolNode
 from repro.protocols.bv_broadcast import BVBroadcastNode
 from repro.protocols.binaa import BinAANode
 from repro.protocols.rbc import ReliableBroadcastNode
 from repro.protocols.binary_ba import BinaryBANode
+from repro.protocols.registry import (
+    EPSILON_AGREEMENT,
+    EXACT_AGREEMENT,
+    HIERARCHICAL_AGREEMENT,
+    ProtocolRunner,
+    RunRequest,
+    agreement_kind,
+    get_protocol,
+    is_known_protocol,
+    list_protocols,
+    protocol_names,
+    protocols_by_agreement,
+    register_protocol,
+)
+from repro.protocols.sharded_delphi import (
+    ShardedDelphiNode,
+    ShardedDelphiParameters,
+    derive_sharded_parameters,
+)
+from repro.protocols.topology import FlatTopology, ShardedTopology, Topology
 
 __all__ = [
     "BROADCAST",
     "BVBroadcastNode",
     "BinAANode",
     "BinaryBANode",
+    "EPSILON_AGREEMENT",
+    "EXACT_AGREEMENT",
+    "FlatTopology",
+    "HIERARCHICAL_AGREEMENT",
     "Outbound",
     "ProtocolNode",
+    "ProtocolRunner",
     "ReliableBroadcastNode",
+    "RunRequest",
+    "ShardedDelphiNode",
+    "ShardedDelphiParameters",
+    "ShardedTopology",
+    "Topology",
+    "agreement_kind",
+    "derive_sharded_parameters",
+    "get_protocol",
+    "is_known_protocol",
+    "list_protocols",
+    "protocol_names",
+    "protocols_by_agreement",
+    "register_protocol",
 ]

@@ -1,0 +1,281 @@
+"""Declarative protocol-runner registry.
+
+Historically ``experiments/cells.py`` dispatched on hard-coded
+``spec.protocol in ("delphi", "dora")`` string checks, and the spec
+validator, monitors, campaign presets, fuzz search, and CLI each carried
+their own private protocol tables.  This module is the single source of
+truth: a :class:`ProtocolRunner` entry names the protocol, classifies
+its agreement property (which drives monitor construction), and adapts
+the shared :class:`ScenarioSpec` to the protocol's runner signature.
+New protocols plug in with one :func:`register_protocol` call instead of
+edits at four call sites.
+
+Run adapters import :mod:`repro.runner` lazily so this module stays
+import-light — it is re-exported from ``repro.protocols`` and must not
+drag the simulation stack into every ``import repro.protocols``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Agreement classifications; monitors are built per kind.
+EPSILON_AGREEMENT = "epsilon"
+EXACT_AGREEMENT = "exact"
+HIERARCHICAL_AGREEMENT = "hierarchical"
+
+_AGREEMENT_KINDS = (EPSILON_AGREEMENT, EXACT_AGREEMENT, HIERARCHICAL_AGREEMENT)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Everything a protocol runner needs, already built by the cell layer."""
+
+    spec: Any
+    inputs: List[float]
+    network: Any = None
+    byzantine: Optional[Dict[int, Any]] = None
+    compute: Any = None
+    config: Any = None
+    observers: Optional[List[Any]] = None
+
+
+@dataclass(frozen=True)
+class ProtocolRunner:
+    """One registered protocol.
+
+    ``run`` executes the protocol for a :class:`RunRequest` and returns a
+    ``ProtocolRunResult``; ``derived`` optionally reports derived
+    parameters (levels, rounds, topology shape) for the metrics dict.
+    """
+
+    name: str
+    description: str
+    agreement: str
+    run: Callable[[RunRequest], Any]
+    derived: Optional[Callable[[Any], Dict[str, Any]]] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.agreement not in _AGREEMENT_KINDS:
+            raise ConfigurationError(
+                f"unknown agreement kind {self.agreement!r}; "
+                f"expected one of {_AGREEMENT_KINDS}"
+            )
+
+
+_REGISTRY: Dict[str, ProtocolRunner] = {}
+
+
+def register_protocol(runner: ProtocolRunner, replace: bool = False) -> ProtocolRunner:
+    """Register a protocol runner; ``replace=True`` overrides an entry."""
+    if runner.name in _REGISTRY and not replace:
+        raise ConfigurationError(f"protocol {runner.name!r} already registered")
+    _REGISTRY[runner.name] = runner
+    return runner
+
+
+def get_protocol(name: str) -> ProtocolRunner:
+    """Resolve a registered protocol or raise ``ConfigurationError``."""
+    runner = _REGISTRY.get(name)
+    if runner is None:
+        raise ConfigurationError(
+            f"unknown protocol {name!r} (known: {', '.join(protocol_names())})"
+        )
+    return runner
+
+
+def is_known_protocol(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """All registered protocol names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def protocols_by_agreement(kind: str) -> Tuple[str, ...]:
+    return tuple(name for name, r in _REGISTRY.items() if r.agreement == kind)
+
+
+def agreement_kind(name: str) -> Optional[str]:
+    runner = _REGISTRY.get(name)
+    return runner.agreement if runner is not None else None
+
+
+def list_protocols() -> Tuple[ProtocolRunner, ...]:
+    return tuple(_REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Built-in entries.  The adapters mirror the runner-signature families in
+# repro.runner: parameterised (delphi/dora/sharded), epsilon-round
+# (abraham/dolev), and exact (fin/hbbft).
+
+
+def _delphi_parameters(spec: Any):
+    from repro.analysis.parameters import derive_parameters
+
+    return derive_parameters(
+        n=spec.n,
+        epsilon=spec.epsilon,
+        rho0=spec.rho0,
+        delta_max=spec.delta_max,
+        max_rounds=spec.max_rounds,
+    )
+
+
+def _delphi_derived(spec: Any) -> Dict[str, Any]:
+    params = _delphi_parameters(spec)
+    return {"levels": params.level_count, "rounds": params.rounds}
+
+
+def _run_parameterised(runner_name: str) -> Callable[[RunRequest], Any]:
+    def run(request: RunRequest) -> Any:
+        import repro.runner as runner_module
+
+        runner = getattr(runner_module, runner_name)
+        return runner(
+            _delphi_parameters(request.spec),
+            request.inputs,
+            network=request.network,
+            byzantine=request.byzantine,
+            compute=request.compute,
+            config=request.config,
+            observers=request.observers,
+        )
+
+    return run
+
+
+def _run_epsilon_round(runner_name: str) -> Callable[[RunRequest], Any]:
+    def run(request: RunRequest) -> Any:
+        import repro.runner as runner_module
+
+        runner = getattr(runner_module, runner_name)
+        spec = request.spec
+        return runner(
+            spec.n,
+            request.inputs,
+            epsilon=spec.epsilon,
+            delta_max=spec.delta_max,
+            rounds=spec.max_rounds,
+            network=request.network,
+            byzantine=request.byzantine,
+            compute=request.compute,
+            config=request.config,
+            observers=request.observers,
+        )
+
+    return run
+
+
+def _run_exact(runner_name: str) -> Callable[[RunRequest], Any]:
+    def run(request: RunRequest) -> Any:
+        import repro.runner as runner_module
+
+        runner = getattr(runner_module, runner_name)
+        return runner(
+            request.spec.n,
+            request.inputs,
+            network=request.network,
+            byzantine=request.byzantine,
+            compute=request.compute,
+            config=request.config,
+            observers=request.observers,
+        )
+
+    return run
+
+
+def _run_sharded(request: RunRequest) -> Any:
+    from repro.protocols.sharded_delphi import sharded_parameters_of
+    from repro.runner import run_sharded_delphi
+
+    return run_sharded_delphi(
+        sharded_parameters_of(request.spec),
+        request.inputs,
+        network=request.network,
+        byzantine=request.byzantine,
+        compute=request.compute,
+        config=request.config,
+        observers=request.observers,
+    )
+
+
+def _sharded_derived(spec: Any) -> Dict[str, Any]:
+    from repro.protocols.sharded_delphi import sharded_parameters_of
+
+    params = sharded_parameters_of(spec)
+    return {
+        "num_groups": params.topology.num_groups,
+        "group_sizes": [len(group) for group in params.topology.groups],
+        "representatives": list(params.topology.representatives),
+    }
+
+
+register_protocol(
+    ProtocolRunner(
+        name="delphi",
+        description="Delphi approximate agreement (Algorithm 2, bundled checkpoints)",
+        agreement=EPSILON_AGREEMENT,
+        run=_run_parameterised("run_delphi"),
+        derived=_delphi_derived,
+    )
+)
+register_protocol(
+    ProtocolRunner(
+        name="dora",
+        description="DORA oracle agreement over the Delphi core",
+        agreement=EPSILON_AGREEMENT,
+        run=_run_parameterised("run_dora"),
+        derived=_delphi_derived,
+    )
+)
+register_protocol(
+    ProtocolRunner(
+        name="abraham",
+        description="Abraham et al. synchronous approximate agreement baseline",
+        agreement=EPSILON_AGREEMENT,
+        run=_run_epsilon_round("run_abraham"),
+    )
+)
+register_protocol(
+    ProtocolRunner(
+        name="dolev",
+        description="Dolev et al. approximate agreement baseline",
+        agreement=EPSILON_AGREEMENT,
+        run=_run_epsilon_round("run_dolev"),
+    )
+)
+register_protocol(
+    ProtocolRunner(
+        name="fin",
+        description="FIN exact binary agreement baseline",
+        agreement=EXACT_AGREEMENT,
+        run=_run_exact("run_fin"),
+    )
+)
+register_protocol(
+    ProtocolRunner(
+        name="hbbft",
+        description="HoneyBadgerBFT-style exact agreement baseline",
+        agreement=EXACT_AGREEMENT,
+        run=_run_exact("run_hbbft"),
+    )
+)
+register_protocol(
+    ProtocolRunner(
+        name="sharded-delphi",
+        description=(
+            "Two-level Delphi: per-group instances, an inter-group round "
+            "among representatives, final value fanned back down"
+        ),
+        agreement=HIERARCHICAL_AGREEMENT,
+        run=_run_sharded,
+        derived=_sharded_derived,
+    )
+)

@@ -24,6 +24,8 @@ from repro.protocols.baselines.abraham_aaa import AbrahamAAANode
 from repro.protocols.baselines.dolev_aaa import DolevAAANode
 from repro.protocols.baselines.fin_acs import FinAcsNode
 from repro.protocols.baselines.hbbft_acs import HoneyBadgerAcsNode
+from repro.protocols.sharded_delphi import ShardedDelphiParameters, ShardedDelphiNode
+from repro.protocols.topology import Topology
 from repro.sim.observers import SimObserver
 from repro.sim.runtime import ComputeModel, SimulationConfig, SimulationResult, SimulationRuntime
 
@@ -75,6 +77,7 @@ def run_protocol(
     compute: Optional[ComputeModel] = None,
     config: Optional[SimulationConfig] = None,
     observers: Optional[Sequence[SimObserver]] = None,
+    topology: Optional[Topology] = None,
 ) -> ProtocolRunResult:
     """Run an arbitrary set of protocol nodes through the simulator."""
     runtime = SimulationRuntime(
@@ -84,6 +87,7 @@ def run_protocol(
         compute=compute,
         config=config,
         observers=observers,
+        topology=topology,
     )
     result = runtime.run()
     return _wrap_result(protocol, result)
@@ -145,6 +149,37 @@ def run_dora(
         for node_id in range(params.n)
     }
     return run_protocol("dora", nodes, network, byzantine, compute, config, observers)
+
+
+def run_sharded_delphi(
+    params: ShardedDelphiParameters,
+    values: Sequence[float],
+    network: Optional[AsynchronousNetwork] = None,
+    byzantine: Optional[Dict[int, AdversaryStrategy]] = None,
+    compute: Optional[ComputeModel] = None,
+    config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[SimObserver]] = None,
+) -> ProtocolRunResult:
+    """Run one two-level sharded Delphi instance (see
+    :mod:`repro.protocols.sharded_delphi`)."""
+    n = params.topology.num_nodes
+    _check_inputs(n, values)
+    nodes: Dict[int, ProtocolNode] = {
+        node_id: ShardedDelphiNode(
+            node_id=node_id, params=params, value=float(values[node_id])
+        )
+        for node_id in range(n)
+    }
+    return run_protocol(
+        "sharded-delphi",
+        nodes,
+        network,
+        byzantine,
+        compute,
+        config,
+        observers,
+        topology=params.topology,
+    )
 
 
 def run_abraham(

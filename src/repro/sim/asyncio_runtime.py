@@ -191,9 +191,11 @@ class AsyncioRuntime:
         observers: Optional[Sequence[SimObserver]] = None,
         policy: Optional[DeliveryPolicy] = None,
         transport: Optional[Any] = None,
+        topology: Optional[Any] = None,
     ) -> None:
         if not nodes:
             raise SimulationError("at least one node is required")
+        self.topology = topology
         if timeout <= 0:
             raise SimulationError(f"timeout must be positive, got {timeout}")
         self.nodes = nodes
@@ -408,7 +410,13 @@ class AsyncioRuntime:
         self, sender: int, outbound: List[Tuple[int, Message]]
     ) -> None:
         for destination, message in outbound:
-            targets = list(self.nodes) if destination == BROADCAST else [destination]
+            if destination == BROADCAST:
+                if self.topology is not None:
+                    targets = self.topology.broadcast_targets(sender, message)
+                else:
+                    targets = list(self.nodes)
+            else:
+                targets = [destination]
             for target in targets:
                 if target == sender:
                     # Local self-delivery: no network, no trace, no delay.

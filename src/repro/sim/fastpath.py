@@ -152,6 +152,9 @@ def _run_fast_loop(runtime, SimulationResult) -> "SimulationResult":
     events_processed = 0
     now = 0.0
     all_targets = range(n)
+    topology = runtime.topology
+    flat = topology.is_flat
+    broadcast_targets = topology.broadcast_targets
 
     while True:
         if stop_when_decided and undecided == 0:
@@ -232,14 +235,21 @@ def _run_fast_loop(runtime, SimulationResult) -> "SimulationResult":
                     wire_bits = message.size_bits()
                 wire_bits += HMAC_TAG_BITS
                 # Bulk traffic accounting: every target except the sender
-                # receives one wire copy (targets from range(n) need no
-                # bounds check, and dropped copies are accounted too —
-                # both exactly as the per-target reference loop does it).
-                message_count += n - 1
-                bulk = wire_bits * (n - 1)
+                # receives one wire copy (targets never need a bounds
+                # check, and dropped copies are accounted too — both
+                # exactly as the per-target reference loop does it).
+                if flat:
+                    targets = all_targets
+                    copies = n - 1
+                else:
+                    targets = broadcast_targets(node_id, message)
+                    copies = len(targets)
+                    if node_id in targets:
+                        copies -= 1
+                message_count += copies
+                bulk = wire_bits * copies
                 total_bits += bulk
                 sender_bits[node_id] += bulk
-                targets = all_targets
             else:
                 targets = (destination,)
                 wire_bits = None  # computed lazily below (single target)

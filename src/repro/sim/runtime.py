@@ -23,6 +23,7 @@ from repro.adversary.base import AdversaryStrategy
 from repro.net.message import Envelope, Message, MessageTrace
 from repro.net.network import AsynchronousNetwork
 from repro.protocols.base import BROADCAST, Outbound, ProtocolNode
+from repro.protocols.topology import FlatTopology, Topology
 from repro.sim.events import DELIVER_EVENT, START_EVENT, Event, EventKind
 from repro.sim.observers import SimObserver
 from repro.sim.scheduler import EventScheduler
@@ -159,6 +160,7 @@ class SimulationRuntime:
         compute: Optional[ComputeModel] = None,
         config: Optional[SimulationConfig] = None,
         observers: Optional[Sequence[SimObserver]] = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         if not nodes:
             raise SimulationError("at least one node is required")
@@ -169,6 +171,12 @@ class SimulationRuntime:
             raise SimulationError(
                 "network size does not match node count: "
                 f"{self.network.num_nodes} != {self.num_nodes}"
+            )
+        self.topology = topology or FlatTopology(self.num_nodes)
+        if self.topology.num_nodes != self.num_nodes:
+            raise SimulationError(
+                "topology size does not match node count: "
+                f"{self.topology.num_nodes} != {self.num_nodes}"
             )
         self.compute = compute or ComputeModel()
         self.config = config or SimulationConfig()
@@ -217,7 +225,7 @@ class SimulationRuntime:
         """Expand broadcasts and schedule every outbound message for delivery."""
         for destination, message in outbound:
             if destination == BROADCAST:
-                targets = range(self.num_nodes)
+                targets = self.topology.broadcast_targets(sender, message)
             else:
                 targets = [destination]
             for target in targets:

@@ -114,6 +114,39 @@ class TestBenchArtifact:
         assert entry["speedup"] > 0
         assert len(entry["fingerprint"]) == 64
 
+    def test_same_day_rerun_never_clobbers(self, tmp_path):
+        """Regression: a second run on the same day used to overwrite the
+        committed artifact; it must suffix ``-2``, ``-3``, ... instead."""
+        results = [run_scenario(tiny_scenario(), verify=False)]
+        date = datetime.date(2026, 8, 8)
+        first = write_bench(results, output_dir=str(tmp_path), date=date)
+        original = first.read_text()
+        second = write_bench(results, output_dir=str(tmp_path), date=date)
+        third = write_bench(results, output_dir=str(tmp_path), date=date)
+        assert first.name == "BENCH_2026-08-08.json"
+        assert second.name == "BENCH_2026-08-08-2.json"
+        assert third.name == "BENCH_2026-08-08-3.json"
+        assert first.read_text() == original
+        assert json.loads(third.read_text())["schema"] == BENCH_SCHEMA
+
+    def test_extra_sections_embedded_not_shadowing(self, tmp_path):
+        results = [run_scenario(tiny_scenario(), verify=False)]
+        path = write_bench(
+            results,
+            output_dir=str(tmp_path),
+            date=datetime.date(2026, 7, 1),
+            extra={"sharding_comparison": {"rows": []}},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["sharding_comparison"] == {"rows": []}
+        with pytest.raises(ConfigurationError):
+            write_bench(
+                results,
+                output_dir=str(tmp_path),
+                date=datetime.date(2026, 7, 2),
+                extra={"scenarios": []},
+            )
+
 
 class TestBaseline:
     def _baseline(self, tmp_path, table, max_regression=2.0):
@@ -157,6 +190,29 @@ class TestBaseline:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             load_baseline(str(tmp_path / "absent.json"))
+
+    def test_fingerprint_gate_exact_match(self, tmp_path):
+        results = [run_scenario(tiny_scenario(), verify=False)]
+        fingerprint = results[0].fast.fingerprint
+
+        def baseline_with(recorded):
+            path = tmp_path / "fp.json"
+            path.write_text(
+                json.dumps(
+                    {
+                        "schema": BASELINE_SCHEMA,
+                        "events_per_sec": {},
+                        "fingerprints": {"tiny-delphi": recorded},
+                    }
+                )
+            )
+            return load_baseline(str(path))
+
+        (check,) = compare_to_baseline(results, baseline_with(fingerprint))
+        assert check.ok
+        assert check.metric == "fingerprint match"
+        (check,) = compare_to_baseline(results, baseline_with("0" * 64))
+        assert not check.ok
 
     def test_committed_baseline_loads_and_names_match_basket(self):
         baseline = load_baseline("benchmarks/perf_baseline.json")
@@ -336,4 +392,6 @@ class TestAuxAndLatencyGates:
         basket = {scenario.name for scenario in SCENARIOS}
         assert set(baseline.get("aux_floors", {})) <= basket
         assert set(baseline.get("latency_ceilings_ms", {})) <= basket
+        assert set(baseline.get("fingerprints", {})) <= basket
         assert "oracle-gateway-n7" in baseline["events_per_sec"]
+        assert "sharded-delphi-n1000" in baseline["events_per_sec"]

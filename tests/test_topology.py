@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the sharding primitives.
+
+The consistent-hash grouping and representative election are the
+foundation of the two-level protocol: every engine, the hierarchical
+monitor and the fault planner all assume the same node→group map, so the
+primitives must be deterministic under a fixed seed, balanced within ±1,
+stable under input permutation, and never hand the fault planner more
+corruptions than a group's Byzantine budget.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import byzantine_bound
+from repro.protocols.topology import (
+    FlatTopology,
+    ShardedTopology,
+    elect_representative,
+    form_groups,
+    ring_position,
+)
+
+node_counts = st.integers(min_value=4, max_value=200)
+group_sizes = st.integers(min_value=2, max_value=40)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestFormGroupsProperties:
+    @given(node_counts, group_sizes, seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_deterministic_under_fixed_seed(self, n, group_size, seed):
+        num_groups = -(-n // group_size)
+        ids = list(range(n))
+        assert form_groups(ids, num_groups, seed) == form_groups(ids, num_groups, seed)
+
+    @given(node_counts, group_sizes, seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_groups_partition_the_nodes(self, n, group_size, seed):
+        num_groups = -(-n // group_size)
+        groups = form_groups(list(range(n)), num_groups, seed)
+        seen = [node for group in groups for node in group]
+        assert sorted(seen) == list(range(n))
+
+    @given(node_counts, group_sizes, seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_group_sizes_balanced_within_one(self, n, group_size, seed):
+        num_groups = -(-n // group_size)
+        groups = form_groups(list(range(n)), num_groups, seed)
+        sizes = [len(group) for group in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(node_counts, group_sizes, seeds, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_stable_under_id_permutation(self, n, group_size, seed, shuffle_seed):
+        """The node→group map depends on hashes, not presentation order."""
+        import random
+
+        num_groups = -(-n // group_size)
+        ids = list(range(n))
+        shuffled = list(ids)
+        random.Random(shuffle_seed).shuffle(shuffled)
+        assert form_groups(ids, num_groups, seed) == form_groups(shuffled, num_groups, seed)
+
+    @given(node_counts, group_sizes, seeds, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_representative_stable_under_member_permutation(
+        self, n, group_size, seed, shuffle_seed
+    ):
+        import random
+
+        num_groups = -(-n // group_size)
+        for group in form_groups(list(range(n)), num_groups, seed):
+            members = list(group)
+            random.Random(shuffle_seed).shuffle(members)
+            assert elect_representative(members, seed) == elect_representative(group, seed)
+            assert elect_representative(group, seed) in group
+
+    @given(node_counts, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_ring_position_is_pure(self, n, seed):
+        assert all(
+            ring_position(seed, node) == ring_position(seed, node) for node in range(n)
+        )
+
+
+class TestShardedTopologyProperties:
+    @given(node_counts, group_sizes, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_safe_corruptions_never_exceed_group_budget(self, n, group_size, seed):
+        topology = ShardedTopology(n, group_size=group_size, seed=seed)
+        capacity = sum(topology.group_budget(g) for g in range(topology.num_groups))
+        count = min(capacity, byzantine_bound(n))
+        corrupted = topology.safe_corrupted_ids(count)
+        assert len(set(corrupted)) == count
+        for g, group in enumerate(topology.groups):
+            in_group = [node for node in corrupted if node in group]
+            assert len(in_group) <= byzantine_bound(len(group))
+            assert topology.representatives[g] not in in_group
+
+    @given(node_counts, group_sizes, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_representatives_belong_to_their_groups(self, n, group_size, seed):
+        topology = ShardedTopology(n, group_size=group_size, seed=seed)
+        for g, rep in enumerate(topology.representatives):
+            assert rep in topology.groups[g]
+            assert topology.group_of_representative[rep] == g
+
+    @given(node_counts, group_sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_broadcast_scopes(self, n, group_size, seed):
+        from repro.net.message import Message
+
+        topology = ShardedTopology(n, group_size=group_size, seed=seed)
+        node = topology.groups[0][0]
+        group_msg = Message("group:0/delphi", "BUNDLE", 0, None)
+        assert tuple(topology.broadcast_targets(node, group_msg)) == topology.groups[0]
+        rep_msg = Message("reps/delphi", "BUNDLE", 0, None)
+        rep = topology.representatives[0]
+        assert tuple(topology.broadcast_targets(rep, rep_msg)) == topology.representatives
+        plain = Message("sharded-delphi", "FINAL", None, 1.0)
+        assert len(list(topology.broadcast_targets(node, plain))) == n
+
+
+class TestTopologyValidation:
+    def test_flat_topology_targets_everyone(self):
+        from repro.net.message import Message
+
+        flat = FlatTopology(5)
+        assert list(flat.broadcast_targets(0, Message("delphi", "BUNDLE", 0, None))) == [
+            0,
+            1,
+            2,
+            3,
+            4,
+        ]
+        assert flat.is_flat
+
+    def test_group_size_and_num_groups_are_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            ShardedTopology(10, group_size=4, num_groups=2)
+        with pytest.raises(ConfigurationError):
+            ShardedTopology(10)
+
+    def test_safe_corruptions_reject_over_capacity(self):
+        topology = ShardedTopology(8, group_size=4, seed=0)
+        capacity = sum(topology.group_budget(g) for g in range(topology.num_groups))
+        with pytest.raises(ConfigurationError):
+            topology.safe_corrupted_ids(capacity + 1)
